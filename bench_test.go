@@ -1,0 +1,483 @@
+// Benchmarks for every table and figure of the paper plus ablations for
+// the design choices called out in DESIGN.md. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment mapping is recorded in DESIGN.md §4 and the measured
+// numbers in EXPERIMENTS.md.
+package viewcube_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"viewcube"
+	"viewcube/internal/assembly"
+	"viewcube/internal/core"
+	"viewcube/internal/experiments"
+	"viewcube/internal/haar"
+	"viewcube/internal/rangeagg"
+	"viewcube/internal/store"
+	"viewcube/internal/velement"
+	"viewcube/internal/workload"
+)
+
+// BenchmarkTable1Counts regenerates Table 1 (E1): closed-form view element
+// counts for all five paper configurations.
+func BenchmarkTable1Counts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if rows[4].Nve != 5764801 {
+			b.Fatal("Table 1 mismatch")
+		}
+	}
+}
+
+// BenchmarkTable2Pedagogical regenerates Table 2 (E2): Procedure 3 costs of
+// the ten pedagogical element sets.
+func BenchmarkTable2Pedagogical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		if rows[0].Processing != 3 {
+			b.Fatal("Table 2 mismatch")
+		}
+	}
+}
+
+// BenchmarkFig8Experiment1 runs one trial of Experiment 1 (E3) at the
+// paper's scale: Algorithm 1 over the 923,521-element graph of the 16^4
+// cube plus both baselines.
+func BenchmarkFig8Experiment1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8([]int{16, 16, 16, 16}, 1, int64(i+1), experiments.ModelEq29)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.V[0] > res.D[0] {
+			b.Fatal("[V] exceeded [D]")
+		}
+	}
+}
+
+// BenchmarkFig9Experiment2 runs one trial of Experiment 2 (E4) at the
+// paper's scale: both greedy frontiers on the 4^4 cube.
+func BenchmarkFig9Experiment2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9([]int{4, 4, 4, 4}, 1, 10, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PointA > res.PointB {
+			b.Fatal("point a exceeded point b")
+		}
+	}
+}
+
+// BenchmarkBasesStructural regenerates the §4.3 structural report (E5).
+func BenchmarkBasesStructural(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Bases([]int{16, 16, 16}, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeAggregation regenerates the §6 comparison (E6) on a
+// moderate cube.
+func BenchmarkRangeAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ranges([]int{64, 64, 16}, 100, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxError > 1e-6 {
+			b.Fatal("methods disagreed")
+		}
+	}
+}
+
+// --- Component benchmarks -------------------------------------------------
+
+// BenchmarkAlgorithm1PaperGraph measures Algorithm 1 alone on the paper's
+// Experiment 1 graph (923,521 elements, 16 queries).
+func BenchmarkAlgorithm1PaperGraph(b *testing.B) {
+	s := velement.MustSpace(16, 16, 16, 16)
+	rng := rand.New(rand.NewSource(1))
+	queries := workload.UniformViewPopulation(s, rng, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelectBasis(s, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyRedundant measures one full Algorithm 2 run on the
+// Experiment 2 cube.
+func BenchmarkGreedyRedundant(b *testing.B) {
+	s := velement.MustSpace(4, 4, 4, 4)
+	rng := rand.New(rand.NewSource(1))
+	queries := workload.UniformViewPopulation(s, rng, false)
+	init, err := core.SelectBasis(s, queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := core.AllElements(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyRedundant(s, init.Basis, all, queries, 2*s.CubeVolume()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHaarPartial measures the first partial aggregation over a 1M
+// cell cube (the innermost operator of every cascade).
+func BenchmarkHaarPartial(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cube := workload.RandomCube(rng, 100, 256, 64, 64)
+	b.SetBytes(int64(8 * cube.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := haar.Partial(cube, i%3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaveletTransform measures the full multi-dimensional transform.
+func BenchmarkWaveletTransform(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cube := workload.RandomCube(rng, 100, 256, 256)
+	b.SetBytes(int64(8 * cube.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		haar.Transform(cube)
+	}
+}
+
+// BenchmarkMaterializeWaveletBasis measures materialising a complete
+// non-expansive basis from a 64^3 cube with prefix sharing.
+func BenchmarkMaterializeWaveletBasis(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := velement.MustSpace(64, 64, 64)
+	cube := workload.RandomCube(rng, 100, 64, 64, 64)
+	basis := velement.WaveletBasis(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assembly.MaterializeSet(s, cube, basis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssembleViewFromBasis measures planning + executing one
+// aggregated view from a materialised wavelet basis.
+func BenchmarkAssembleViewFromBasis(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := velement.MustSpace(32, 32, 32)
+	cube := workload.RandomCube(rng, 100, 32, 32, 32)
+	st, err := assembly.MaterializeSet(s, cube, velement.WaveletBasis(s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := assembly.NewEngine(s, st)
+	views := s.AggregatedViews()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Answer(views[1+i%(len(views)-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeSumViaElements vs BenchmarkRangeSumScan vs
+// BenchmarkRangeSumPrefix isolate the three §6 range strategies.
+func rangeFixture(b *testing.B) (*velement.Space, *rangeagg.Querier, []rangeagg.Box, interface {
+	RangeSum(rangeagg.Box) (float64, error)
+}, func(rangeagg.Box) (float64, error)) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	shape := []int{256, 256}
+	cube := workload.RandomCube(rng, 100, shape...)
+	s := velement.MustSpace(shape...)
+	mat, err := assembly.NewMaterializer(s, cube)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := rangeagg.NewQuerier(s, mat)
+	boxes := workload.RandomBoxes(shape, rng, 256)
+	// Warm the pyramid so the benchmark measures steady-state queries.
+	if _, err := q.RangeSum(boxes[0]); err != nil {
+		b.Fatal(err)
+	}
+	pc := rangeagg.NewPrefixCube(cube)
+	scan := func(box rangeagg.Box) (float64, error) { return rangeagg.DirectScan(cube, box) }
+	return s, q, boxes, pc, scan
+}
+
+func BenchmarkRangeSumViaElements(b *testing.B) {
+	_, q, boxes, _, _ := rangeFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.RangeSum(boxes[i%len(boxes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeSumScan(b *testing.B) {
+	_, _, boxes, _, scan := rangeFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scan(boxes[i%len(boxes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeSumPrefix(b *testing.B) {
+	_, _, boxes, pc, _ := rangeFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pc.RangeSum(boxes[i%len(boxes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineGroupBy measures the public API end to end on a relational
+// cube.
+func BenchmarkEngineGroupBy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl, err := workload.SalesTable(rng, 100, 8, 60, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.GroupBy("product"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFileStoreRoundTrip measures disk persistence of a 64k-cell
+// element (write-through Put plus cold Get).
+func BenchmarkFileStoreRoundTrip(b *testing.B) {
+	dir := b.TempDir()
+	fs, err := store.Open(dir, 0) // no cache: measure disk
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := velement.MustSpace(256, 256)
+	el := s.Root()
+	arr := workload.RandomCube(rng, 100, 256, 256)
+	b.SetBytes(int64(8 * arr.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.Put(el, arr); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := fs.Get(el); !ok {
+			b.Fatal("get failed")
+		}
+	}
+}
+
+// --- Ablations (E7) -------------------------------------------------------
+
+// BenchmarkAblationDPvsExhaustive compares Algorithm 1's DP against
+// brute-force tiling enumeration on a cube small enough for the latter.
+func BenchmarkAblationDPvsExhaustive(b *testing.B) {
+	s := velement.MustSpace(4, 4)
+	rng := rand.New(rand.NewSource(1))
+	queries := workload.UniformViewPopulation(s, rng, true)
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SelectBasis(s, queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ExhaustiveBestBasis(s, queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGreedyPruning compares Algorithm 2 with and without the
+// §7.2.2 obsolete-element pruning.
+func BenchmarkAblationGreedyPruning(b *testing.B) {
+	s := velement.MustSpace(4, 4, 4)
+	rng := rand.New(rand.NewSource(1))
+	queries := workload.UniformViewPopulation(s, rng, false)
+	init, err := core.SelectBasis(s, queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := core.AllElements(s)
+	target := 2 * s.CubeVolume()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GreedyRedundant(s, init.Basis, all, queries, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GreedyRedundantPruned(s, init.Basis, all, queries, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMaterializerSharing compares prefix-sharing
+// materialisation against independent per-element cascades.
+func BenchmarkAblationMaterializerSharing(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := velement.MustSpace(64, 64)
+	cube := workload.RandomCube(rng, 100, 64, 64)
+	basis := velement.WaveletBasis(s)
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assembly.MaterializeSet(s, cube, basis); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := assembly.NewMemStore()
+			for _, r := range basis {
+				a, err := haar.ApplyRect(cube, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Put(r, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAdaptiveReconfigure measures one full observe→reselect→migrate
+// cycle on a relational cube.
+func BenchmarkAdaptiveReconfigure(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl, err := workload.SalesTable(rng, 30, 4, 30, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := cube.NewEngine(viewcube.EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := cube.NewWorkload()
+		if err := w.AddViewKeeping(1, "product"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := eng.Optimize(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationParallelMaterialize compares serial materialisation
+// against worker pools (each worker re-derives shared cascade prefixes).
+func BenchmarkAblationParallelMaterialize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := velement.MustSpace(64, 64, 16)
+	cube := workload.RandomCube(rng, 100, 64, 64, 16)
+	set := append(velement.WaveletBasis(s), s.AggregatedViews()...)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := assembly.NewMemStore()
+				if err := assembly.MaterializeParallel(s, cube, set, st, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryLanguage measures parse + plan + execute of a filtered
+// GROUP BY through the SQL-like layer.
+func BenchmarkQueryLanguage(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl, err := workload.SalesTable(rng, 50, 8, 60, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(
+			"SELECT SUM(sales) GROUP BY region WHERE day BETWEEN 'day-010' AND 'day-039'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRollUp measures a hierarchy roll-up answered as per-group range
+// aggregations.
+func BenchmarkRollUp(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl, err := workload.SalesTable(rng, 50, 8, 56, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cube.DefineHierarchy("day", "week", func(day string) string {
+		var n int
+		fmt.Sscanf(day, "day-%d", &n)
+		return fmt.Sprintf("week-%d", n/7)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RollUp("day", "week", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Command cubectl is a small OLAP shell over the viewcube library: it loads
+// a CSV relation into a data cube, optionally optimises the materialised
+// view element set for a workload, and answers GROUP BY and range-SUM
+// queries from the command line.
+//
+// Usage:
+//
+//	cubectl -csv sales.csv -measure sales info
+//	cubectl -csv sales.csv -measure sales groupby product,region
+//	cubectl -csv sales.csv -measure sales range day=d1:d3 product=ale:ale
+//	cubectl -csv sales.csv -measure sales -hot product -hot region,day groupby product
+//	cubectl -csv sales.csv -measure sales query "SELECT SUM(sales) GROUP BY product WHERE day BETWEEN 'd1' AND 'd5'"
+//	cubectl -gen 5000 info            (synthetic sales data, no CSV needed)
+//
+// Repeated -hot flags declare anticipated hot views (comma-separated kept
+// dimensions); the engine materialises the optimal element set for them
+// before answering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"viewcube"
+	"viewcube/internal/workload"
+)
+
+type hotFlags []string
+
+func (h *hotFlags) String() string     { return strings.Join(*h, ";") }
+func (h *hotFlags) Set(v string) error { *h = append(*h, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cubectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var hot hotFlags
+	csvPath := flag.String("csv", "", "CSV file holding the relation")
+	measure := flag.String("measure", "sales", "measure column name")
+	gen := flag.Int("gen", 0, "generate this many synthetic sales rows instead of reading -csv")
+	seed := flag.Int64("seed", 1, "seed for -gen")
+	budget := flag.Float64("budget", 1.0, "storage budget as a multiple of the cube volume")
+	flag.Var(&hot, "hot", "anticipated hot view: comma-separated kept dimensions (repeatable)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims>")
+	}
+
+	cube, err := loadCube(*csvPath, *measure, *gen, *seed)
+	if err != nil {
+		return err
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{
+		StorageBudget: int(*budget * float64(cube.Volume())),
+	})
+	if err != nil {
+		return err
+	}
+	if len(hot) > 0 {
+		w := cube.NewWorkload()
+		for _, h := range hot {
+			keep := splitList(h)
+			if err := w.AddViewKeeping(1, keep...); err != nil {
+				return err
+			}
+		}
+		if err := eng.Optimize(w); err != nil {
+			return err
+		}
+		fmt.Printf("optimized: %d elements materialised, %d cells (budget %d)\n",
+			eng.MaterializedElements(), eng.StorageCells(), int(*budget*float64(cube.Volume())))
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "info":
+		return info(cube, eng)
+	case "total":
+		t, err := eng.Total()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("total(%s) = %g\n", *measure, t)
+		return nil
+	case "groupby":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: groupby dim1,dim2,...")
+		}
+		return groupBy(eng, splitList(args[0]))
+	case "range":
+		return rangeSum(eng, args)
+	case "query":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: query 'SELECT SUM(m) GROUP BY dim WHERE ...'")
+		}
+		return runQuery(eng, args[0])
+	case "topk":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: topk <dim> <k>")
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad k %q: %w", args[1], err)
+		}
+		return topK(eng, args[0], k)
+	case "explain":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: explain dim1,dim2,...")
+		}
+		plan, err := eng.ExplainGroupBy(splitList(args[0])...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func loadCube(csvPath, measure string, gen int, seed int64) (*viewcube.Cube, error) {
+	if gen > 0 {
+		tbl, err := workload.SalesTable(rand.New(rand.NewSource(seed)), 50, 8, 60, gen)
+		if err != nil {
+			return nil, err
+		}
+		return viewcube.FromTable(tbl)
+	}
+	if csvPath == "" {
+		return nil, fmt.Errorf("need -csv <file> or -gen <rows>")
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return viewcube.Load(f, measure)
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func info(cube *viewcube.Cube, eng *viewcube.Engine) error {
+	fmt.Printf("dimensions: %v\n", cube.Dimensions())
+	fmt.Printf("shape:      %v (%d cells)\n", cube.Shape(), cube.Volume())
+	fmt.Printf("total:      %g\n", cube.Total())
+	fmt.Printf("views:      %d aggregated views\n", len(cube.AllViews()))
+	fmt.Printf("stored:     %d elements, %d cells\n", eng.MaterializedElements(), eng.StorageCells())
+	return nil
+}
+
+func groupBy(eng *viewcube.Engine, keep []string) error {
+	v, err := eng.GroupBy(keep...)
+	if err != nil {
+		return err
+	}
+	groups, err := v.Groups()
+	if err != nil {
+		return err
+	}
+	for _, k := range viewcube.SortedGroupKeys(groups) {
+		label := strings.Join(viewcube.SplitGroupKey(k), " / ")
+		if label == "" {
+			label = "(all)"
+		}
+		fmt.Printf("%-40s %12g\n", label, groups[k])
+	}
+	fmt.Printf("(%d groups; plan cost %d ops)\n", len(groups), eng.Stats().LastPlanCost)
+	return nil
+}
+
+func rangeSum(eng *viewcube.Engine, specs []string) error {
+	ranges := make(map[string]viewcube.ValueRange)
+	for _, spec := range specs {
+		dim, bounds, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad range %q, want dim=lo:hi", spec)
+		}
+		lo, hi, ok := strings.Cut(bounds, ":")
+		if !ok {
+			return fmt.Errorf("bad range %q, want dim=lo:hi", spec)
+		}
+		ranges[dim] = viewcube.ValueRange{Lo: lo, Hi: hi}
+	}
+	got, err := eng.RangeSum(ranges)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("range sum = %g\n", got)
+	return nil
+}
+
+func runQuery(eng *viewcube.Engine, sql string) error {
+	res, err := eng.Query(sql)
+	if err != nil {
+		return err
+	}
+	for _, col := range res.Columns {
+		fmt.Printf("%-24s", col)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		for _, k := range row.Key {
+			fmt.Printf("%-24s", k)
+		}
+		for _, v := range row.Values {
+			fmt.Printf("%-24g", v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func topK(eng *viewcube.Engine, dim string, k int) error {
+	v, err := eng.GroupBy(dim)
+	if err != nil {
+		return err
+	}
+	top, err := v.TopK(k)
+	if err != nil {
+		return err
+	}
+	for i, gv := range top {
+		fmt.Printf("%2d. %-32s %12g\n", i+1, gv.Key, gv.Value)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command cubed serves a data cube over HTTP: load a CSV relation (or
+// generate synthetic sales data), attach a view-element engine, and expose
+// the JSON API of internal/server.
+//
+//	cubed -csv sales.csv -measure sales -addr :8080
+//	cubed -gen 50000 -budget 1.5 -reselect 500
+//
+//	curl -s localhost:8080/info
+//	curl -s localhost:8080/groupby?keep=product
+//	curl -s 'localhost:8080/range?day=day-000:day-013'
+//	curl -s -X POST localhost:8080/query -d '{"sql":"SELECT SUM(sales) GROUP BY region"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"viewcube"
+	"viewcube/internal/server"
+	"viewcube/internal/workload"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "CSV file holding the relation")
+	measure := flag.String("measure", "sales", "measure column name")
+	gen := flag.Int("gen", 0, "generate this many synthetic sales rows instead of reading -csv")
+	seed := flag.Int64("seed", 1, "seed for -gen")
+	addr := flag.String("addr", ":8080", "listen address")
+	budget := flag.Float64("budget", 1.0, "storage budget as a multiple of the cube volume")
+	reselect := flag.Int("reselect", 0, "adapt the materialised set every N queries (0 = off)")
+	diskDir := flag.String("store", "", "directory for the durable element store (default: in memory)")
+	flag.Parse()
+
+	cube, err := loadCube(*csvPath, *measure, *gen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{
+		StorageBudget: int(*budget * float64(cube.Volume())),
+		ReselectEvery: *reselect,
+		DiskDir:       *diskDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cubed: serving cube %v over %v on %s", cube.Shape(), cube.Dimensions(), *addr)
+	if err := http.ListenAndServe(*addr, server.New(cube, eng)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadCube(csvPath, measure string, gen int, seed int64) (*viewcube.Cube, error) {
+	if gen > 0 {
+		tbl, err := workload.SalesTable(rand.New(rand.NewSource(seed)), 50, 8, 60, gen)
+		if err != nil {
+			return nil, err
+		}
+		return viewcube.FromTable(tbl)
+	}
+	if csvPath == "" {
+		return nil, fmt.Errorf("cubed: need -csv <file> or -gen <rows>")
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return viewcube.Load(f, measure)
+}

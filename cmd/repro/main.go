@@ -1,0 +1,349 @@
+// Command repro regenerates every table and figure of Smith, Castelli,
+// Jhingran, Li, "Dynamic Assembly of Views in Data Cubes" (PODS 1998).
+//
+// Usage:
+//
+//	repro table1
+//	repro table2
+//	repro fig8  [-shape 16,16,16,16] [-trials 100] [-seed 1] [-model eq29|proc3]
+//	repro fig9  [-shape 4,4,4,4] [-trials 10] [-grid 15] [-seed 1]
+//	repro bases [-shape 4,4] [-seed 1]
+//	repro ranges [-shape 64,64,64] [-queries 200] [-seed 1]
+//	repro compress [-shape 64,64] [-densities 0.01,0.05,0.2] [-seed 1]
+//	repro skew  [-shape 8,8,8] [-skews 0,0.5,1,2] [-trials 20] [-seed 1]
+//	repro adapt [-shape 16,16,16] [-phases 6] [-queries 200] [-seed 1]
+//	repro lossy [-shape 64,64] [-thresholds 0,0.5,1,2,4] [-seed 1]
+//	repro cubecomp [-shape 16,16,16,16] [-seed 1]
+//	repro all   (paper-scale defaults for everything)
+//
+// See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"viewcube/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+	case "table2":
+		fmt.Print(experiments.FormatTable2(experiments.Table2()))
+	case "fig8":
+		err = runFig8(args)
+	case "fig9":
+		err = runFig9(args)
+	case "bases":
+		err = runBases(args)
+	case "ranges":
+		err = runRanges(args)
+	case "compress":
+		err = runCompress(args)
+	case "skew":
+		err = runSkew(args)
+	case "adapt":
+		err = runAdapt(args)
+	case "lossy":
+		err = runLossy(args)
+	case "cubecomp":
+		err = runCubeComp(args)
+	case "all":
+		err = runAll()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|fig8|fig9|bases|ranges|compress|skew|adapt|lossy|cubecomp|all> [flags]
+run "repro <cmd> -h" for per-command flags`)
+}
+
+func parseShape(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	shape := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad shape %q: %w", s, err)
+		}
+		shape[i] = n
+	}
+	return shape, nil
+}
+
+func runFig8(args []string) error {
+	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
+	shapeStr := fs.String("shape", "16,16,16,16", "cube shape (paper: 16,16,16,16)")
+	trials := fs.Int("trials", 100, "number of random-population trials (paper: 100)")
+	seed := fs.Int64("seed", 1, "random seed")
+	model := fs.String("model", "eq29", "cost model: eq29 or proc3")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	m := experiments.ModelEq29
+	if *model == "proc3" {
+		m = experiments.ModelProc3
+	} else if *model != "eq29" {
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	res, err := experiments.Fig8(shape, *trials, *seed, m)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig8(res))
+	return nil
+}
+
+func runFig9(args []string) error {
+	fs := flag.NewFlagSet("fig9", flag.ExitOnError)
+	shapeStr := fs.String("shape", "4,4,4,4", "cube shape (paper: 4,4,4,4)")
+	trials := fs.Int("trials", 10, "number of trials (paper: 10)")
+	grid := fs.Int("grid", 15, "storage grid steps")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Fig9(shape, *trials, *grid, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig9(res))
+	return nil
+}
+
+func runBases(args []string) error {
+	fs := flag.NewFlagSet("bases", flag.ExitOnError)
+	shapeStr := fs.String("shape", "4,4", "cube shape")
+	seed := fs.Int64("seed", 1, "random seed for the packet basis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Bases(shape, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatBases(shape, rows))
+	return nil
+}
+
+func runRanges(args []string) error {
+	fs := flag.NewFlagSet("ranges", flag.ExitOnError)
+	shapeStr := fs.String("shape", "64,64,64", "cube shape")
+	queries := fs.Int("queries", 200, "random range queries")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Ranges(shape, *queries, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatRanges(res))
+	return nil
+}
+
+func runAll() error {
+	fmt.Print(experiments.FormatTable1(experiments.Table1()))
+	fmt.Println()
+	fmt.Print(experiments.FormatTable2(experiments.Table2()))
+	fmt.Println()
+	if err := runFig8(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig9(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runBases(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runRanges(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runCompress(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runSkew(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runAdapt(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runLossy(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runCubeComp(nil)
+}
+
+func runCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	shapeStr := fs.String("shape", "64,64", "cube shape")
+	densStr := fs.String("densities", "0.01,0.05,0.2,0.5", "comma-separated nonzero fractions")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	var densities []float64
+	for _, p := range strings.Split(*densStr, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("bad density %q: %w", p, err)
+		}
+		densities = append(densities, d)
+	}
+	res, err := experiments.Compress(shape, densities, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("uniform random sparsity:")
+	fmt.Print(experiments.FormatCompress(res))
+	clustered, err := experiments.CompressClustered(shape, densities, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nclustered (constant dyadic block; density column = block fraction):")
+	fmt.Print(experiments.FormatCompress(clustered))
+	return nil
+}
+
+func runSkew(args []string) error {
+	fs := flag.NewFlagSet("skew", flag.ExitOnError)
+	shapeStr := fs.String("shape", "8,8,8", "cube shape")
+	skewStr := fs.String("skews", "0,0.5,1,1.5,2,3", "comma-separated Zipf skews")
+	trials := fs.Int("trials", 20, "trials per skew point")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	var skews []float64
+	for _, p := range strings.Split(*skewStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("bad skew %q: %w", p, err)
+		}
+		skews = append(skews, v)
+	}
+	res, err := experiments.Skew(shape, skews, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSkew(res))
+	return nil
+}
+
+func runAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	shapeStr := fs.String("shape", "16,16,16", "cube shape")
+	phases := fs.Int("phases", 6, "workload phases")
+	queries := fs.Int("queries", 200, "queries per phase")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Adaptation(shape, *phases, *queries, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatAdaptation(res))
+	return nil
+}
+
+func runLossy(args []string) error {
+	fs := flag.NewFlagSet("lossy", flag.ExitOnError)
+	shapeStr := fs.String("shape", "64,64", "cube shape")
+	tolStr := fs.String("thresholds", "0,0.5,1,2,4", "comma-separated coefficient thresholds")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	var tols []float64
+	for _, p := range strings.Split(*tolStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("bad threshold %q: %w", p, err)
+		}
+		tols = append(tols, v)
+	}
+	rows, err := experiments.Lossy(shape, tols, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatLossy(shape, rows))
+	return nil
+}
+
+func runCubeComp(args []string) error {
+	fs := flag.NewFlagSet("cubecomp", flag.ExitOnError)
+	shapeStr := fs.String("shape", "16,16,16,16", "cube shape")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.CubeComputation(shape, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatCubeComputation(res))
+	return nil
+}

@@ -1,0 +1,83 @@
+package viewcube_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"viewcube"
+)
+
+func TestCubeCompressLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 64*64)
+	// Clustered: one constant 16×16 block plus a few scattered values.
+	for i := 8; i < 24; i++ {
+		for j := 32; j < 48; j++ {
+			data[i*64+j] = 9
+		}
+	}
+	for k := 0; k < 10; k++ {
+		data[rng.Intn(len(data))] = float64(1 + rng.Intn(5))
+	}
+	cube, err := viewcube.NewCubeFromData([]string{"x", "y"}, []int{64, 64}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cube.Compress(viewcube.CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 0
+	for _, v := range data {
+		if v != 0 {
+			raw++
+		}
+	}
+	if comp.StoredValues() >= raw {
+		t.Fatalf("compressed %d values, raw nonzeros %d — expected compression", comp.StoredValues(), raw)
+	}
+	if comp.Elements() == 0 {
+		t.Fatal("no basis elements reported")
+	}
+	back, err := comp.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != cube.Total() {
+		t.Fatalf("decompressed total %g, want %g", back.Total(), cube.Total())
+	}
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if got, want := back.At(i, j), cube.At(i, j); got < want-1e-9 || got > want+1e-9 {
+				t.Fatalf("cell (%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	if dims := back.Dimensions(); dims[0] != "x" || dims[1] != "y" {
+		t.Fatalf("dimension names lost: %v", dims)
+	}
+}
+
+func TestCubeCompressEntropy(t *testing.T) {
+	cube, err := viewcube.NewCube([]string{"x"}, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		cube.Set(4, i) // constant: entropy basis should collapse it
+	}
+	comp, err := cube.Compress(viewcube.CompressOptions{Entropy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.StoredValues() != 1 {
+		t.Fatalf("constant cube stored %d coefficients, want 1", comp.StoredValues())
+	}
+	back, err := comp.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(7) != 4 {
+		t.Fatalf("reconstruction wrong: %g", back.At(7))
+	}
+}

@@ -1,0 +1,376 @@
+package viewcube
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"viewcube/internal/adaptive"
+	"viewcube/internal/assembly"
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+	"viewcube/internal/rangeagg"
+	"viewcube/internal/store"
+)
+
+// Workload is an anticipated query population: aggregated views (or any
+// view elements) with relative access frequencies. Frequencies are
+// normalised when the workload is applied.
+type Workload struct {
+	cube    *Cube
+	entries []workloadEntry
+}
+
+type workloadEntry struct {
+	rect freq.Rect
+	freq float64
+}
+
+// NewWorkload returns an empty workload for this cube.
+func (c *Cube) NewWorkload() *Workload { return &Workload{cube: c} }
+
+// Add records an element with a relative access frequency.
+func (w *Workload) Add(e Element, frequency float64) error {
+	if !w.cube.Valid(e) {
+		return fmt.Errorf("viewcube: invalid element %v", e)
+	}
+	if frequency <= 0 {
+		return fmt.Errorf("viewcube: frequency must be positive, got %g", frequency)
+	}
+	w.entries = append(w.entries, workloadEntry{rect: e.rect.Clone(), freq: frequency})
+	return nil
+}
+
+// AddViewKeeping is a convenience: Add(ViewKeeping(keep...), frequency).
+func (w *Workload) AddViewKeeping(frequency float64, keep ...string) error {
+	e, err := w.cube.ViewKeeping(keep...)
+	if err != nil {
+		return err
+	}
+	return w.Add(e, frequency)
+}
+
+// Len returns the number of workload entries.
+func (w *Workload) Len() int { return len(w.entries) }
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// StorageBudget is the Algorithm 2 target storage in cells. 0 (or any
+	// value not exceeding the cube volume) keeps only the non-redundant
+	// Algorithm 1 basis.
+	StorageBudget int
+	// ReselectEvery triggers automatic re-selection after this many
+	// queries; 0 means adaptation happens only via Optimize/Reconfigure.
+	ReselectEvery int
+	// Decay in (0,1] ages observed frequencies at each reconfiguration so
+	// the engine tracks drifting workloads; 0 defaults to 1 (no decay).
+	Decay float64
+	// DiskDir, when non-empty, stores materialised elements in that
+	// directory instead of in memory.
+	DiskDir string
+	// CacheCells bounds the disk store's in-memory LRU cache (cells);
+	// ignored for in-memory stores. 0 defaults to one cube volume.
+	CacheCells int
+}
+
+// Engine answers queries against a cube by dynamically assembling views
+// from its materialised view element set, and adapts that set to the
+// workload. Engines are not safe for concurrent use.
+type Engine struct {
+	cube  *Cube
+	st    assembly.Store
+	inner *adaptive.Engine
+	rq    *rangeagg.Querier
+}
+
+// Stats re-exports the adaptive engine's counters.
+type Stats = adaptive.Stats
+
+// NewEngine attaches an engine to the cube. Initially the cube itself is
+// the only materialised element; call Optimize (or let automatic
+// re-selection run) to specialise the materialised set.
+func (c *Cube) NewEngine(opts EngineOptions) (*Engine, error) {
+	var st assembly.Store
+	if opts.DiskDir != "" {
+		budget := opts.CacheCells
+		if budget == 0 {
+			budget = c.Volume()
+		}
+		fs, err := store.Open(opts.DiskDir, budget)
+		if err != nil {
+			return nil, err
+		}
+		st = fs
+	} else {
+		st = assembly.NewMemStore()
+	}
+	if len(st.Elements()) == 0 {
+		if err := st.Put(c.space.Root(), c.data.Clone()); err != nil {
+			return nil, fmt.Errorf("viewcube: storing the cube: %w", err)
+		}
+	}
+	inner, err := adaptive.New(c.space, st, adaptive.Options{
+		ReselectEvery: opts.ReselectEvery,
+		StorageBudget: opts.StorageBudget,
+		Decay:         opts.Decay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cube: c, st: st, inner: inner}
+	e.rq = rangeagg.NewQuerier(c.space, engineElementSource{e})
+	return e, nil
+}
+
+// engineElementSource feeds the range querier with assembled elements,
+// recording their accesses so adaptation sees range workloads too.
+type engineElementSource struct{ e *Engine }
+
+func (s engineElementSource) Element(r freq.Rect) (*ndarray.Array, error) {
+	return s.e.inner.Query(r)
+}
+
+// Optimize selects and materialises the best element set for an
+// anticipated workload: Algorithm 1 for the non-redundant basis, then
+// Algorithm 2 up to the storage budget. Observed query history is also
+// taken into account.
+func (e *Engine) Optimize(w *Workload) error {
+	if w != nil {
+		for _, ent := range w.entries {
+			e.inner.Observe(ent.rect, ent.freq)
+		}
+	}
+	_, err := e.inner.Reconfigure()
+	return err
+}
+
+// Reconfigure re-selects the materialised set from the observed query
+// frequencies, reporting whether anything changed.
+func (e *Engine) Reconfigure() (bool, error) { return e.inner.Reconfigure() }
+
+// View answers a view-element query, assembling it from the materialised
+// set.
+func (e *Engine) View(el Element) (*View, error) {
+	if !e.cube.Valid(el) {
+		return nil, fmt.Errorf("viewcube: invalid element %v", el)
+	}
+	arr, err := e.inner.Query(el.rect)
+	if err != nil {
+		return nil, err
+	}
+	return newView(e.cube, el, arr)
+}
+
+// GroupBy answers the aggregated view that keeps the named dimensions and
+// SUM-aggregates all others.
+func (e *Engine) GroupBy(keep ...string) (*View, error) {
+	el, err := e.cube.ViewKeeping(keep...)
+	if err != nil {
+		return nil, err
+	}
+	return e.View(el)
+}
+
+// Total returns the grand total via the engine (exercising assembly rather
+// than scanning the cube).
+func (e *Engine) Total() (float64, error) {
+	v, err := e.View(e.cube.GrandTotal())
+	if err != nil {
+		return 0, err
+	}
+	return v.Value()
+}
+
+// ValueRange selects an inclusive range of a dictionary-encoded dimension
+// by value. Empty Lo means "from the first value"; empty Hi means "to the
+// last value". Dictionary codes are assigned in sorted value order, so a
+// value range is always a contiguous coordinate range.
+type ValueRange struct {
+	Lo, Hi string
+}
+
+// RangeSum computes the SUM of the measure over the box selected by the
+// per-dimension value ranges (unnamed dimensions are unrestricted),
+// answered through intermediate view elements (§6 of the paper).
+func (e *Engine) RangeSum(ranges map[string]ValueRange) (float64, error) {
+	if e.cube.enc == nil {
+		return 0, fmt.Errorf("viewcube: RangeSum by value needs a dictionary-encoded cube; use RangeSumIndex")
+	}
+	shape := e.cube.Shape()
+	lo := make([]int, len(shape))
+	ext := make([]int, len(shape))
+	for m := range shape {
+		// Default: the real (non-padding) domain of the dimension.
+		ext[m] = e.cube.enc.Dicts[m].Len()
+		if ext[m] == 0 {
+			ext[m] = 1
+		}
+	}
+	for name, vr := range ranges {
+		m, err := e.cube.DimIndex(name)
+		if err != nil {
+			return 0, err
+		}
+		loCode, extCode, err := e.resolveRange(m, vr)
+		if err != nil {
+			return 0, err
+		}
+		lo[m], ext[m] = loCode, extCode
+	}
+	return e.RangeSumIndex(lo, ext)
+}
+
+// RangeSumIndex computes the SUM over the half-open coordinate box
+// [lo, lo+ext).
+func (e *Engine) RangeSumIndex(lo, ext []int) (float64, error) {
+	return e.rq.RangeSum(rangeagg.Box{Lo: lo, Ext: ext})
+}
+
+// GroupByWhere answers the OLAP "dice" query: SUM grouped by the kept
+// dimensions, restricted to contiguous value ranges on the remaining
+// dimensions (unnamed filtered dimensions are unrestricted). It is answered
+// through intermediate view elements, reading O(groups · Π log n) cells
+// instead of scanning the filtered region. Kept dimensions cannot also be
+// filtered.
+func (e *Engine) GroupByWhere(keep []string, ranges map[string]ValueRange) (*View, error) {
+	if e.cube.enc == nil {
+		return nil, fmt.Errorf("viewcube: GroupByWhere needs a dictionary-encoded cube")
+	}
+	shape := e.cube.Shape()
+	keepMask := make([]bool, len(shape))
+	for _, name := range keep {
+		m, err := e.cube.DimIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, filtered := ranges[name]; filtered {
+			return nil, fmt.Errorf("viewcube: dimension %q cannot be both kept and filtered", name)
+		}
+		keepMask[m] = true
+	}
+	lo := make([]int, len(shape))
+	ext := make([]int, len(shape))
+	for m := range shape {
+		if keepMask[m] {
+			ext[m] = shape[m] // kept dimensions must be unfiltered and full
+			continue
+		}
+		// Default: the real (non-padding) domain.
+		ext[m] = e.cube.enc.Dicts[m].Len()
+		if ext[m] == 0 {
+			ext[m] = 1
+		}
+	}
+	for name, vr := range ranges {
+		m, err := e.cube.DimIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		loCode, extCode, err := e.resolveRange(m, vr)
+		if err != nil {
+			return nil, err
+		}
+		lo[m], ext[m] = loCode, extCode
+	}
+	arr, err := e.rq.GroupedRangeSum(rangeagg.Box{Lo: lo, Ext: ext}, keepMask)
+	if err != nil {
+		return nil, err
+	}
+	el, err := e.cube.ViewKeeping(keep...)
+	if err != nil {
+		return nil, err
+	}
+	return newView(e.cube, el, arr)
+}
+
+// resolveRange maps a ValueRange on dimension m to a coordinate interval.
+func (e *Engine) resolveRange(m int, vr ValueRange) (lo, ext int, err error) {
+	dict := e.cube.enc.Dicts[m]
+	loCode := 0
+	hiCode := dict.Len() - 1
+	if vr.Lo != "" {
+		c, ok := dict.Code(vr.Lo)
+		if !ok {
+			return 0, 0, fmt.Errorf("viewcube: value %q not in dimension %q", vr.Lo, e.cube.dims[m])
+		}
+		loCode = c
+	}
+	if vr.Hi != "" {
+		c, ok := dict.Code(vr.Hi)
+		if !ok {
+			return 0, 0, fmt.Errorf("viewcube: value %q not in dimension %q", vr.Hi, e.cube.dims[m])
+		}
+		hiCode = c
+	}
+	if hiCode < loCode {
+		return 0, 0, fmt.Errorf("viewcube: empty range on dimension %q", e.cube.dims[m])
+	}
+	return loCode, hiCode - loCode + 1, nil
+}
+
+// Update applies a delta to one cube cell and incrementally maintains every
+// materialised element (each stored element changes in exactly one cell, by
+// ±delta — O(elements · rank), independent of element volumes). Cached
+// range-query elements are invalidated.
+func (e *Engine) Update(delta float64, idx ...int) error {
+	if err := assembly.UpdateCell(e.cube.space, e.st, delta, idx); err != nil {
+		return err
+	}
+	e.cube.data.Add(delta, idx...)
+	e.rq.Reset()
+	return nil
+}
+
+// UpdateValue is Update addressed by dimension values on an encoded cube:
+// the tuple's cell is located through the dictionaries, then maintained
+// incrementally.
+func (e *Engine) UpdateValue(delta float64, values map[string]string) error {
+	if e.cube.enc == nil {
+		return fmt.Errorf("viewcube: UpdateValue needs a dictionary-encoded cube; use Update")
+	}
+	if len(values) != len(e.cube.dims) {
+		return fmt.Errorf("viewcube: need a value for each of the %d dimensions", len(e.cube.dims))
+	}
+	idx := make([]int, len(e.cube.dims))
+	for name, val := range values {
+		m, err := e.cube.DimIndex(name)
+		if err != nil {
+			return err
+		}
+		code, ok := e.cube.enc.Dicts[m].Code(val)
+		if !ok {
+			return fmt.Errorf("viewcube: value %q not in dimension %q", val, name)
+		}
+		idx[m] = code
+	}
+	return e.Update(delta, idx...)
+}
+
+// SaveState writes the engine's observed workload profile (access counts
+// per element) as JSON, so a restarted engine can resume adaptation warm.
+// Materialised elements themselves persist via a DiskDir store; SaveState
+// covers only the frequency statistics.
+func (e *Engine) SaveState(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.inner.State())
+}
+
+// LoadState merges a previously saved workload profile into the engine.
+func (e *Engine) LoadState(r io.Reader) error {
+	var state map[string]float64
+	if err := json.NewDecoder(r).Decode(&state); err != nil {
+		return fmt.Errorf("viewcube: decoding engine state: %w", err)
+	}
+	return e.inner.RestoreState(state)
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats { return e.inner.Stats() }
+
+// MaterializedElements returns how many view elements are currently
+// materialised.
+func (e *Engine) MaterializedElements() int { return len(e.st.Elements()) }
+
+// StorageCells returns the current materialised volume in cells.
+func (e *Engine) StorageCells() int { return e.cube.space.SetVolume(e.st.Elements()) }

@@ -1,0 +1,91 @@
+// Adaptive: demonstrates the "dynamic" part of the paper — the engine
+// observes access frequencies online and reconfigures its materialised view
+// element set when the workload shifts, without ever touching the base
+// relation again (new elements are assembled from the old ones).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"viewcube"
+	"viewcube/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	tbl, err := workload.SalesTable(rng, 60, 8, 30, 20_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{
+		ReselectEvery: 50,  // adapt every 50 queries
+		Decay:         0.2, // forget old workloads quickly
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cube %v; adaptation every 50 queries, decay 0.2\n\n", cube.Shape())
+
+	phase := func(name string, keeps [][]string) {
+		start := eng.Stats().ModelOps
+		startQ := eng.Stats().Queries
+		for i := 0; i < 150; i++ {
+			keep := keeps[i%len(keeps)]
+			if _, err := eng.GroupBy(keep...); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := eng.Stats()
+		fmt.Printf("%-28s %6d queries, avg %8.1f ops/query, %2d reconfigs so far, %2d elements stored\n",
+			name,
+			st.Queries-startQ,
+			float64(st.ModelOps-start)/150,
+			st.Reconfigs,
+			st.CurrentElements)
+	}
+
+	// Phase 1: product-centric analysis.
+	phase("phase 1 (product views):", [][]string{
+		{"product"}, {"product", "region"},
+	})
+	// Phase 2: the workload shifts to time-centric analysis.
+	phase("phase 2 (time views):", [][]string{
+		{"day"}, {"region", "day"},
+	})
+	// Phase 3: back to products.
+	phase("phase 3 (product views):", [][]string{
+		{"product"}, {"product", "region"},
+	})
+
+	st := eng.Stats()
+	fmt.Printf("\ntotals: %d queries, %d reconfigurations, %d elements migrated, %d dropped\n",
+		st.Queries, st.Reconfigs, st.Migrated, st.Dropped)
+	fmt.Printf("storage stayed at %d cells — the non-redundant basis never expands the cube\n",
+		st.StorageCells)
+
+	// Sanity: answers remain exact after all migrations.
+	v, err := eng.GroupBy("product")
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := v.Groups()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := tbl.GroupBy([]int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, wv := range want {
+		if dv := groups[k] - wv; dv > 1e-6 || dv < -1e-6 {
+			log.Fatalf("group %q drifted: %g vs %g", k, groups[k], wv)
+		}
+	}
+	fmt.Println("verified: all product groups still exact after three workload shifts")
+}

@@ -1,0 +1,76 @@
+package viewcube
+
+import (
+	"fmt"
+	"strings"
+
+	"viewcube/internal/assembly"
+	"viewcube/internal/freq"
+)
+
+// Explain returns the engine's current execution plan for a view element as
+// a human-readable tree, without executing it: which stored elements it
+// reads, what it aggregates down, what it synthesises, and the modelled
+// add/subtract cost of every step. The plan reflects the materialised set
+// at call time; after Optimize or adaptation it may change.
+func (e *Engine) Explain(el Element) (string, error) {
+	if !e.cube.Valid(el) {
+		return "", fmt.Errorf("viewcube: invalid element %v", el)
+	}
+	// Plan through the assembly engine directly so explaining a query does
+	// not count as an access for adaptation.
+	plan, err := assembly.NewEngine(e.cube.space, e.st).Plan(el.rect)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for %s (total cost %d ops)\n", el, assembly.PlanCost(plan))
+	renderPlan(&b, e.cube, plan, 0)
+	return b.String(), nil
+}
+
+// ExplainGroupBy is Explain for the view that keeps the named dimensions.
+func (e *Engine) ExplainGroupBy(keep ...string) (string, error) {
+	el, err := e.cube.ViewKeeping(keep...)
+	if err != nil {
+		return "", err
+	}
+	return e.Explain(el)
+}
+
+func renderPlan(b *strings.Builder, c *Cube, p *assembly.Plan, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch p.Kind {
+	case assembly.PlanStored:
+		fmt.Fprintf(b, "%sread stored %s\n", indent, describeRect(c, p.Rect))
+	case assembly.PlanAggregate:
+		fmt.Fprintf(b, "%saggregate %s from stored %s (%d ops)\n",
+			indent, describeRect(c, p.Rect), describeRect(c, p.Source), p.Ops)
+	case assembly.PlanSynthesize:
+		fmt.Fprintf(b, "%ssynthesize %s on dimension %q (%d ops total)\n",
+			indent, describeRect(c, p.Rect), c.dims[p.Dim], p.Ops)
+		renderPlan(b, c, p.Partial, depth+1)
+		renderPlan(b, c, p.Residual, depth+1)
+	default:
+		fmt.Fprintf(b, "%sunknown step\n", indent)
+	}
+}
+
+// describeRect renders an element compactly, using aggregated-view
+// shorthand with dimension names where possible.
+func describeRect(c *Cube, r freq.Rect) string {
+	el := Element{rect: r}
+	if c.IsAggregatedView(el) {
+		kept, err := c.KeptDims(el)
+		if err == nil {
+			if len(kept) == len(c.dims) {
+				return "cube"
+			}
+			if len(kept) == 0 {
+				return "grand-total"
+			}
+			return "view{" + strings.Join(kept, ",") + "}"
+		}
+	}
+	return r.String()
+}

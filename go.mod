@@ -1,0 +1,3 @@
+module viewcube
+
+go 1.22

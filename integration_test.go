@@ -1,0 +1,128 @@
+package viewcube_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"viewcube"
+	"viewcube/internal/workload"
+)
+
+// TestEndToEndLifecycle drives the full system the way a deployment would:
+// generate a fact table, build the cube, optimise for a workload with a
+// disk-backed store, query, update, restart on the same directory, and
+// verify every answer against relational ground truth throughout.
+func TestEndToEndLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	raw, err := workload.SalesTable(rng, 24, 4, 16, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+
+	groundTruth := func(dim int) map[string]float64 {
+		g, err := raw.GroupBy([]int{dim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	checkGroups := func(eng *viewcube.Engine, keep string, dim int) {
+		t.Helper()
+		v, err := eng.GroupBy(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups, err := v.Groups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, want := range groundTruth(dim) {
+			if math.Abs(groups[k]-want) > 1e-6 {
+				t.Fatalf("group %q = %g, want %g", k, groups[k], want)
+			}
+		}
+	}
+
+	// Phase 1: fresh engine, optimise, query.
+	eng, err := cube.NewEngine(viewcube.EngineOptions{
+		DiskDir:       dir,
+		StorageBudget: 2 * cube.Volume(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cube.NewWorkload()
+	if err := w.AddViewKeeping(0.6, "product"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddViewKeeping(0.4, "region"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Optimize(w); err != nil {
+		t.Fatal(err)
+	}
+	checkGroups(eng, "product", 0)
+	checkGroups(eng, "region", 1)
+	elementsAfterOptimize := eng.MaterializedElements()
+	if elementsAfterOptimize < 2 {
+		t.Fatalf("expected several materialised elements, got %d", elementsAfterOptimize)
+	}
+
+	// Phase 2: an incremental insert.
+	if err := eng.UpdateValue(11, map[string]string{
+		"product": "product-000", "region": "region-00", "day": "day-000",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Append([]string{"product-000", "region-00", "day-000"}, 11); err != nil {
+		t.Fatal(err)
+	}
+	checkGroups(eng, "product", 0)
+	checkGroups(eng, "day", 2)
+
+	// Phase 3: restart on the same directory — the materialised set (with
+	// the update durably applied) must be picked up as-is.
+	eng2, err := cube.NewEngine(viewcube.EngineOptions{DiskDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.MaterializedElements() != elementsAfterOptimize {
+		t.Fatalf("restart found %d elements, want %d", eng2.MaterializedElements(), elementsAfterOptimize)
+	}
+	checkGroups(eng2, "product", 0)
+	checkGroups(eng2, "region", 1)
+	total, err := eng2.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := raw.GroupBy(nil)
+	if math.Abs(total-want[""]) > 1e-6 {
+		t.Fatalf("restarted total %g, want %g", total, want[""])
+	}
+
+	// Phase 4: range queries against the restarted engine agree with a
+	// brute-force relational filter.
+	sum, err := eng2.RangeSum(map[string]viewcube.ValueRange{
+		"day": {Lo: "day-004", Hi: "day-011"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := 0.0
+	for i := 0; i < raw.Len(); i++ {
+		row := raw.Row(i)
+		if row.Values[2] >= "day-004" && row.Values[2] <= "day-011" {
+			brute += row.Measure
+		}
+	}
+	if math.Abs(sum-brute) > 1e-6 {
+		t.Fatalf("range sum %g, want %g", sum, brute)
+	}
+}

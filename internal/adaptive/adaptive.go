@@ -1,0 +1,295 @@
+// Package adaptive implements the "dynamic" part of the paper's title: "the
+// frequencies of access can be observed on-line, allowing the system to
+// dynamically reconfigure" (§5). An adaptive Engine serves view-element
+// queries from its materialised set, records the observed access
+// frequencies, and periodically re-runs the selection algorithms to migrate
+// the materialised set toward the optimum for the observed workload.
+//
+// Migration never touches the original relation or cube: every newly
+// selected element is assembled from the currently materialised set (which
+// is always kept a basis of the cube), then obsolete elements are dropped.
+package adaptive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"viewcube/internal/assembly"
+	"viewcube/internal/core"
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+	"viewcube/internal/velement"
+)
+
+// Options tunes the adaptive engine.
+type Options struct {
+	// ReselectEvery triggers an automatic Reconfigure after this many
+	// queries; 0 disables automatic reconfiguration (call Reconfigure
+	// manually).
+	ReselectEvery int
+	// StorageBudget is the Algorithm 2 target storage in cells. If it is 0
+	// or no larger than the cube volume, only the non-redundant Algorithm 1
+	// basis is kept.
+	StorageBudget int
+	// Decay in (0, 1] multiplies all observed counts after each
+	// reconfiguration, so the engine tracks drifting workloads; 1 keeps
+	// full history.
+	Decay float64
+}
+
+// Stats reports the engine's behaviour for observability.
+type Stats struct {
+	Queries         int     // queries served
+	ModelOps        int64   // summed modelled add/subtract operations
+	Reconfigs       int     // reconfigurations performed
+	Migrated        int     // elements newly materialised across reconfigs
+	Dropped         int     // elements dropped across reconfigs
+	StorageCells    int     // current materialised volume
+	LastPlanCost    int     // modelled cost of the most recent query
+	CurrentElements int     // current materialised element count
+	LastTotalCost   float64 // Procedure 3 population cost after last reconfig
+}
+
+// Engine is an adaptive view-element engine. It is not safe for concurrent
+// use.
+type Engine struct {
+	space *velement.Space
+	store assembly.Store
+	inner *assembly.Engine
+	opts  Options
+
+	counts        map[freq.Key]float64
+	stats         Stats
+	sinceReconfig int
+}
+
+// New returns an adaptive engine over an existing store. The store must
+// already hold a set that is complete with respect to the cube (e.g. the
+// cube itself, or any materialised basis).
+func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error) {
+	if opts.Decay <= 0 || opts.Decay > 1 {
+		opts.Decay = 1
+	}
+	els := st.Elements()
+	if !freq.Complete(els, space.Root(), space.MaxDepths()) {
+		return nil, fmt.Errorf("adaptive: store content is not a basis of the cube")
+	}
+	e := &Engine{
+		space:  space,
+		store:  st,
+		inner:  assembly.NewEngine(space, st),
+		opts:   opts,
+		counts: make(map[freq.Key]float64),
+	}
+	e.stats.StorageCells = space.SetVolume(els)
+	e.stats.CurrentElements = len(els)
+	return e, nil
+}
+
+// Query answers a view-element query, records the access, and triggers an
+// automatic reconfiguration when due.
+func (e *Engine) Query(r freq.Rect) (*ndarray.Array, error) {
+	plan, err := e.inner.Plan(r)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.inner.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	e.counts[r.Key()]++
+	e.stats.Queries++
+	e.stats.LastPlanCost = assembly.PlanCost(plan)
+	e.stats.ModelOps += int64(assembly.PlanCost(plan))
+	e.sinceReconfig++
+	if e.opts.ReselectEvery > 0 && e.sinceReconfig >= e.opts.ReselectEvery {
+		if _, err := e.Reconfigure(); err != nil {
+			return nil, fmt.Errorf("adaptive: automatic reconfiguration: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// State exports the observed access counts keyed by a stable textual
+// element id (per-dimension node indices joined by '-'), suitable for JSON
+// persistence; RestoreState imports them. Together they let an engine
+// restart with a warm workload profile.
+func (e *Engine) State() map[string]float64 {
+	out := make(map[string]float64, len(e.counts))
+	for k, c := range e.counts {
+		out[encodeRect(k.Rect())] = c
+	}
+	return out
+}
+
+// RestoreState merges previously exported counts into the engine,
+// rejecting ids that do not name elements of this cube.
+func (e *Engine) RestoreState(state map[string]float64) error {
+	for id, c := range state {
+		r, err := decodeRect(id)
+		if err != nil {
+			return err
+		}
+		if !e.space.Valid(r) {
+			return fmt.Errorf("adaptive: state id %q is not an element of this cube", id)
+		}
+		if c > 0 {
+			e.counts[r.Key()] += c
+		}
+	}
+	return nil
+}
+
+func encodeRect(r freq.Rect) string {
+	parts := make([]string, len(r))
+	for m, n := range r {
+		parts[m] = strconv.FormatUint(uint64(n), 10)
+	}
+	return strings.Join(parts, "-")
+}
+
+func decodeRect(id string) (freq.Rect, error) {
+	parts := strings.Split(id, "-")
+	r := make(freq.Rect, len(parts))
+	for m, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 32)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("adaptive: bad element id %q", id)
+		}
+		r[m] = freq.Node(n)
+	}
+	return r, nil
+}
+
+// Observe records weight accesses to an element without answering a query.
+// Callers with a-priori workload knowledge use it to seed the frequencies
+// before an explicit Reconfigure (the paper's "database administrator
+// anticipates the relative frequency" mode of §5).
+func (e *Engine) Observe(r freq.Rect, weight float64) {
+	if weight > 0 {
+		e.counts[r.Key()] += weight
+	}
+}
+
+// ObservedQueries converts the recorded access counts into a normalised
+// query population.
+func (e *Engine) ObservedQueries() []core.Query {
+	queries := make([]core.Query, 0, len(e.counts))
+	for k, c := range e.counts {
+		queries = append(queries, core.Query{Rect: k.Rect(), Freq: c})
+	}
+	core.NormalizeFrequencies(queries)
+	return queries
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Elements returns the currently materialised set.
+func (e *Engine) Elements() []freq.Rect { return e.store.Elements() }
+
+// greedyCandidates returns the Algorithm 2 candidate pool for online
+// reconfiguration: the observed query elements plus all 2^d aggregated
+// views. Enumerating the whole element graph (N_ve candidates, each probed
+// with a full Procedure 3 evaluation) is tractable only for tiny cubes; the
+// queried elements and whole views are where redundant storage pays off, so
+// the restriction keeps reconfiguration interactive without changing what
+// greedy would pick in practice.
+func (e *Engine) greedyCandidates(queries []core.Query) []freq.Rect {
+	seen := make(map[freq.Key]bool)
+	var out []freq.Rect
+	add := func(r freq.Rect) {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	for _, q := range queries {
+		add(q.Rect)
+	}
+	for _, v := range e.space.AggregatedViews() {
+		add(v)
+	}
+	return out
+}
+
+// Reconfigure re-selects the materialised set for the observed frequencies:
+// Algorithm 1 for the basis, then Algorithm 2 up to the storage budget. New
+// elements are assembled from the current set before anything is dropped,
+// so the store is never left unable to answer. It reports whether the
+// materialised set changed.
+func (e *Engine) Reconfigure() (bool, error) {
+	e.sinceReconfig = 0
+	queries := e.ObservedQueries()
+	if len(queries) == 0 {
+		return false, nil
+	}
+	res, err := core.SelectBasis(e.space, queries)
+	if err != nil {
+		return false, err
+	}
+	target := res.Basis
+	if e.opts.StorageBudget > e.space.SetVolume(target) {
+		greedy, err := core.GreedyRedundantPruned(e.space, target, e.greedyCandidates(queries), queries, e.opts.StorageBudget)
+		if err != nil {
+			return false, err
+		}
+		target = greedy.Final
+		e.stats.LastTotalCost = greedy.InitialCost
+		if n := len(greedy.Steps); n > 0 {
+			e.stats.LastTotalCost = greedy.Steps[n-1].Cost
+		}
+	} else {
+		e.stats.LastTotalCost = core.TotalProcessingCost(e.space, target, queries)
+	}
+
+	current := e.store.Elements()
+	have := make(map[freq.Key]bool, len(current))
+	for _, r := range current {
+		have[r.Key()] = true
+	}
+	want := make(map[freq.Key]bool, len(target))
+	for _, r := range target {
+		want[r.Key()] = true
+	}
+
+	changed := false
+	// Phase 1: materialise every missing element from the current set.
+	for _, r := range target {
+		if have[r.Key()] {
+			continue
+		}
+		a, err := e.inner.Answer(r)
+		if err != nil {
+			return changed, fmt.Errorf("adaptive: assembling %v for migration: %w", r, err)
+		}
+		if err := e.store.Put(r, a); err != nil {
+			return changed, fmt.Errorf("adaptive: storing %v: %w", r, err)
+		}
+		e.stats.Migrated++
+		changed = true
+	}
+	// Phase 2: drop elements no longer selected.
+	for _, r := range current {
+		if want[r.Key()] {
+			continue
+		}
+		if err := e.store.Delete(r); err != nil {
+			return changed, fmt.Errorf("adaptive: dropping %v: %w", r, err)
+		}
+		e.stats.Dropped++
+		changed = true
+	}
+	if changed {
+		e.stats.Reconfigs++
+	}
+	els := e.store.Elements()
+	e.stats.StorageCells = e.space.SetVolume(els)
+	e.stats.CurrentElements = len(els)
+	for k := range e.counts {
+		e.counts[k] *= e.opts.Decay
+	}
+	return changed, nil
+}

@@ -1,0 +1,95 @@
+package assembly
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+	"viewcube/internal/velement"
+)
+
+// MaterializeParallel materialises a set of view elements from the cube
+// using a pool of workers. Each worker runs its own Materializer over the
+// shared read-only cube (so cascade prefixes are shared within a worker but
+// not across workers — the classic parallelism/work trade-off, measured by
+// BenchmarkAblationParallelMaterialize); the single writer goroutine is the
+// only one touching the store, so any Store implementation works.
+// workers ≤ 1 falls back to the serial path.
+func MaterializeParallel(space *velement.Space, cube *ndarray.Array, set []freq.Rect, store Store, workers int) error {
+	if workers <= 1 || len(set) <= 1 {
+		mat, err := NewMaterializer(space, cube)
+		if err != nil {
+			return err
+		}
+		return mat.Materialize(set, store)
+	}
+	if workers > len(set) {
+		workers = len(set)
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	for _, r := range set {
+		if !space.Valid(r) {
+			return fmt.Errorf("assembly: %v is not a view element of the space", r)
+		}
+	}
+
+	type produced struct {
+		rect freq.Rect
+		arr  *ndarray.Array
+		err  error
+	}
+	jobs := make(chan freq.Rect)
+	results := make(chan produced, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mat, err := NewMaterializer(space, cube)
+			if err != nil {
+				results <- produced{err: err}
+				for range jobs {
+					// Drain so the feeder never blocks.
+				}
+				return
+			}
+			for r := range jobs {
+				a, err := mat.Element(r)
+				if err != nil {
+					results <- produced{err: err}
+					continue
+				}
+				results <- produced{rect: r, arr: a.Clone()}
+			}
+		}()
+	}
+	go func() {
+		for _, r := range set {
+			jobs <- r.Clone()
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	for p := range results {
+		if p.err != nil {
+			if firstErr == nil {
+				firstErr = p.err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain remaining results
+		}
+		if err := store.Put(p.rect, p.arr); err != nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/velement"
+)
+
+// This file implements Algorithm 1: minimum-cost non-redundant basis
+// selection. The algorithm is a dynamic program over the recursive
+// frequency-plane split: for every view element V,
+//
+//	D(V) = min( C(V), min_m [ D(P₁ᵐ(V)) + D(R₁ᵐ(V)) ] )
+//
+// where C(V) is the element's support cost (Eq. 29) and m ranges over the
+// dimensions on which V can still be decomposed. The optimal basis is
+// extracted by replaying the argmin choices from the root (Procedure 2).
+// Memoisation is over the mixed-radix linearisation of the element graph,
+// so each of the N_ve elements is costed exactly once — O((d+1)·N_ve)
+// comparisons, as the paper states.
+
+// stopChoice marks an element at which the DP terminates (the element
+// itself joins the basis); unvisited marks a memo slot not yet computed.
+const (
+	stopChoice int8 = -1
+	unvisited  int8 = -2
+)
+
+// BasisResult is the outcome of Algorithm 1.
+type BasisResult struct {
+	Basis []freq.Rect // the selected complete, non-redundant basis
+	Cost  float64     // its total processing cost Σ_n C_n (the DP optimum)
+}
+
+// maxFlatMemo bounds the flat-array memo size; larger graphs fall back to
+// map-based memoisation. 64M float64 + int8 entries ≈ 576 MB, comfortably
+// beyond every cube in the paper (Table 1 maxes at 5,764,801 elements).
+const maxFlatMemo = 64 << 20
+
+// SelectBasis runs Algorithm 1 and returns the optimal non-redundant view
+// element basis for the query population together with its cost.
+func SelectBasis(s *velement.Space, queries []Query) (BasisResult, error) {
+	if err := ValidateQueries(s, queries); err != nil {
+		return BasisResult{}, err
+	}
+	sel := newSelector(s, queries)
+	cost := sel.solve(s.Root())
+	basis := s.ExtractBasis(func(r freq.Rect) int { return sel.choice(r) })
+	return BasisResult{Basis: basis, Cost: cost}, nil
+}
+
+// selector carries the DP state. It memoises D(V) and the argmin choice per
+// element, in flat arrays when the graph fits and in maps otherwise.
+type selector struct {
+	s       *velement.Space
+	queries []Query
+
+	flat       bool
+	flatCost   []float64
+	flatChoice []int8
+	mapCost    map[freq.Key]float64
+	mapChoice  map[freq.Key]int8
+}
+
+func newSelector(s *velement.Space, queries []Query) *selector {
+	sel := &selector{s: s, queries: queries}
+	if n := s.NumElements(); n <= maxFlatMemo {
+		sel.flat = true
+		sel.flatCost = make([]float64, n)
+		sel.flatChoice = make([]int8, n)
+		for i := range sel.flatChoice {
+			sel.flatChoice[i] = unvisited
+		}
+	} else {
+		sel.mapCost = make(map[freq.Key]float64)
+		sel.mapChoice = make(map[freq.Key]int8)
+	}
+	return sel
+}
+
+func (sel *selector) load(r freq.Rect) (float64, int8, bool) {
+	if sel.flat {
+		i := sel.s.LinearIndex(r)
+		if sel.flatChoice[i] == unvisited {
+			return 0, 0, false
+		}
+		return sel.flatCost[i], sel.flatChoice[i], true
+	}
+	k := r.Key()
+	ch, ok := sel.mapChoice[k]
+	if !ok {
+		return 0, 0, false
+	}
+	return sel.mapCost[k], ch, true
+}
+
+func (sel *selector) store(r freq.Rect, cost float64, ch int8) {
+	if sel.flat {
+		i := sel.s.LinearIndex(r)
+		sel.flatCost[i] = cost
+		sel.flatChoice[i] = ch
+		return
+	}
+	k := r.Key()
+	sel.mapCost[k] = cost
+	sel.mapChoice[k] = ch
+}
+
+// solve computes D(r) with memoisation.
+func (sel *selector) solve(r freq.Rect) float64 {
+	if cost, _, ok := sel.load(r); ok {
+		return cost
+	}
+	best := elementSupportCostFast(sel.s, r, sel.queries)
+	choice := stopChoice
+	for m := 0; m < sel.s.Rank(); m++ {
+		p, res, ok := sel.s.Children(r, m)
+		if !ok {
+			continue
+		}
+		// Step 4 of Algorithm 1: stop as soon as the element's own support
+		// cost does not exceed the best split — but to find the global
+		// optimum we still compare against every dimension's split cost.
+		if t := sel.solve(p) + sel.solve(res); t < best {
+			best = t
+			choice = int8(m)
+		}
+	}
+	sel.store(r, best, choice)
+	return best
+}
+
+// choice returns the recorded argmin decision for extraction: the dimension
+// to split, or −1 to terminate (element joins the basis).
+func (sel *selector) choice(r freq.Rect) int {
+	_, ch, ok := sel.load(r)
+	if !ok {
+		// Extraction only walks elements the DP visited; reaching an
+		// unvisited element indicates a bug in the DP itself.
+		panic("core: basis extraction reached an element the DP never visited")
+	}
+	return int(ch)
+}
+
+// elementSupportCostFast is ElementSupportCost with the intersection test
+// inlined and no allocation: the hot inner loop of the DP visits every
+// element of the graph once per query.
+func elementSupportCostFast(s *velement.Space, r freq.Rect, queries []Query) float64 {
+	total := 0.0
+	volR := s.Volume(r)
+	for qi := range queries {
+		q := &queries[qi]
+		if q.Freq == 0 {
+			continue
+		}
+		// Intersection volume: per dimension the deeper of the two nodes if
+		// nested, else the rectangles are disjoint and the cost is zero.
+		vl := 1
+		disjoint := false
+		for m, a := range r {
+			b := q.Rect[m]
+			deeper, ok := freq.Nested(a, b)
+			if !ok {
+				disjoint = true
+				break
+			}
+			vl *= s.Dim(m) >> deeper.Depth()
+		}
+		if disjoint {
+			continue
+		}
+		total += q.Freq * float64(volR+s.Volume(q.Rect)-2*vl)
+	}
+	return total
+}
+
+// ExhaustiveBestBasis finds the optimal non-redundant basis by brute-force
+// enumeration of every complete non-redundant tiling. It is exponential and
+// exists only to validate Algorithm 1 on tiny spaces in tests and ablation
+// benchmarks.
+func ExhaustiveBestBasis(s *velement.Space, queries []Query) (BasisResult, error) {
+	if err := ValidateQueries(s, queries); err != nil {
+		return BasisResult{}, err
+	}
+	best := BasisResult{Cost: math.Inf(1)}
+	var enumerate func(pending []freq.Rect, chosen []freq.Rect, cost float64)
+	enumerate = func(pending, chosen []freq.Rect, cost float64) {
+		if cost >= best.Cost {
+			return
+		}
+		if len(pending) == 0 {
+			best = BasisResult{Basis: append([]freq.Rect(nil), chosen...), Cost: cost}
+			return
+		}
+		r := pending[len(pending)-1]
+		rest := pending[:len(pending)-1]
+		// Option 1: keep r in the basis.
+		enumerate(rest, append(chosen, r), cost+ElementSupportCost(s, r, queries))
+		// Option 2: split r on each splittable dimension.
+		for m := 0; m < s.Rank(); m++ {
+			p, res, ok := s.Children(r, m)
+			if !ok {
+				continue
+			}
+			enumerate(append(append(append([]freq.Rect(nil), rest...), p), res), chosen, cost)
+		}
+	}
+	enumerate([]freq.Rect{s.Root()}, nil, 0)
+	return best, nil
+}

@@ -1,0 +1,635 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/velement"
+)
+
+// The pedagogical example of §7.1 (Figure 7 / Table 2) is a 2-D data cube
+// with extent 2 per dimension: nine view elements. Node mapping (validated
+// in DESIGN.md against every Table 2 row):
+//
+//	V0=A={1,1}  V1=P⁰={2,1}  V4=R⁰={3,1}  V7=P¹={1,2}  V8=R¹={1,3}
+//	V2=P⁰P¹={2,2} (the total aggregation)  V5=R⁰P¹={3,2}
+//	V3=P⁰R¹={2,3}  V6=R⁰R¹={3,3}
+var ped = map[string]freq.Rect{
+	"V0": {1, 1}, "V1": {2, 1}, "V2": {2, 2}, "V3": {2, 3}, "V4": {3, 1},
+	"V5": {3, 2}, "V6": {3, 3}, "V7": {1, 2}, "V8": {1, 3},
+}
+
+func pedSpace(t *testing.T) *velement.Space {
+	t.Helper()
+	return velement.MustSpace(2, 2)
+}
+
+func pedQueries() []Query {
+	return []Query{
+		{Rect: ped["V1"], Freq: 0.5},
+		{Rect: ped["V7"], Freq: 0.5},
+	}
+}
+
+func pedSet(names ...string) []freq.Rect {
+	out := make([]freq.Rect, len(names))
+	for i, n := range names {
+		out[i] = ped[n]
+	}
+	return out
+}
+
+// TestTable2 reproduces every row of Table 2: processing cost (Procedure 3,
+// unweighted sum as the paper tabulates), storage cost, basis flag
+// (Procedure 1 completeness) and redundancy flag (frequency-plane overlap).
+func TestTable2(t *testing.T) {
+	s := pedSpace(t)
+	queries := pedQueries()
+	rows := []struct {
+		names            []string
+		cost             float64
+		storage          int
+		basis, redundant bool
+	}{
+		{[]string{"V3", "V6", "V7"}, 3, 4, true, false},
+		{[]string{"V1", "V5", "V6"}, 3, 4, true, false},
+		{[]string{"V0"}, 4, 4, true, false},
+		{[]string{"V1", "V4"}, 4, 4, true, false},
+		{[]string{"V7", "V8"}, 4, 4, true, false},
+		{[]string{"V2", "V3", "V5", "V6"}, 4, 4, true, false},
+		{[]string{"V0", "V1", "V7"}, 0, 8, true, true},
+		{[]string{"V1", "V7"}, 0, 4, false, true},
+		{[]string{"V3", "V7"}, 3, 3, false, false},
+		{[]string{"V2", "V3", "V5"}, 4, 3, false, false},
+	}
+	for _, row := range rows {
+		set := pedSet(row.names...)
+		ev := NewSetEvaluator(s, set)
+		if got := ev.UnweightedTotalCost(queries); got != row.cost {
+			t.Errorf("%v: processing cost %g, want %g", row.names, got, row.cost)
+		}
+		if got := s.SetVolume(set); got != row.storage {
+			t.Errorf("%v: storage %d, want %d", row.names, got, row.storage)
+		}
+		if got := freq.Complete(set, s.Root(), s.MaxDepths()); got != row.basis {
+			t.Errorf("%v: basis=%v, want %v", row.names, got, row.basis)
+		}
+		if got := !freq.NonRedundant(set); got != row.redundant {
+			t.Errorf("%v: redundant=%v, want %v", row.names, got, row.redundant)
+		}
+	}
+}
+
+// For non-redundant bases the additive Eq. 29 model and the operational
+// Procedure 3 model agree on all Table 2 rows.
+func TestTable2ModelsAgreeOnBases(t *testing.T) {
+	s := pedSpace(t)
+	queries := pedQueries()
+	for _, names := range [][]string{
+		{"V3", "V6", "V7"}, {"V1", "V5", "V6"}, {"V0"},
+		{"V1", "V4"}, {"V7", "V8"}, {"V2", "V3", "V5", "V6"},
+	} {
+		set := pedSet(names...)
+		eq29 := BasisCost(s, set, queries)
+		proc3 := NewSetEvaluator(s, set).TotalCost(queries)
+		if math.Abs(eq29-proc3) > 1e-12 {
+			t.Errorf("%v: Eq29=%g Procedure3=%g", names, eq29, proc3)
+		}
+	}
+}
+
+func TestSupportCost(t *testing.T) {
+	s := pedSpace(t)
+	// Disjoint elements cost nothing.
+	if c := SupportCost(s, ped["V3"], ped["V7"]); c != 0 {
+		t.Fatalf("disjoint cost %d, want 0", c)
+	}
+	// An element supports itself for free.
+	if c := SupportCost(s, ped["V1"], ped["V1"]); c != 0 {
+		t.Fatalf("self cost %d, want 0", c)
+	}
+	// V0 → V1: aggregate the cube down to the view: 4−2 = 2.
+	if c := SupportCost(s, ped["V0"], ped["V1"]); c != 2 {
+		t.Fatalf("V0→V1 cost %d, want 2", c)
+	}
+	// V1 and V7 intersect in the total aggregation (volume 1): 1+1 = 2.
+	if c := SupportCost(s, ped["V1"], ped["V7"]); c != 2 {
+		t.Fatalf("V1↔V7 cost %d, want 2", c)
+	}
+	// Symmetry.
+	if SupportCost(s, ped["V1"], ped["V7"]) != SupportCost(s, ped["V7"], ped["V1"]) {
+		t.Fatal("SupportCost must be symmetric")
+	}
+}
+
+func TestElementSupportCostMatchesFastPath(t *testing.T) {
+	s := velement.MustSpace(4, 4)
+	rng := rand.New(rand.NewSource(3))
+	queries := randomViewQueries(s, rng)
+	s.Elements(func(r freq.Rect) bool {
+		slow := ElementSupportCost(s, r, queries)
+		fast := elementSupportCostFast(s, r, queries)
+		if math.Abs(slow-fast) > 1e-9 {
+			t.Fatalf("%v: slow %g fast %g", r, slow, fast)
+		}
+		return true
+	})
+}
+
+func TestNormalizeFrequencies(t *testing.T) {
+	qs := []Query{{Freq: 2}, {Freq: 6}}
+	NormalizeFrequencies(qs)
+	if qs[0].Freq != 0.25 || qs[1].Freq != 0.75 {
+		t.Fatalf("normalised to %v", qs)
+	}
+	zero := []Query{{Freq: 0}}
+	NormalizeFrequencies(zero) // must not divide by zero
+	if zero[0].Freq != 0 {
+		t.Fatal("zero-total population must be untouched")
+	}
+}
+
+func TestValidateQueries(t *testing.T) {
+	s := pedSpace(t)
+	if err := ValidateQueries(s, nil); err == nil {
+		t.Fatal("want error for empty population")
+	}
+	if err := ValidateQueries(s, []Query{{Rect: freq.Rect{4, 1}, Freq: 1}}); err == nil {
+		t.Fatal("want error for out-of-space rectangle")
+	}
+	if err := ValidateQueries(s, []Query{{Rect: ped["V1"], Freq: -1}}); err == nil {
+		t.Fatal("want error for negative frequency")
+	}
+	if err := ValidateQueries(s, pedQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectBasisPedagogical(t *testing.T) {
+	s := pedSpace(t)
+	res, err := SelectBasis(s, pedQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum is 3 unweighted = 1.5 weighted (both optimal bases of
+	// Table 2 achieve it).
+	if math.Abs(res.Cost-1.5) > 1e-12 {
+		t.Fatalf("optimal cost %g, want 1.5", res.Cost)
+	}
+	if !freq.IsNonRedundantBasis(res.Basis, s.Root(), s.MaxDepths()) {
+		t.Fatal("Algorithm 1 must return a non-redundant basis")
+	}
+	if got := BasisCost(s, res.Basis, pedQueries()); math.Abs(got-res.Cost) > 1e-12 {
+		t.Fatalf("reported cost %g does not match recomputed cost %g", res.Cost, got)
+	}
+}
+
+func TestSelectBasisRejectsBadQueries(t *testing.T) {
+	s := pedSpace(t)
+	if _, err := SelectBasis(s, nil); err == nil {
+		t.Fatal("want error for empty queries")
+	}
+}
+
+func randomViewQueries(s *velement.Space, rng *rand.Rand) []Query {
+	views := s.AggregatedViews()
+	queries := make([]Query, len(views))
+	for i, v := range views {
+		queries[i] = Query{Rect: v, Freq: rng.Float64()}
+	}
+	NormalizeFrequencies(queries)
+	return queries
+}
+
+// Algorithm 1 must match brute-force enumeration of all tilings on small
+// spaces — the optimality claim of §5.2.
+func TestSelectBasisMatchesExhaustive(t *testing.T) {
+	shapes := [][]int{{2, 2}, {4, 2}, {2, 2, 2}, {4, 4}}
+	for _, shape := range shapes {
+		s := velement.MustSpace(shape...)
+		for trial := 0; trial < 5; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*31 + int64(len(shape))))
+			queries := randomViewQueries(s, rng)
+			dp, err := SelectBasis(s, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err := ExhaustiveBestBasis(s, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(dp.Cost-ex.Cost) > 1e-9 {
+				t.Fatalf("shape %v trial %d: DP cost %g, exhaustive %g", shape, trial, dp.Cost, ex.Cost)
+			}
+		}
+	}
+}
+
+// Guaranteed dominance (§7.2.1): the Algorithm 1 basis never costs more
+// than the data cube alone or the wavelet basis, because both lie in its
+// search space.
+func TestSelectBasisDominatesBaselines(t *testing.T) {
+	f := func(seed int64) bool {
+		s := velement.MustSpace(4, 4, 4)
+		rng := rand.New(rand.NewSource(seed))
+		queries := randomViewQueries(s, rng)
+		res, err := SelectBasis(s, queries)
+		if err != nil {
+			return false
+		}
+		dcube := BasisCost(s, []freq.Rect{s.Root()}, queries)
+		wavelet := BasisCost(s, velement.WaveletBasis(s), queries)
+		return res.Cost <= dcube+1e-9 && res.Cost <= wavelet+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the basis returned by Algorithm 1 is always complete and
+// non-redundant, and its reported cost always equals the recomputed cost.
+func TestSelectBasisInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		s := velement.MustSpace(4, 2, 4)
+		rng := rand.New(rand.NewSource(seed))
+		queries := randomViewQueries(s, rng)
+		res, err := SelectBasis(s, queries)
+		if err != nil {
+			return false
+		}
+		if !freq.IsNonRedundantBasis(res.Basis, s.Root(), s.MaxDepths()) {
+			return false
+		}
+		return math.Abs(BasisCost(s, res.Basis, queries)-res.Cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetEvaluatorIncomplete(t *testing.T) {
+	s := pedSpace(t)
+	// {V3,V7} cannot generate the cube V0.
+	ev := NewSetEvaluator(s, pedSet("V3", "V7"))
+	if !math.IsInf(ev.ElementCost(ped["V0"]), 1) {
+		t.Fatal("incomplete set must report infinite cost for the cube")
+	}
+	// But it can generate V1 at cost 3 and V6 not at all.
+	if got := ev.ElementCost(ped["V1"]); got != 3 {
+		t.Fatalf("T(V1)=%g, want 3", got)
+	}
+	if !math.IsInf(ev.ElementCost(ped["V6"]), 1) {
+		t.Fatal("V6 is not generable from {V3,V7}")
+	}
+}
+
+func TestSetEvaluatorAddAndStorage(t *testing.T) {
+	s := pedSpace(t)
+	ev := NewSetEvaluator(s, pedSet("V0"))
+	if ev.Storage() != 4 {
+		t.Fatalf("storage %d, want 4", ev.Storage())
+	}
+	ev.Add(ped["V1"])
+	ev.Add(ped["V1"]) // idempotent
+	if ev.Storage() != 6 {
+		t.Fatalf("storage %d, want 6", ev.Storage())
+	}
+	if got := ev.ElementCost(ped["V1"]); got != 0 {
+		t.Fatalf("added element should cost 0, got %g", got)
+	}
+	if len(ev.Selected()) != 2 {
+		t.Fatalf("selected %d elements, want 2", len(ev.Selected()))
+	}
+}
+
+func TestWithCandidateRestores(t *testing.T) {
+	s := pedSpace(t)
+	ev := NewSetEvaluator(s, pedSet("V0"))
+	before := ev.TotalCost(pedQueries())
+	var during float64
+	ev.WithCandidate(ped["V1"], func() {
+		during = ev.TotalCost(pedQueries())
+	})
+	after := ev.TotalCost(pedQueries())
+	if during >= before {
+		t.Fatalf("candidate V1 should reduce cost: before %g during %g", before, during)
+	}
+	if after != before {
+		t.Fatalf("WithCandidate must restore state: before %g after %g", before, after)
+	}
+}
+
+func TestGreedyRedundantPedagogical(t *testing.T) {
+	s := pedSpace(t)
+	queries := pedQueries()
+	init, err := SelectBasis(s, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GreedyRedundant(s, init.Basis, AllElements(s), queries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialStorage != 4 {
+		t.Fatalf("initial storage %d, want 4 (non-expansive basis)", res.InitialStorage)
+	}
+	// With budget 8 the greedy must reach zero cost (both queries stored).
+	last := res.InitialCost
+	for _, st := range res.Steps {
+		if st.Cost >= last {
+			t.Fatalf("greedy step did not strictly reduce cost: %g → %g", last, st.Cost)
+		}
+		if st.Storage > 8 {
+			t.Fatalf("storage %d exceeds target 8", st.Storage)
+		}
+		last = st.Cost
+	}
+	if last != 0 {
+		t.Fatalf("final cost %g, want 0", last)
+	}
+	storage, cost := res.Frontier()
+	if len(storage) != len(res.Steps)+1 || len(cost) != len(storage) {
+		t.Fatal("Frontier length mismatch")
+	}
+}
+
+func TestGreedyRedundantRespectsBudget(t *testing.T) {
+	s := pedSpace(t)
+	queries := pedQueries()
+	init, _ := SelectBasis(s, queries)
+	// Budget equal to the basis volume: no room for anything.
+	res, err := GreedyRedundant(s, init.Basis, AllElements(s), queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 0 {
+		t.Fatalf("no additions should fit, got %d", len(res.Steps))
+	}
+}
+
+func TestGreedyRedundantIncompleteInitial(t *testing.T) {
+	s := pedSpace(t)
+	// {V3,V7} cannot answer a query population that includes the cube.
+	queries := []Query{{Rect: s.Root(), Freq: 1}}
+	if _, err := GreedyRedundant(s, pedSet("V3", "V7"), AllElements(s), queries, 10); err == nil {
+		t.Fatal("want error for incomplete initial set")
+	}
+}
+
+func TestGreedyRedundantValidation(t *testing.T) {
+	s := pedSpace(t)
+	queries := pedQueries()
+	bad := []freq.Rect{{8, 1}}
+	if _, err := GreedyRedundant(s, bad, nil, queries, 10); err == nil {
+		t.Fatal("want error for invalid initial element")
+	}
+	if _, err := GreedyRedundant(s, pedSet("V0"), bad, queries, 10); err == nil {
+		t.Fatal("want error for invalid candidate")
+	}
+}
+
+func TestGreedyViewsPedagogical(t *testing.T) {
+	s := pedSpace(t)
+	queries := pedQueries()
+	res, err := GreedyViews(s, queries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialStorage != 4 {
+		t.Fatalf("view method starts from the cube (storage 4), got %d", res.InitialStorage)
+	}
+	if res.InitialCost != 2 { // 0.5·2 + 0.5·2
+		t.Fatalf("initial cost %g, want 2", res.InitialCost)
+	}
+	final := res.InitialCost
+	if len(res.Steps) > 0 {
+		final = res.Steps[len(res.Steps)-1].Cost
+	}
+	if final != 0 {
+		t.Fatalf("with budget 8 the view method reaches 0, got %g", final)
+	}
+}
+
+// The §7.2.2 endpoint guarantees for plain Algorithm 2: the initial
+// non-redundant basis (point a) is never worse than the data cube alone
+// (point b), and with a full budget both methods converge to zero
+// processing cost (point d).
+func TestFrontierEndpoints(t *testing.T) {
+	s := velement.MustSpace(4, 4)
+	fullBudget := 3 * s.CubeVolume() // comfortably above (n+1)^d
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 100))
+		queries := randomViewQueries(s, rng)
+		init, err := SelectBasis(s, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems, err := GreedyRedundant(s, init.Basis, AllElements(s), queries, fullBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views, err := GreedyViews(s, queries, fullBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elems.InitialStorage != s.CubeVolume() {
+			t.Fatalf("trial %d: basis storage %d, want %d", trial, elems.InitialStorage, s.CubeVolume())
+		}
+		if elems.InitialCost > views.InitialCost+1e-9 {
+			t.Fatalf("trial %d: point a (%g) worse than point b (%g)", trial, elems.InitialCost, views.InitialCost)
+		}
+		_, ec := elems.Frontier()
+		_, vc := views.Frontier()
+		if ec[len(ec)-1] != 0 || vc[len(vc)-1] != 0 {
+			t.Fatalf("trial %d: both methods must reach zero cost (got %g, %g)",
+				trial, ec[len(ec)-1], vc[len(vc)-1])
+		}
+	}
+}
+
+// properViewQueries draws a random population over the 2^d − 1 proper
+// aggregated views (the raw cube itself is not queried — it is the stored
+// base relation, and querying it would dominate every tiling-based
+// representation; see DESIGN.md §experiment notes).
+func properViewQueries(s *velement.Space, rng *rand.Rand) []Query {
+	views := s.AggregatedViews()
+	queries := make([]Query, 0, len(views)-1)
+	for _, v := range views[1:] {
+		queries = append(queries, Query{Rect: v, Freq: rng.Float64()})
+	}
+	NormalizeFrequencies(queries)
+	return queries
+}
+
+// Experiment 2's headline shape (Figure 9): with proper-view populations
+// and completeness-preserving pruning, the element method's frontier
+// dominates greedy view materialisation at every storage level the view
+// method visits.
+func TestPrunedElementFrontierDominatesViewFrontier(t *testing.T) {
+	s := velement.MustSpace(4, 4)
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 500))
+		queries := properViewQueries(s, rng)
+		target := 3 * s.CubeVolume()
+		init, err := SelectBasis(s, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems, err := GreedyRedundantPruned(s, init.Basis, AllElements(s), queries, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viewRes, err := GreedyViews(s, queries, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs, vc := viewRes.Frontier()
+		es, ec := elems.Frontier()
+		for i := range vs {
+			bestElem := math.Inf(1)
+			for j := range es {
+				if es[j] <= vs[i] && ec[j] < bestElem {
+					bestElem = ec[j]
+				}
+			}
+			if bestElem > vc[i]+1e-9 {
+				t.Fatalf("trial %d: at storage %d view method %g beats pruned element method %g",
+					trial, vs[i], vc[i], bestElem)
+			}
+		}
+	}
+}
+
+// Pruning never breaks the basis property: after every greedy stage the
+// selected set must remain complete with respect to the cube.
+func TestPrunedGreedyStaysComplete(t *testing.T) {
+	s := velement.MustSpace(4, 4)
+	rng := rand.New(rand.NewSource(77))
+	queries := properViewQueries(s, rng)
+	init, err := SelectBasis(s, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GreedyRedundantPruned(s, init.Basis, AllElements(s), queries, 3*s.CubeVolume())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !freq.Complete(res.Final, s.Root(), s.MaxDepths()) {
+		t.Fatal("final pruned set must still be a basis of the cube")
+	}
+}
+
+func TestPruneObsolete(t *testing.T) {
+	s := pedSpace(t)
+	queries := pedQueries()
+	// {V0,V1,V7}: both queries are materialised, but V0 must survive —
+	// without it the set would no longer be a basis of the cube.
+	pruned, cost := PruneObsolete(s, pedSet("V0", "V1", "V7"), queries)
+	if cost != 0 {
+		t.Fatalf("pruned cost %g, want 0", cost)
+	}
+	if s.SetVolume(pruned) != 8 {
+		t.Fatalf("pruned storage %d, want 8 (V0 retained for completeness)", s.SetVolume(pruned))
+	}
+	// An element that serves no query and is not needed for completeness is
+	// removed: V2 in {V0,V1,V7,V2}.
+	pruned, cost = PruneObsolete(s, pedSet("V0", "V1", "V7", "V2"), queries)
+	if cost != 0 {
+		t.Fatalf("pruned cost %g, want 0", cost)
+	}
+	for _, r := range pruned {
+		if r.Equal(ped["V2"]) {
+			t.Fatal("V2 should have been pruned")
+		}
+	}
+	// Query rectangles themselves are never pruned.
+	found := 0
+	for _, r := range pruned {
+		if r.Equal(ped["V1"]) || r.Equal(ped["V7"]) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatal("query rectangles must survive pruning")
+	}
+	// For a set that was never complete, pruning does not impose
+	// completeness: it only avoids cost increases.
+	pruned, cost = PruneObsolete(s, pedSet("V1", "V7", "V2"), queries)
+	if cost != 0 || s.SetVolume(pruned) != 4 {
+		t.Fatalf("incomplete-set pruning: cost %g storage %d, want 0 and 4",
+			cost, s.SetVolume(pruned))
+	}
+}
+
+func TestAllElements(t *testing.T) {
+	s := pedSpace(t)
+	all := AllElements(s)
+	if len(all) != 9 {
+		t.Fatalf("%d elements, want 9", len(all))
+	}
+}
+
+func TestTotalProcessingCostWrapper(t *testing.T) {
+	s := pedSpace(t)
+	got := TotalProcessingCost(s, pedSet("V0"), pedQueries())
+	if got != 2 {
+		t.Fatalf("cost %g, want 2", got)
+	}
+}
+
+// Property: every greedy step strictly reduces the Procedure 3 total cost
+// (the algorithm's defining invariant) on random spaces and populations.
+func TestGreedyStepsMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := velement.MustSpace(4, 4)
+		queries := properViewQueries(s, rng)
+		init, err := SelectBasis(s, queries)
+		if err != nil {
+			return false
+		}
+		res, err := GreedyRedundant(s, init.Basis, AllElements(s), queries, 2*s.CubeVolume())
+		if err != nil {
+			return false
+		}
+		prev := res.InitialCost
+		for _, st := range res.Steps {
+			if st.Cost >= prev {
+				return false
+			}
+			prev = st.Cost
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding any single element to a selected set never increases any
+// element's Procedure 3 generation cost (monotonicity of the evaluator).
+func TestEvaluatorMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := velement.MustSpace(4, 4)
+		base := velement.RandomPacketBasis(s, rng, 0.3)
+		extra := s.FromLinear(rng.Intn(s.NumElements()))
+		before := NewSetEvaluator(s, base)
+		after := NewSetEvaluator(s, append(append([]freq.Rect{}, base...), extra))
+		ok := true
+		s.Elements(func(r freq.Rect) bool {
+			if after.ElementCost(r) > before.ElementCost(r)+1e-9 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

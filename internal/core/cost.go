@@ -1,0 +1,97 @@
+// Package core implements the paper's primary contribution: the processing
+// cost model over the view element graph (Eq. 26–29, Procedure 3) and the
+// two selection algorithms — Algorithm 1, the fast optimal selection of a
+// non-redundant view element basis minimising expected processing cost, and
+// Algorithm 2, the greedy selection of redundant view elements under a
+// storage budget. It also provides the comparison baselines used in §7:
+// materialising the data cube only, the wavelet basis, and HRU-style greedy
+// view materialisation.
+package core
+
+import (
+	"fmt"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/velement"
+)
+
+// Query is one member of the query population {Z_k}: a target view element
+// (usually an aggregated view) and its relative access frequency f_k.
+type Query struct {
+	Rect freq.Rect
+	Freq float64
+}
+
+// NormalizeFrequencies scales the query frequencies to sum to one, as the
+// paper assumes (Σ f_k = 1). Queries with non-positive frequency are left
+// untouched if the total is not positive.
+func NormalizeFrequencies(queries []Query) {
+	total := 0.0
+	for _, q := range queries {
+		total += q.Freq
+	}
+	if total <= 0 {
+		return
+	}
+	for i := range queries {
+		queries[i].Freq /= total
+	}
+}
+
+// SupportCost returns C_{a,b} of Eq. 26–28: the number of add/subtract
+// operations for view element a to contribute to the construction of view
+// element b. Because dyadic rectangles are nested-or-disjoint per dimension,
+// the intersection of a and b is their largest common descendant V_l, and
+// the geometric sum of Eq. 28 closes to F_{a,l} = Vol(a) − Vol(l). The cost
+// is symmetric: the aggregation cascade from a down to V_l plus the cascade
+// (or synthesis) from b down to V_l.
+func SupportCost(s *velement.Space, a, b freq.Rect) int {
+	l, ok := a.Intersect(b)
+	if !ok {
+		return 0
+	}
+	vl := s.Volume(l)
+	return s.Volume(a) + s.Volume(b) - 2*vl
+}
+
+// ElementSupportCost returns C_n of Eq. 29: the frequency-weighted support
+// cost of one view element over the whole query population.
+func ElementSupportCost(s *velement.Space, r freq.Rect, queries []Query) float64 {
+	c := 0.0
+	for _, q := range queries {
+		if q.Freq == 0 {
+			continue
+		}
+		c += q.Freq * float64(SupportCost(s, r, q.Rect))
+	}
+	return c
+}
+
+// BasisCost returns the total processing cost of answering the query
+// population from a non-redundant basis: the sum of per-element support
+// costs (the quantity Algorithm 1 minimises). For the singleton basis {A}
+// this is the paper's plot [D]; for the wavelet basis it is plot [W].
+func BasisCost(s *velement.Space, basis []freq.Rect, queries []Query) float64 {
+	c := 0.0
+	for _, r := range basis {
+		c += ElementSupportCost(s, r, queries)
+	}
+	return c
+}
+
+// ValidateQueries checks that every query rectangle identifies a view
+// element of the space and that no frequency is negative.
+func ValidateQueries(s *velement.Space, queries []Query) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("core: empty query population")
+	}
+	for i, q := range queries {
+		if !s.Valid(q.Rect) {
+			return fmt.Errorf("core: query %d rectangle %v is not a view element of the space", i, q.Rect)
+		}
+		if q.Freq < 0 {
+			return fmt.Errorf("core: query %d has negative frequency %g", i, q.Freq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/velement"
+)
+
+// This file implements Procedure 3: the total processing cost of answering
+// a query population from a *redundant* view element set. Each element's
+// generation cost T(V) is the cheaper of
+//
+//   - aggregation: cascade down from some selected ancestor V_s, costing
+//     F = Vol(V_s) − Vol(V) add/subtracts (Eq. 28), or
+//   - synthesis: perfectly reconstruct V from its partial and residual
+//     children on some dimension, costing Vol(V) plus the children's own
+//     generation costs (Eq. 32–33),
+//
+// and T(V) = 0 when V itself is selected. The recursion only ever descends
+// in the element graph, so it terminates at single-cell leaves.
+
+// SetEvaluator computes Procedure 3 costs for one selected element set. It
+// memoises per-element costs and supports cheap "what if we also selected
+// candidate c?" probes, which is exactly the inner loop of Algorithm 2.
+// A SetEvaluator is not safe for concurrent use.
+type SetEvaluator struct {
+	s        *velement.Space
+	selected []freq.Rect
+	volumes  []int // cached Vol of each selected element
+
+	// Flat memo with epoch stamps: bumping the epoch invalidates every slot
+	// in O(1), so each candidate probe starts from a clean memo without
+	// reallocating. Falls back to a map for graphs past maxFlatMemo.
+	flat     bool
+	memo     []float64
+	epoch    []uint32
+	curEpoch uint32
+	memoMap  map[freq.Key]float64
+
+	isSelected map[freq.Key]bool
+
+	hasCand bool
+	cand    freq.Rect
+	candVol int
+}
+
+// NewSetEvaluator returns an evaluator for the given selected set.
+func NewSetEvaluator(s *velement.Space, selected []freq.Rect) *SetEvaluator {
+	e := &SetEvaluator{
+		s:          s,
+		isSelected: make(map[freq.Key]bool, len(selected)),
+	}
+	if n := s.NumElements(); n <= maxFlatMemo {
+		e.flat = true
+		e.memo = make([]float64, n)
+		e.epoch = make([]uint32, n)
+		e.curEpoch = 1
+	} else {
+		e.memoMap = make(map[freq.Key]float64)
+	}
+	for _, r := range selected {
+		e.add(r)
+	}
+	return e
+}
+
+// add permanently selects one more element and invalidates the memo.
+func (e *SetEvaluator) add(r freq.Rect) {
+	k := r.Key()
+	if e.isSelected[k] {
+		return
+	}
+	e.isSelected[k] = true
+	e.selected = append(e.selected, r.Clone())
+	e.volumes = append(e.volumes, e.s.Volume(r))
+	e.invalidate()
+}
+
+// Add permanently selects one more element (idempotent).
+func (e *SetEvaluator) Add(r freq.Rect) { e.add(r) }
+
+// Selected returns a copy of the currently selected set.
+func (e *SetEvaluator) Selected() []freq.Rect {
+	out := make([]freq.Rect, len(e.selected))
+	for i, r := range e.selected {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// Storage returns the summed data-cell volume of the selected set.
+func (e *SetEvaluator) Storage() int {
+	v := 0
+	for _, vol := range e.volumes {
+		v += vol
+	}
+	return v
+}
+
+func (e *SetEvaluator) invalidate() {
+	if e.flat {
+		e.curEpoch++
+		if e.curEpoch == 0 { // wrapped: hard reset
+			for i := range e.epoch {
+				e.epoch[i] = 0
+			}
+			e.curEpoch = 1
+		}
+		return
+	}
+	e.memoMap = make(map[freq.Key]float64)
+}
+
+// WithCandidate evaluates fn as if c were also selected, then restores the
+// evaluator. It is the "select, compute, de-select" probe of Algorithm 2
+// step 2.
+func (e *SetEvaluator) WithCandidate(c freq.Rect, fn func()) {
+	e.hasCand = true
+	e.cand = c
+	e.candVol = e.s.Volume(c)
+	e.invalidate()
+	fn()
+	e.hasCand = false
+	e.cand = nil
+	e.invalidate()
+}
+
+// ElementCost returns T(r): the minimum number of add/subtract operations
+// to generate element r from the selected set, or +Inf if the set cannot
+// generate it (the set is not complete with respect to r).
+func (e *SetEvaluator) ElementCost(r freq.Rect) float64 {
+	if e.flat {
+		i := e.s.LinearIndex(r)
+		if e.epoch[i] == e.curEpoch {
+			return e.memo[i]
+		}
+		cost := e.computeCost(r)
+		e.memo[i] = cost
+		e.epoch[i] = e.curEpoch
+		return cost
+	}
+	k := r.Key()
+	if cost, ok := e.memoMap[k]; ok {
+		return cost
+	}
+	cost := e.computeCost(r)
+	e.memoMap[k] = cost
+	return cost
+}
+
+func (e *SetEvaluator) computeCost(r freq.Rect) float64 {
+	if e.isSelected[r.Key()] {
+		return 0
+	}
+	if e.hasCand && e.cand.Equal(r) {
+		return 0
+	}
+	volR := e.s.Volume(r)
+	// Aggregation from the cheapest selected ancestor (Eq. 28 with V a
+	// descendant of V_s: F = Vol(V_s) − Vol(V)).
+	best := math.Inf(1)
+	for i, vs := range e.selected {
+		if vs.Contains(r) {
+			if c := float64(e.volumes[i] - volR); c < best {
+				best = c
+			}
+		}
+	}
+	if e.hasCand && e.cand.Contains(r) {
+		if c := float64(e.candVol - volR); c < best {
+			best = c
+		}
+	}
+	// Synthesis from children on the cheapest dimension (Eq. 32): costs
+	// Vol(r) operations plus whatever the children cost to generate.
+	for m := 0; m < e.s.Rank(); m++ {
+		p, res, ok := e.s.Children(r, m)
+		if !ok {
+			continue
+		}
+		if c := float64(volR) + e.ElementCost(p) + e.ElementCost(res); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// TotalCost returns T = Σ f_k · T(Z_k) (Eq. 34): the expected processing
+// cost of the query population under the selected set.
+func (e *SetEvaluator) TotalCost(queries []Query) float64 {
+	total := 0.0
+	for _, q := range queries {
+		if q.Freq == 0 {
+			continue
+		}
+		total += q.Freq * e.ElementCost(q.Rect)
+	}
+	return total
+}
+
+// TotalProcessingCost is a convenience wrapper: the Procedure 3 cost of one
+// selected set for one query population.
+func TotalProcessingCost(s *velement.Space, selected []freq.Rect, queries []Query) float64 {
+	return NewSetEvaluator(s, selected).TotalCost(queries)
+}
+
+// UnweightedTotalCost sums T(Z_k) without frequency weighting. Table 2 of
+// the paper reports this raw sum for the pedagogical example.
+func (e *SetEvaluator) UnweightedTotalCost(queries []Query) float64 {
+	total := 0.0
+	for _, q := range queries {
+		if q.Freq == 0 {
+			continue
+		}
+		total += e.ElementCost(q.Rect)
+	}
+	return total
+}

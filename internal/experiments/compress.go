@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"viewcube/internal/assembly"
+	"viewcube/internal/bestbasis"
+	"viewcube/internal/velement"
+	"viewcube/internal/workload"
+)
+
+// CompressRow is one density point of the E8 compression experiment.
+type CompressRow struct {
+	Density      float64 // requested nonzero fraction of the cube
+	CubeNonzeros int     // nonzeros in the raw cube
+	Wavelet      int     // coefficients stored by the fixed wavelet basis
+	BestBasis    int     // coefficients stored by the entropy-guided best basis
+	Lossless     bool    // decompression reproduced the cube exactly
+}
+
+// CompressResult is the E8 outcome: wavelet-packet compression of sparse
+// cubes (the §4.3 "compact representation" the paper leaves unexplored).
+type CompressResult struct {
+	Shape []int
+	Rows  []CompressRow
+}
+
+// Compress runs E8 on the given shape across cube densities: for each
+// density, the stored-coefficient counts of the raw cube, the fixed wavelet
+// basis, and the best wavelet-packet basis (nonzero-count functional,
+// threshold 0 so everything is lossless).
+func Compress(shape []int, densities []float64, seed int64) (*CompressResult, error) {
+	s, err := velement.NewSpace(shape)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cost := bestbasis.NonzeroCost(0)
+	res := &CompressResult{Shape: append([]int(nil), shape...)}
+	for _, density := range densities {
+		cube := workload.SparseCube(rng, density, 100, shape...)
+		raw := int(cost(cube))
+
+		waveletStored := 0
+		mat, err := assembly.NewMaterializer(s, cube)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range velement.WaveletBasis(s) {
+			a, err := mat.Element(r)
+			if err != nil {
+				return nil, err
+			}
+			waveletStored += int(cost(a))
+		}
+
+		comp, err := bestbasis.Compress(s, cube, cost, 0)
+		if err != nil {
+			return nil, err
+		}
+		back, err := comp.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, CompressRow{
+			Density:      density,
+			CubeNonzeros: raw,
+			Wavelet:      waveletStored,
+			BestBasis:    comp.StoredValues(),
+			Lossless:     back.Equal(cube, 1e-9),
+		})
+	}
+	return res, nil
+}
+
+// CompressClustered is E8's second regime: the cube is a constant value on
+// one dyadic-aligned block covering the given fraction of the volume. Here
+// the best basis isolates the block and stores a handful of coefficients —
+// far fewer than the raw nonzeros — which is the paper's compression claim
+// in its strongest form.
+func CompressClustered(shape []int, fracs []float64, seed int64) (*CompressResult, error) {
+	s, err := velement.NewSpace(shape)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cost := bestbasis.NonzeroCost(0)
+	res := &CompressResult{Shape: append([]int(nil), shape...)}
+	for _, frac := range fracs {
+		cube := workload.DyadicBlockCube(rng, 7, frac, shape...)
+		raw := int(cost(cube))
+
+		waveletStored := 0
+		mat, err := assembly.NewMaterializer(s, cube)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range velement.WaveletBasis(s) {
+			a, err := mat.Element(r)
+			if err != nil {
+				return nil, err
+			}
+			waveletStored += int(cost(a))
+		}
+
+		comp, err := bestbasis.Compress(s, cube, cost, 0)
+		if err != nil {
+			return nil, err
+		}
+		back, err := comp.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, CompressRow{
+			Density:      frac,
+			CubeNonzeros: raw,
+			Wavelet:      waveletStored,
+			BestBasis:    comp.StoredValues(),
+			Lossless:     back.Equal(cube, 1e-9),
+		})
+	}
+	return res, nil
+}
+
+// FormatCompress renders the E8 report.
+func FormatCompress(r *CompressResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wavelet-packet compression (E8) on shape %v (stored coefficients, lossless)\n", r.Shape)
+	fmt.Fprintf(&b, "%-9s %14s %14s %14s %10s\n", "density", "raw nonzeros", "wavelet", "best basis", "lossless")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9.2f %14d %14d %14d %10v\n",
+			row.Density, row.CubeNonzeros, row.Wavelet, row.BestBasis, row.Lossless)
+	}
+	return b.String()
+}
+
+// LossyRow is one threshold point of the E11 lossy-compression tradeoff.
+type LossyRow struct {
+	Threshold    float64
+	StoredValues int
+	MaxAbsError  float64
+	RMSError     float64
+}
+
+// Lossy runs E11: compressing a smooth-plus-noise cube at increasing
+// coefficient thresholds, measuring stored values against reconstruction
+// error. Threshold 0 must be exact; larger thresholds trade error for
+// space.
+func Lossy(shape []int, thresholds []float64, seed int64) ([]LossyRow, error) {
+	s, err := velement.NewSpace(shape)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Smooth signal (low-frequency ramp products) plus small noise: the
+	// regime where thresholding pays.
+	cube := workload.RandomCube(rng, 2, shape...)
+	idx := make([]int, len(shape))
+	total := 1
+	for _, n := range shape {
+		total *= n
+	}
+	for off := 0; off < total; off++ {
+		base := 100.0
+		for m, n := range shape {
+			base += 40 * float64(idx[m]) / float64(n)
+		}
+		cube.Data()[off] += base
+		for m := len(shape) - 1; m >= 0; m-- {
+			idx[m]++
+			if idx[m] < shape[m] {
+				break
+			}
+			idx[m] = 0
+		}
+	}
+	var rows []LossyRow
+	for _, tol := range thresholds {
+		comp, err := bestbasis.Compress(s, cube, bestbasis.NonzeroCost(tol), tol)
+		if err != nil {
+			return nil, err
+		}
+		back, err := comp.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		maxErr := back.MaxAbsDiff(cube)
+		sq := 0.0
+		for i, v := range back.Data() {
+			d := v - cube.Data()[i]
+			sq += d * d
+		}
+		rows = append(rows, LossyRow{
+			Threshold:    tol,
+			StoredValues: comp.StoredValues(),
+			MaxAbsError:  maxErr,
+			RMSError:     math.Sqrt(sq / float64(total)),
+		})
+	}
+	return rows, nil
+}
+
+// FormatLossy renders the E11 report.
+func FormatLossy(shape []int, rows []LossyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lossy compression tradeoff (E11) on shape %v\n", shape)
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s\n", "threshold", "stored values", "max |err|", "rms err")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12g %14d %14.3f %14.4f\n", r.Threshold, r.StoredValues, r.MaxAbsError, r.RMSError)
+	}
+	return b.String()
+}

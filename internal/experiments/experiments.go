@@ -1,0 +1,344 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) plus the supplementary structural checks, as documented
+// in DESIGN.md and EXPERIMENTS.md:
+//
+//	Table 1 — view element graph sizes (E1)
+//	Table 2 — pedagogical example costs (E2, with Figure 7's graph)
+//	Figure 8 — Experiment 1: non-redundant basis processing costs (E3)
+//	Figure 9 — Experiment 2: storage vs processing frontiers (E4)
+//	Bases    — §4.3 basis volumes (E5)
+//	Ranges   — §6 range-aggregation costs (E6)
+//
+// Each experiment returns plain data plus a formatted text rendering, so
+// cmd/repro can print the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"viewcube/internal/core"
+	"viewcube/internal/freq"
+	"viewcube/internal/velement"
+)
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	D, N               int
+	Nav, Niv, Nrv, Nve int
+}
+
+// Table1 returns the exact rows of the paper's Table 1.
+func Table1() []Table1Row {
+	configs := []struct{ d, n int }{{2, 256}, {3, 32}, {4, 16}, {5, 8}, {8, 4}}
+	rows := make([]Table1Row, len(configs))
+	for i, c := range configs {
+		shape := make([]int, c.d)
+		for m := range shape {
+			shape[m] = c.n
+		}
+		counts := velement.MustSpace(shape...).Count()
+		rows[i] = Table1Row{
+			D: c.d, N: c.n,
+			Nav: counts.Aggregated, Niv: counts.Intermediate,
+			Nrv: counts.Residual, Nve: counts.Elements,
+		}
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: view element counts (d = dimensions, n = domain size)\n")
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " d=%d,n=%-6d", r.D, r.N)
+	}
+	b.WriteString("\n")
+	line := func(name string, get func(Table1Row) int) {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, r := range rows {
+			fmt.Fprintf(&b, " %-11d", get(r))
+		}
+		b.WriteString("\n")
+	}
+	line("N_av", func(r Table1Row) int { return r.Nav })
+	line("N_iv", func(r Table1Row) int { return r.Niv })
+	line("N_rv", func(r Table1Row) int { return r.Nrv })
+	line("N_ve", func(r Table1Row) int { return r.Nve })
+	return b.String()
+}
+
+// PedagogicalElements is the Figure 7 node mapping on the 2×2 cube (see
+// internal/core's tests and DESIGN.md for its derivation).
+var PedagogicalElements = map[string]freq.Rect{
+	"V0": {1, 1}, "V1": {2, 1}, "V2": {2, 2}, "V3": {2, 3}, "V4": {3, 1},
+	"V5": {3, 2}, "V6": {3, 3}, "V7": {1, 2}, "V8": {1, 3},
+}
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Set        []string
+	Processing float64
+	Storage    int
+	Basis      bool
+	Redundant  bool
+}
+
+// Table2 evaluates the paper's ten element sets on the pedagogical example
+// (f1 = f7 = 0.5; processing costs are the unweighted sums the paper
+// tabulates).
+func Table2() []Table2Row {
+	s := velement.MustSpace(2, 2)
+	queries := []core.Query{
+		{Rect: PedagogicalElements["V1"], Freq: 0.5},
+		{Rect: PedagogicalElements["V7"], Freq: 0.5},
+	}
+	sets := [][]string{
+		{"V3", "V6", "V7"},
+		{"V1", "V5", "V6"},
+		{"V0"},
+		{"V1", "V4"},
+		{"V7", "V8"},
+		{"V2", "V3", "V5", "V6"},
+		{"V0", "V1", "V7"},
+		{"V1", "V7"},
+		{"V3", "V7"},
+		{"V2", "V3", "V5"},
+	}
+	rows := make([]Table2Row, len(sets))
+	for i, names := range sets {
+		set := make([]freq.Rect, len(names))
+		for j, n := range names {
+			set[j] = PedagogicalElements[n]
+		}
+		ev := core.NewSetEvaluator(s, set)
+		rows[i] = Table2Row{
+			Set:        names,
+			Processing: ev.UnweightedTotalCost(queries),
+			Storage:    s.SetVolume(set),
+			Basis:      freq.Complete(set, s.Root(), s.MaxDepths()),
+			Redundant:  !freq.NonRedundant(set),
+		}
+	}
+	return rows
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: pedagogical example (f1 = f7 = 0.5)\n")
+	fmt.Fprintf(&b, "%-22s %-6s %-10s %-8s %-9s\n", "View element set", "Basis", "Redundant", "Proc", "Storage")
+	yn := func(v bool) string {
+		if v {
+			return "Yes"
+		}
+		return "No"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-6s %-10s %-8g %-9d\n",
+			"{"+strings.Join(r.Set, ",")+"}", yn(r.Basis), yn(r.Redundant), r.Processing, r.Storage)
+	}
+	return b.String()
+}
+
+// CostModel selects how basis processing costs are computed in
+// Experiment 1: the additive Eq. 29 model Algorithm 1 optimises, or the
+// operational Procedure 3 model the assembly engine executes.
+type CostModel int
+
+const (
+	// ModelEq29 is the additive support-cost model of Eq. 26–29.
+	ModelEq29 CostModel = iota
+	// ModelProc3 is the operational min-cost generation model of
+	// Procedure 3.
+	ModelProc3
+)
+
+func (m CostModel) String() string {
+	if m == ModelProc3 {
+		return "procedure3"
+	}
+	return "eq29"
+}
+
+// Fig8Result holds Experiment 1's per-trial and aggregate outcomes.
+type Fig8Result struct {
+	Shape   []int
+	Model   CostModel
+	D, W, V []float64 // per-trial processing costs
+	AvgD    float64
+	AvgW    float64
+	AvgV    float64
+	RatioVD float64 // the paper reports 53.8% on average
+	RatioWD float64
+}
+
+// Fig8 runs Experiment 1 (§7.2.1): trials random view-access populations on
+// the cube of the given shape; for each, the processing cost of [D] the
+// data cube alone, [W] the wavelet basis, and [V] the Algorithm 1 optimum.
+// The paper uses a 4-dimensional cube with domain size 16 (923,521 view
+// elements), 100 trials, and uniform random frequencies over the 2^d
+// aggregated views.
+func Fig8(shape []int, trials int, seed int64, model CostModel) (*Fig8Result, error) {
+	s, err := velement.NewSpace(shape)
+	if err != nil {
+		return nil, err
+	}
+	wavelet := velement.WaveletBasis(s)
+	dcube := []freq.Rect{s.Root()}
+	res := &Fig8Result{Shape: append([]int(nil), shape...), Model: model}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		views := s.AggregatedViews()
+		queries := make([]core.Query, len(views))
+		for i, v := range views {
+			queries[i] = core.Query{Rect: v, Freq: rng.Float64()}
+		}
+		core.NormalizeFrequencies(queries)
+		sel, err := core.SelectBasis(s, queries)
+		if err != nil {
+			return nil, err
+		}
+		var d, w, v float64
+		switch model {
+		case ModelProc3:
+			d = core.TotalProcessingCost(s, dcube, queries)
+			w = core.TotalProcessingCost(s, wavelet, queries)
+			v = core.TotalProcessingCost(s, sel.Basis, queries)
+		default:
+			d = core.BasisCost(s, dcube, queries)
+			w = core.BasisCost(s, wavelet, queries)
+			v = sel.Cost
+		}
+		res.D = append(res.D, d)
+		res.W = append(res.W, w)
+		res.V = append(res.V, v)
+		res.AvgD += d / float64(trials)
+		res.AvgW += w / float64(trials)
+		res.AvgV += v / float64(trials)
+	}
+	if res.AvgD > 0 {
+		res.RatioVD = res.AvgV / res.AvgD
+		res.RatioWD = res.AvgW / res.AvgD
+	}
+	return res, nil
+}
+
+// FormatFig8 renders the Figure 8 series: one row per trial plus the
+// averages and the headline ratio.
+func FormatFig8(r *Fig8Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 (Experiment 1): shape %v, %d trials, cost model %s\n",
+		r.Shape, len(r.D), r.Model)
+	fmt.Fprintf(&b, "%-6s %14s %14s %14s\n", "trial", "[D] data cube", "[W] wavelet", "[V] Algorithm 1")
+	for i := range r.D {
+		fmt.Fprintf(&b, "%-6d %14.1f %14.1f %14.1f\n", i+1, r.D[i], r.W[i], r.V[i])
+	}
+	fmt.Fprintf(&b, "%-6s %14.1f %14.1f %14.1f\n", "avg", r.AvgD, r.AvgW, r.AvgV)
+	fmt.Fprintf(&b, "[V]/[D] = %.1f%% (paper: 53.8%%)   [W]/[D] = %.2f\n",
+		100*r.RatioVD, r.RatioWD)
+	return b.String()
+}
+
+// Fig9Result holds Experiment 2's averaged storage/processing frontier.
+type Fig9Result struct {
+	Shape      []int
+	Trials     int
+	Storage    []float64 // relative storage grid (multiples of Vol(A))
+	ElemCost   []float64 // [V] averaged cost at each grid point
+	ViewCost   []float64 // [D] averaged cost at each grid point
+	PointA     float64   // avg element-method cost at storage 1.0
+	PointB     float64   // avg view-method cost at storage 1.0
+	MaxStorage float64   // (n+1)^d / n^d, the paper's 2.44 for n=4, d=4
+}
+
+// Fig9 runs Experiment 2 (§7.2.2): per trial, the greedy view method [D]
+// (data cube + greedy views) against the greedy element method [V]
+// (Algorithm 1 basis + Algorithm 2 with obsolete-element pruning), averaged
+// on a relative-storage grid. The paper uses a 4-dimensional cube with
+// domain size 4, ten trials, and random frequencies over the proper
+// aggregated views (see DESIGN.md on the root-view choice).
+func Fig9(shape []int, trials, gridSteps int, seed int64) (*Fig9Result, error) {
+	s, err := velement.NewSpace(shape)
+	if err != nil {
+		return nil, err
+	}
+	vol := s.CubeVolume()
+	maxStorage := 1.0
+	for _, n := range shape {
+		maxStorage *= float64(n+1) / float64(n)
+	}
+	target := int(math.Ceil(maxStorage*float64(vol))) + 1
+	res := &Fig9Result{
+		Shape:      append([]int(nil), shape...),
+		Trials:     trials,
+		MaxStorage: maxStorage,
+	}
+	for i := 0; i <= gridSteps; i++ {
+		rel := 1 + (maxStorage+0.05-1)*float64(i)/float64(gridSteps)
+		res.Storage = append(res.Storage, rel)
+	}
+	res.ElemCost = make([]float64, len(res.Storage))
+	res.ViewCost = make([]float64, len(res.Storage))
+	rng := rand.New(rand.NewSource(seed))
+	all := core.AllElements(s)
+	for trial := 0; trial < trials; trial++ {
+		views := s.AggregatedViews()
+		queries := make([]core.Query, 0, len(views)-1)
+		for _, v := range views[1:] {
+			queries = append(queries, core.Query{Rect: v, Freq: rng.Float64()})
+		}
+		core.NormalizeFrequencies(queries)
+		sel, err := core.SelectBasis(s, queries)
+		if err != nil {
+			return nil, err
+		}
+		elem, err := core.GreedyRedundantPruned(s, sel.Basis, all, queries, target)
+		if err != nil {
+			return nil, err
+		}
+		view, err := core.GreedyViews(s, queries, target)
+		if err != nil {
+			return nil, err
+		}
+		es, ec := elem.Frontier()
+		vs, vc := view.Frontier()
+		for i, rel := range res.Storage {
+			budget := int(rel * float64(vol))
+			res.ElemCost[i] += frontierAt(es, ec, budget) / float64(trials)
+			res.ViewCost[i] += frontierAt(vs, vc, budget) / float64(trials)
+		}
+		res.PointA += elem.InitialCost / float64(trials)
+		res.PointB += view.InitialCost / float64(trials)
+	}
+	return res, nil
+}
+
+// frontierAt returns the best (lowest) cost achieved at or under the given
+// storage budget along a greedy trajectory.
+func frontierAt(storage []int, cost []float64, budget int) float64 {
+	best := math.Inf(1)
+	for i := range storage {
+		if storage[i] <= budget && cost[i] < best {
+			best = cost[i]
+		}
+	}
+	return best
+}
+
+// FormatFig9 renders the Figure 9 series.
+func FormatFig9(r *Fig9Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 (Experiment 2): shape %v, %d trials, max storage %.2f\n",
+		r.Shape, r.Trials, r.MaxStorage)
+	fmt.Fprintf(&b, "%-10s %16s %16s\n", "storage", "[V] elements", "[D] views")
+	for i := range r.Storage {
+		fmt.Fprintf(&b, "%-10.2f %16.2f %16.2f\n", r.Storage[i], r.ElemCost[i], r.ViewCost[i])
+	}
+	fmt.Fprintf(&b, "point a (elements @1.0) = %.2f   point b (views @1.0) = %.2f\n", r.PointA, r.PointB)
+	return b.String()
+}

@@ -1,0 +1,324 @@
+package freq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeDepth(t *testing.T) {
+	cases := map[Node]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 15: 3}
+	for n, want := range cases {
+		if got := n.Depth(); got != want {
+			t.Errorf("Depth(%d)=%d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNodeDepthPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Depth(0) must panic")
+		}
+	}()
+	Node(0).Depth()
+}
+
+func TestChildrenAndParent(t *testing.T) {
+	v := Node(5)
+	if v.Partial() != 10 || v.Residual() != 11 {
+		t.Fatalf("children of 5: %d, %d", v.Partial(), v.Residual())
+	}
+	if v.Partial().Parent() != v || v.Residual().Parent() != v {
+		t.Fatal("Parent must invert child")
+	}
+	if Root.Parent() != Root {
+		t.Fatal("root's parent is itself")
+	}
+	if !v.Residual().IsResidualChild() || v.Partial().IsResidualChild() {
+		t.Fatal("IsResidualChild misclassifies")
+	}
+	if Root.IsResidualChild() {
+		t.Fatal("root is not a residual child")
+	}
+}
+
+func TestOnPartialPath(t *testing.T) {
+	for _, n := range []Node{1, 2, 4, 8, 16} {
+		if !n.OnPartialPath() {
+			t.Errorf("node %d should be on partial path", n)
+		}
+	}
+	for _, n := range []Node{3, 5, 6, 7, 9} {
+		if n.OnPartialPath() {
+			t.Errorf("node %d should not be on partial path", n)
+		}
+	}
+}
+
+func TestInterval(t *testing.T) {
+	// Node 5 is at depth 2, offset 1: [1/4, 2/4).
+	num, den := Node(5).Interval()
+	if num != 1 || den != 4 {
+		t.Fatalf("Interval(5)=(%d,%d), want (1,4)", num, den)
+	}
+	num, den = Root.Interval()
+	if num != 0 || den != 1 {
+		t.Fatalf("Interval(1)=(%d,%d), want (0,1)", num, den)
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !Root.Contains(Node(13)) {
+		t.Fatal("root contains everything")
+	}
+	if !Node(3).Contains(Node(6)) || !Node(3).Contains(Node(7)) {
+		t.Fatal("3 contains its children 6 and 7")
+	}
+	if Node(3).Contains(Node(4)) || Node(3).Contains(Node(5)) {
+		t.Fatal("3 must not contain 2's children")
+	}
+	if Node(6).Contains(Node(3)) {
+		t.Fatal("child does not contain parent")
+	}
+	if !Node(6).Contains(Node(6)) {
+		t.Fatal("Contains is reflexive")
+	}
+}
+
+func TestNestedDisjoint(t *testing.T) {
+	if d, ok := Nested(Node(2), Node(5)); !ok || d != 5 {
+		t.Fatalf("Nested(2,5)=(%d,%v), want (5,true)", d, ok)
+	}
+	if d, ok := Nested(Node(5), Node(2)); !ok || d != 5 {
+		t.Fatalf("Nested(5,2)=(%d,%v), want (5,true)", d, ok)
+	}
+	if _, ok := Nested(Node(2), Node(3)); ok {
+		t.Fatal("siblings are disjoint")
+	}
+	if !Disjoint(Node(4), Node(5)) || Disjoint(Node(4), Node(2)) {
+		t.Fatal("Disjoint misclassifies")
+	}
+}
+
+// Property: two dyadic intervals are either disjoint or nested — never
+// partially overlapping. Verified against the rational interval arithmetic.
+func TestNestedOrDisjointProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		v := Node(a%1023 + 1)
+		w := Node(b%1023 + 1)
+		vn, vd := v.Interval()
+		wn, wd := w.Interval()
+		// Compare on the common denominator lcm = max(vd, wd).
+		lo1, hi1 := uint64(vn)*uint64(wd), uint64(vn+1)*uint64(wd)
+		lo2, hi2 := uint64(wn)*uint64(vd), uint64(wn+1)*uint64(vd)
+		overlap := lo1 < hi2 && lo2 < hi1
+		_, nested := Nested(v, w)
+		return overlap == nested
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Root.Width() != 1 || Node(2).Width() != 0.5 || Node(7).Width() != 0.25 {
+		t.Fatal("Width wrong")
+	}
+}
+
+func TestRectChildAndContains(t *testing.T) {
+	r := NewRect(2)
+	p := r.Child(0, false)
+	q := r.Child(0, true)
+	if p[0] != 2 || q[0] != 3 || p[1] != 1 {
+		t.Fatalf("children wrong: %v %v", p, q)
+	}
+	if !r.Contains(p) || !r.Contains(q) || p.Contains(r) {
+		t.Fatal("containment wrong")
+	}
+	if !p.Equal(Rect{2, 1}) || p.Equal(q) {
+		t.Fatal("Equal wrong")
+	}
+	if p.Equal(Rect{2}) {
+		t.Fatal("different ranks are not equal")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	// 2-D: r covers x-low half, s covers y-low half; intersection is the
+	// low-low quadrant {2,2}.
+	r := Rect{2, 1}
+	s := Rect{1, 2}
+	got, ok := r.Intersect(s)
+	if !ok || !got.Equal(Rect{2, 2}) {
+		t.Fatalf("Intersect=%v,%v, want {2,2},true", got, ok)
+	}
+	// Disjoint in dimension 0.
+	u := Rect{2, 1}
+	v := Rect{3, 2}
+	if _, ok := u.Intersect(v); ok {
+		t.Fatal("disjoint rects must not intersect")
+	}
+	if !r.Overlaps(s) || u.Overlaps(v) {
+		t.Fatal("Overlaps wrong")
+	}
+}
+
+func TestRectIntersectRankMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank mismatch must panic")
+		}
+	}()
+	Rect{1}.Intersect(Rect{1, 1})
+}
+
+func TestFreqVolume(t *testing.T) {
+	if NewRect(3).FreqVolume() != 1 {
+		t.Fatal("root volume is 1")
+	}
+	if (Rect{2, 3}).FreqVolume() != 0.25 {
+		t.Fatal("two depth-1 intervals give volume 1/4")
+	}
+	if (Rect{4, 1}).FreqVolume() != 0.25 {
+		t.Fatal("depth-2 × root gives volume 1/4")
+	}
+}
+
+func TestTotalDepthAndString(t *testing.T) {
+	r := Rect{4, 3}
+	if r.TotalDepth() != 3 {
+		t.Fatalf("TotalDepth=%d, want 3", r.TotalDepth())
+	}
+	if r.String() == "" || Node(0).String() != "invalid" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	r := Rect{1, 5, 13, 2}
+	if !r.Key().Rect().Equal(r) {
+		t.Fatal("Key round trip failed")
+	}
+	if r.Key() != r.Clone().Key() {
+		t.Fatal("equal rects must produce equal keys")
+	}
+	if r.Key() == (Rect{1, 5, 13, 3}).Key() {
+		t.Fatal("distinct rects must produce distinct keys")
+	}
+}
+
+func TestNonRedundant(t *testing.T) {
+	// The pedagogical basis {V1,V5,V6} = {P⁰, R⁰P¹, R⁰R¹} on a 2×2 cube.
+	basis := []Rect{{2, 1}, {3, 2}, {3, 3}}
+	if !NonRedundant(basis) {
+		t.Fatal("{V1,V5,V6} is non-redundant")
+	}
+	// Adding the root overlaps everything.
+	if NonRedundant(append(basis, NewRect(2))) {
+		t.Fatal("set containing the root plus anything is redundant")
+	}
+}
+
+func TestCoversByVolume(t *testing.T) {
+	root := NewRect(2)
+	complete := []Rect{{2, 1}, {3, 2}, {3, 3}}
+	if !CoversByVolume(complete, root) {
+		t.Fatal("{V1,V5,V6} tiles the plane")
+	}
+	incomplete := []Rect{{2, 1}, {3, 2}}
+	if CoversByVolume(incomplete, root) {
+		t.Fatal("missing the high-high quadrant")
+	}
+	redundant := []Rect{{2, 1}, {3, 1}, {3, 2}}
+	if CoversByVolume(redundant, root) {
+		t.Fatal("overlapping set must fail")
+	}
+	outside := []Rect{{2, 1}, {3, 2}, {3, 3}}
+	if CoversByVolume(outside, Rect{2, 1}) {
+		t.Fatal("elements outside the root must fail")
+	}
+}
+
+func TestCompleteProcedure1(t *testing.T) {
+	root := NewRect(2)
+	maxDepth := []int{1, 1} // a 2×2 cube
+	cases := []struct {
+		name string
+		set  []Rect
+		want bool
+	}{
+		{"root itself", []Rect{{1, 1}}, true},
+		{"V1,V5,V6", []Rect{{2, 1}, {3, 2}, {3, 3}}, true},
+		{"V1,V4 split on dim0", []Rect{{2, 1}, {3, 1}}, true},
+		{"four quadrants", []Rect{{2, 2}, {2, 3}, {3, 2}, {3, 3}}, true},
+		{"redundant superset", []Rect{{1, 1}, {2, 1}}, true},
+		{"incomplete V1,V5", []Rect{{2, 1}, {3, 2}}, false},
+		{"incomplete V3,V7 (Table 2 row)", []Rect{{2, 3}, {1, 2}}, false},
+		{"empty", nil, false},
+	}
+	for _, c := range cases {
+		if got := Complete(c.set, root, maxDepth); got != c.want {
+			t.Errorf("%s: Complete=%v, want %v", c.name, got, c.want)
+		}
+		if got := IsBasis(c.set, root, maxDepth); got != c.want {
+			t.Errorf("%s: IsBasis=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIsNonRedundantBasis(t *testing.T) {
+	root := NewRect(2)
+	maxDepth := []int{1, 1}
+	if !IsNonRedundantBasis([]Rect{{2, 1}, {3, 2}, {3, 3}}, root, maxDepth) {
+		t.Fatal("{V1,V5,V6} is a non-redundant basis")
+	}
+	if IsNonRedundantBasis([]Rect{{1, 1}, {2, 1}}, root, maxDepth) {
+		t.Fatal("redundant superset is not a non-redundant basis")
+	}
+}
+
+// Property: volume-based completeness and Procedure 1 agree on random
+// non-redundant antichains generated by random tiling splits.
+func TestCompletenessAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		maxDepth := []int{2, 2}
+		root := NewRect(2)
+		// Generate a random tiling by recursive splitting.
+		tiling := randomTiling(r, root, maxDepth)
+		if !CoversByVolume(tiling, root) || !Complete(tiling, root, maxDepth) {
+			return false
+		}
+		// Removing any element must break completeness in both tests.
+		if len(tiling) > 1 {
+			i := r.Intn(len(tiling))
+			broken := append(append([]Rect(nil), tiling[:i]...), tiling[i+1:]...)
+			if CoversByVolume(broken, root) || Complete(broken, root, maxDepth) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomTiling splits the root into a random complete non-redundant tiling
+// (a random wavelet-packet basis, Procedure 2 with random choices).
+func randomTiling(r *rand.Rand, v Rect, maxDepth []int) []Rect {
+	var splittable []int
+	for m := range v {
+		if v[m].Depth() < maxDepth[m] {
+			splittable = append(splittable, m)
+		}
+	}
+	if len(splittable) == 0 || r.Intn(3) == 0 {
+		return []Rect{v}
+	}
+	m := splittable[r.Intn(len(splittable))]
+	out := randomTiling(r, v.Child(m, false), maxDepth)
+	return append(out, randomTiling(r, v.Child(m, true), maxDepth)...)
+}

@@ -1,0 +1,103 @@
+package freq
+
+// This file implements the frequency-plane tests of §4.2: non-redundancy
+// (no two selected view elements overlap) and completeness (the selected
+// elements tile the whole plane), including the recursive Procedure 1.
+
+// NonRedundant reports whether no two rectangles in the set overlap
+// (Definition 7 via the frequency-plane criterion: ∀ A≠B, V_A ∩ V_B = 0).
+func NonRedundant(set []Rect) bool {
+	for i := range set {
+		for j := i + 1; j < len(set); j++ {
+			if set[i].Overlaps(set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CoversByVolume reports whether the set tiles the root rectangle exactly:
+// every element lies inside root, no two elements overlap, and the summed
+// frequency volumes equal the root's volume. For dyadic rectangles these
+// three conditions are equivalent to a complete non-redundant tiling, and
+// the test is O(k²·d) with exact arithmetic (all volumes are powers of two).
+func CoversByVolume(set []Rect, root Rect) bool {
+	if !NonRedundant(set) {
+		return false
+	}
+	total := 0.0
+	for _, r := range set {
+		if !root.Contains(r) {
+			return false
+		}
+		total += r.FreqVolume()
+	}
+	return total == root.FreqVolume()
+}
+
+// Complete implements Procedure 1 of the paper: the set is complete with
+// respect to the element root if and only if root is in the set, or the set
+// is complete with respect to both the partial and residual children of
+// root on at least one dimension. maxDepth[m] bounds the recursion at the
+// depth log2(n_m) where dimension m's intervals reach single cells.
+//
+// Unlike CoversByVolume, Complete does not require non-redundancy: a
+// redundant superset of a tiling is still complete.
+func Complete(set []Rect, root Rect, maxDepth []int) bool {
+	if len(maxDepth) != len(root) {
+		panic("freq: maxDepth rank mismatch")
+	}
+	members := make(map[Key]bool, len(set))
+	for _, r := range set {
+		members[r.Key()] = true
+	}
+	memo := make(map[Key]bool)
+	return completeRec(members, memo, set, root, maxDepth)
+}
+
+func completeRec(members map[Key]bool, memo map[Key]bool, set []Rect, v Rect, maxDepth []int) bool {
+	k := v.Key()
+	if members[k] {
+		return true
+	}
+	if got, ok := memo[k]; ok {
+		return got
+	}
+	// Prune: if no set element lies inside v, v cannot be assembled from
+	// strictly finer pieces, so the recursion is doomed below this point.
+	anyInside := false
+	for _, s := range set {
+		if v.Contains(s) {
+			anyInside = true
+			break
+		}
+	}
+	result := false
+	if anyInside {
+		for m := range v {
+			if v[m].Depth() >= maxDepth[m] {
+				continue
+			}
+			if completeRec(members, memo, set, v.Child(m, false), maxDepth) &&
+				completeRec(members, memo, set, v.Child(m, true), maxDepth) {
+				result = true
+				break
+			}
+		}
+	}
+	memo[k] = result
+	return result
+}
+
+// IsBasis reports whether the set is a (possibly redundant) basis of the
+// root element: complete per Procedure 1 (Definition 8).
+func IsBasis(set []Rect, root Rect, maxDepth []int) bool {
+	return Complete(set, root, maxDepth)
+}
+
+// IsNonRedundantBasis reports whether the set is a non-redundant basis of
+// the root element (Definition 9).
+func IsNonRedundantBasis(set []Rect, root Rect, maxDepth []int) bool {
+	return NonRedundant(set) && Complete(set, root, maxDepth)
+}

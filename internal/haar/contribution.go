@@ -1,0 +1,56 @@
+package haar
+
+import (
+	"fmt"
+
+	"viewcube/internal/freq"
+)
+
+// This file computes how a single data-cube cell contributes to the cells
+// of any view element — the algebra behind incremental (delta) maintenance
+// of materialised elements: because every operator stage is linear, adding
+// δ to cube cell x adds coeff·δ to exactly one cell of every element, where
+// coeff ∈ {+1, −1} is a product of per-stage signs.
+//
+// Stage order matters: ApplyNode applies the node's path bits from the most
+// significant downward, and each PairSum/PairDiff stage consumes the least
+// significant bit of the current coordinate. So stage t (0-based) uses path
+// bit (depth−1−t) of the node and coordinate bit t of the original
+// coordinate; a residual stage contributes +1 when its coordinate bit is 0
+// (the cell sits in the minuend) and −1 when it is 1 (the subtrahend).
+
+// NodeContribution returns, for a frequency-tree node and an original cube
+// coordinate along that dimension, the element-local coordinate (coord
+// shifted past the consumed bits) and the contribution sign.
+func NodeContribution(node freq.Node, coord int) (local int, sign int) {
+	depth := node.Depth()
+	sign = 1
+	for t := 0; t < depth; t++ {
+		pathBit := (node >> uint(depth-1-t)) & 1
+		coordBit := (coord >> uint(t)) & 1
+		if pathBit == 1 && coordBit == 1 {
+			sign = -sign
+		}
+	}
+	return coord >> uint(depth), sign
+}
+
+// CellContribution returns the cell of element r that a cube cell at idx
+// feeds, and the ±1 coefficient of that contribution. The returned slice is
+// freshly allocated.
+func CellContribution(r freq.Rect, idx []int) (elemIdx []int, sign int, err error) {
+	if len(idx) != len(r) {
+		return nil, 0, fmt.Errorf("haar: index rank %d does not match element rank %d", len(idx), len(r))
+	}
+	elemIdx = make([]int, len(idx))
+	sign = 1
+	for m, node := range r {
+		if node == 0 {
+			return nil, 0, fmt.Errorf("haar: invalid zero node in %v", r)
+		}
+		local, s := NodeContribution(node, idx[m])
+		elemIdx[m] = local
+		sign *= s
+	}
+	return elemIdx, sign, nil
+}

@@ -1,0 +1,284 @@
+// Package haar implements the partial and residual aggregation operators of
+// §3 of Smith et al. (PODS 1998): the multi-dimensional extension of the
+// two-tap Haar filter bank.
+//
+// The first partial aggregation P₁ᵐ sums neighbouring pairs along dimension
+// m and subsamples by two (Eq. 1); the residual R₁ᵐ takes differences
+// (Eq. 2). The pair satisfies perfect reconstruction (Eq. 3–4),
+// non-expansiveness (Eq. 13), distributivity (Eq. 7–8) and separability
+// (Eq. 14). Cascading P₁ᵐ log2(n_m) times yields the total aggregation Sᵐ
+// (Eq. 15); cascading over every dimension yields the grand total (Eq. 16).
+//
+// The package also maps frequency-tree nodes (package freq) to operator
+// cascades: a node's root-to-node path spells exactly the P/R sequence that
+// materialises the corresponding view element from the cube.
+package haar
+
+import (
+	"fmt"
+	"math/bits"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+)
+
+// Partial applies the first partial aggregation P₁ᵐ along dimension m.
+func Partial(a *ndarray.Array, m int) (*ndarray.Array, error) {
+	return a.PairSum(m)
+}
+
+// Residual applies the first residual aggregation R₁ᵐ along dimension m.
+func Residual(a *ndarray.Array, m int) (*ndarray.Array, error) {
+	return a.PairDiff(m)
+}
+
+// Reconstruct synthesises the parent of the partial child p and residual
+// child r along dimension m via the perfect reconstruction identities.
+func Reconstruct(m int, p, r *ndarray.Array) (*ndarray.Array, error) {
+	return ndarray.Interleave(m, p, r)
+}
+
+// PartialK applies P₁ᵐ in cascade k times (the k-th partial aggregation
+// Pₖᵐ, Eq. 8). The extent of dimension m must be divisible by 2^k.
+func PartialK(a *ndarray.Array, m, k int) (*ndarray.Array, error) {
+	out := a
+	var err error
+	for i := 0; i < k; i++ {
+		out, err = out.PairSum(m)
+		if err != nil {
+			return nil, fmt.Errorf("haar: partial cascade stage %d of %d: %w", i+1, k, err)
+		}
+	}
+	return out, nil
+}
+
+// ResidualK applies Rₖᵐ = R₁ᵐ ∘ P₁ᵐ^(k−1): k−1 partial stages followed by
+// one residual stage (Eq. 7). k must be at least 1.
+func ResidualK(a *ndarray.Array, m, k int) (*ndarray.Array, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("haar: ResidualK requires k ≥ 1, got %d", k)
+	}
+	p, err := PartialK(a, m, k-1)
+	if err != nil {
+		return nil, err
+	}
+	return p.PairDiff(m)
+}
+
+// TotalAxis totally aggregates dimension m by cascading P₁ᵐ log2(n_m)
+// times (Eq. 15). The extent of dimension m must be a power of two.
+func TotalAxis(a *ndarray.Array, m int) (*ndarray.Array, error) {
+	n := a.Dim(m)
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("haar: dimension %d extent %d is not a power of two", m, n)
+	}
+	return PartialK(a, m, bits.Len(uint(n))-1)
+}
+
+// Total totally aggregates every dimension in dims, in order (Eq. 16). The
+// separability property guarantees the result is order-independent.
+func Total(a *ndarray.Array, dims ...int) (*ndarray.Array, error) {
+	out := a
+	var err error
+	for _, m := range dims {
+		out, err = TotalAxis(out, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ApplyNode applies, along dimension m, the cascade of partial and residual
+// aggregations spelled by the root-to-node path of the frequency-tree node:
+// each 0 bit is a partial stage, each 1 bit a residual stage. The extent of
+// dimension m must be divisible by 2^depth(node).
+func ApplyNode(a *ndarray.Array, m int, node freq.Node) (*ndarray.Array, error) {
+	if node == 0 {
+		return nil, fmt.Errorf("haar: invalid zero node")
+	}
+	depth := node.Depth()
+	out := a
+	var err error
+	for i := depth - 1; i >= 0; i-- {
+		if node>>uint(i)&1 == 0 {
+			out, err = out.PairSum(m)
+		} else {
+			out, err = out.PairDiff(m)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("haar: node %v cascade on dim %d: %w", node, m, err)
+		}
+	}
+	return out, nil
+}
+
+// ApplyRect materialises the view element identified by the frequency
+// rectangle from the array, applying each dimension's cascade in turn
+// (separability, Property 4, makes the order immaterial).
+func ApplyRect(a *ndarray.Array, r freq.Rect) (*ndarray.Array, error) {
+	if len(r) != a.Rank() {
+		return nil, fmt.Errorf("haar: rect rank %d does not match array rank %d", len(r), a.Rank())
+	}
+	out := a
+	var err error
+	for m, node := range r {
+		out, err = ApplyNode(out, m, node)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ApplyPath applies the cascade that carries the view element `from` down
+// to its descendant `to` (both frequency rectangles; `from` must contain
+// `to`). It is the aggregation step Fₐ,ₗ of Eq. 28: the input array holds
+// the element `from`, the output holds the element `to`.
+func ApplyPath(a *ndarray.Array, from, to freq.Rect) (*ndarray.Array, error) {
+	if !from.Contains(to) {
+		return nil, fmt.Errorf("haar: %v does not contain %v", from, to)
+	}
+	out := a
+	var err error
+	for m := range from {
+		// The relative path from from[m] to to[m] is the low
+		// (depth(to)−depth(from)) bits of to[m], read MSB first.
+		rel := to[m].Depth() - from[m].Depth()
+		for i := rel - 1; i >= 0; i-- {
+			if to[m]>>uint(i)&1 == 0 {
+				out, err = out.PairSum(m)
+			} else {
+				out, err = out.PairDiff(m)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("haar: path %v→%v on dim %d: %w", from, to, m, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// levels returns the block extents at each decomposition level: the full
+// shape first, then each dimension with extent ≥ 2 halved per level, until
+// every extent is 1. Every extent must be a power of two.
+func levels(shape []int) [][]int {
+	for m, n := range shape {
+		if n <= 0 || n&(n-1) != 0 {
+			panic(fmt.Sprintf("haar: dimension %d extent %d is not a power of two", m, n))
+		}
+	}
+	var out [][]int
+	ext := append([]int(nil), shape...)
+	for {
+		any := false
+		for _, n := range ext {
+			if n >= 2 {
+				any = true
+			}
+		}
+		if !any {
+			return out
+		}
+		out = append(out, append([]int(nil), ext...))
+		for m := range ext {
+			if ext[m] >= 2 {
+				ext[m] /= 2
+			}
+		}
+	}
+}
+
+// Transform performs the full multi-dimensional Haar wavelet decomposition
+// of a copy of the array: on every level it splits the current low-pass
+// block jointly on all dimensions whose extent at that level is ≥ 2,
+// storing partial sums in the lower half and residuals in the upper half of
+// each dimension. The result is the standard packed subband layout whose
+// coefficients are the wavelet-basis view elements of §4.3 (unnormalised:
+// pure sums and differences, matching the paper's operators). Every extent
+// must be a power of two; Transform panics otherwise. Use Inverse to undo.
+func Transform(a *ndarray.Array) *ndarray.Array {
+	out := a.Clone()
+	for _, ext := range levels(a.Shape()) {
+		// Axis passes on distinct dimensions commute (tensor-product
+		// structure), so a fixed increasing order is fine.
+		for m := range ext {
+			if ext[m] >= 2 {
+				haarAxisInPlace(out, m, ext, false)
+			}
+		}
+	}
+	return out
+}
+
+// Inverse undoes Transform, returning a reconstructed copy.
+func Inverse(a *ndarray.Array) *ndarray.Array {
+	out := a.Clone()
+	lv := levels(a.Shape())
+	for li := len(lv) - 1; li >= 0; li-- {
+		ext := lv[li]
+		for m := range ext {
+			if ext[m] >= 2 {
+				haarAxisInPlace(out, m, ext, true)
+			}
+		}
+	}
+	return out
+}
+
+// haarAxisInPlace performs one forward (inverse=false) or inverse
+// (inverse=true) Haar split along dimension m of the leading ext-shaped
+// block of a. Forward: low half ← pairwise sums, high half ← pairwise
+// differences. Inverse: the perfect-reconstruction identities.
+func haarAxisInPlace(a *ndarray.Array, m int, ext []int, inverse bool) {
+	n := ext[m]
+	half := n / 2
+	buf := make([]float64, n)
+	data := a.Data()
+	stride := a.Stride(m)
+	// Iterate over all line starts within the ext block.
+	idx := make([]int, a.Rank())
+	for {
+		// Compute base offset of this line (idx[m] is forced to 0).
+		base := 0
+		for q := range idx {
+			if q == m {
+				continue
+			}
+			base += idx[q] * a.Stride(q)
+		}
+		if !inverse {
+			for i := 0; i < half; i++ {
+				x := data[base+2*i*stride]
+				y := data[base+(2*i+1)*stride]
+				buf[i] = x + y
+				buf[half+i] = x - y
+			}
+		} else {
+			for i := 0; i < half; i++ {
+				p := data[base+i*stride]
+				r := data[base+(half+i)*stride]
+				buf[2*i] = (p + r) / 2
+				buf[2*i+1] = (p - r) / 2
+			}
+		}
+		for i := 0; i < n; i++ {
+			data[base+i*stride] = buf[i]
+		}
+		// Advance idx through all dims except m, bounded by ext.
+		q := a.Rank() - 1
+		for ; q >= 0; q-- {
+			if q == m {
+				continue
+			}
+			idx[q]++
+			if idx[q] < ext[q] {
+				break
+			}
+			idx[q] = 0
+		}
+		if q < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package haar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+)
+
+func randomCube(r *rand.Rand, shape ...int) *ndarray.Array {
+	a := ndarray.New(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = math.Round(r.Float64()*100 - 50)
+	}
+	return a
+}
+
+func TestPartialResidualMatchPaperExample(t *testing.T) {
+	a, _ := ndarray.NewFrom([]float64{1, 2, 3, 4}, 4)
+	p, err := Partial(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Residual(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0) != 3 || p.At(1) != 7 {
+		t.Fatalf("P = %v, want [3 7]", p.Data())
+	}
+	if r.At(0) != -1 || r.At(1) != -1 {
+		t.Fatalf("R = %v, want [-1 -1]", r.Data())
+	}
+}
+
+func TestPerfectReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := randomCube(r, 8, 4)
+	for m := 0; m < 2; m++ {
+		p, _ := Partial(a, m)
+		res, _ := Residual(a, m)
+		back, err := Reconstruct(m, p, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(a, 1e-12) {
+			t.Fatalf("dim %d: perfect reconstruction failed", m)
+		}
+	}
+}
+
+func TestNonExpansiveness(t *testing.T) {
+	// Property 3: Vol(P) + Vol(R) = Vol(A).
+	a := ndarray.New(8, 4, 2)
+	p, _ := Partial(a, 0)
+	r, _ := Residual(a, 0)
+	if p.Size()+r.Size() != a.Size() {
+		t.Fatalf("Vol(P)+Vol(R) = %d, want %d", p.Size()+r.Size(), a.Size())
+	}
+}
+
+func TestDistributivityTelescoping(t *testing.T) {
+	// Property 2: P_k = P_1 applied k times; ResidualK = R_1 ∘ P_{k-1}.
+	r := rand.New(rand.NewSource(2))
+	a := randomCube(r, 16)
+	p2, err := PartialK(a, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := Partial(a, 0)
+	p1p1, _ := Partial(p1, 0)
+	if !p2.Equal(p1p1, 0) {
+		t.Fatal("PartialK(2) != P1(P1)")
+	}
+	r3, err := ResidualK(a, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2a, _ := PartialK(a, 0, 2)
+	want, _ := Residual(p2a, 0)
+	if !r3.Equal(want, 0) {
+		t.Fatal("ResidualK(3) != R1(P2)")
+	}
+}
+
+func TestResidualKRequiresPositiveK(t *testing.T) {
+	a := ndarray.New(4)
+	if _, err := ResidualK(a, 0, 0); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}
+
+func TestPartialKTooDeep(t *testing.T) {
+	a := ndarray.New(4)
+	if _, err := PartialK(a, 0, 3); err == nil {
+		t.Fatal("want error when cascading past extent 1")
+	}
+}
+
+func TestSeparability(t *testing.T) {
+	// Property 4 / Eq 14: P1^0(P1^1(A)) == P1^1(P1^0(A)).
+	r := rand.New(rand.NewSource(3))
+	a := randomCube(r, 4, 8)
+	x1, _ := Partial(a, 0)
+	x2, _ := Partial(x1, 1)
+	y1, _ := Partial(a, 1)
+	y2, _ := Partial(y1, 0)
+	if !x2.Equal(y2, 0) {
+		t.Fatal("partial aggregations on distinct dimensions must commute")
+	}
+}
+
+func TestTotalAxisMatchesDirectSum(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := randomCube(r, 8, 4)
+	for m := 0; m < 2; m++ {
+		got, err := TotalAxis(a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.SumAxis(m)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("dim %d: cascade disagrees with direct sum", m)
+		}
+	}
+}
+
+func TestTotalAxisRejectsNonPowerOfTwo(t *testing.T) {
+	a := ndarray.New(6)
+	if _, err := TotalAxis(a, 0); err == nil {
+		t.Fatal("want error for non-power-of-two extent")
+	}
+}
+
+func TestTotalGrandSum(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randomCube(r, 4, 8, 2)
+	got, err := Total(a, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 1 {
+		t.Fatalf("grand total should be a single cell, got shape %v", got.Shape())
+	}
+	if math.Abs(got.Data()[0]-a.Total()) > 1e-9 {
+		t.Fatalf("grand total %g, want %g", got.Data()[0], a.Total())
+	}
+}
+
+func TestApplyNodePathOrder(t *testing.T) {
+	// Node 5 (binary 101) encodes partial-then-residual.
+	r := rand.New(rand.NewSource(6))
+	a := randomCube(r, 8)
+	got, err := ApplyNode(a, 0, freq.Node(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Partial(a, 0)
+	want, _ := Residual(p, 0)
+	if !got.Equal(want, 0) {
+		t.Fatal("ApplyNode(5) must equal R1(P1(A))")
+	}
+	// Root node is the identity.
+	id, err := ApplyNode(a, 0, freq.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.Equal(a, 0) {
+		t.Fatal("ApplyNode(root) must be the identity")
+	}
+	if _, err := ApplyNode(a, 0, freq.Node(0)); err == nil {
+		t.Fatal("want error for zero node")
+	}
+}
+
+func TestApplyRectShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randomCube(r, 8, 4)
+	// Rect {4, 3}: dim0 totally... depth2 partial path (node 4 = PP), dim1
+	// residual at depth 1 (node 3 = R).
+	got, err := ApplyRect(a, freq.Rect{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim(0) != 2 || got.Dim(1) != 2 {
+		t.Fatalf("shape %v, want [2 2]", got.Shape())
+	}
+	p1, _ := PartialK(a, 0, 2)
+	want, _ := Residual(p1, 1)
+	if !got.Equal(want, 0) {
+		t.Fatal("ApplyRect disagrees with manual cascade")
+	}
+	if _, err := ApplyRect(a, freq.Rect{1}); err == nil {
+		t.Fatal("want error for rank mismatch")
+	}
+}
+
+func TestApplyPathAggregatesDescendants(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := randomCube(r, 8, 8)
+	from := freq.Rect{2, 1} // P on dim 0
+	to := freq.Rect{4, 3}   // PP on dim 0, R on dim 1
+	el, err := ApplyRect(a, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApplyPath(el, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ApplyRect(a, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("ApplyPath(from→to) disagrees with ApplyRect(to)")
+	}
+	if _, err := ApplyPath(el, from, freq.Rect{3, 1}); err == nil {
+		t.Fatal("want error when from does not contain to")
+	}
+}
+
+// Property: for any view element rectangle, materialising it and perfectly
+// reconstructing the parent from partial+residual children is the identity
+// (two-way dependency of Figure 3).
+func TestSynthesisProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomCube(r, 8, 4)
+		// Random element with room to decompose on dim 0.
+		rect := freq.Rect{freq.Node(1 + r.Intn(3)), freq.Node(1 + r.Intn(3))}
+		el, err := ApplyRect(a, rect)
+		if err != nil {
+			return false
+		}
+		if el.Dim(0) < 2 {
+			return true // nothing to split
+		}
+		p, _ := Partial(el, 0)
+		res, _ := Residual(el, 0)
+		back, err := Reconstruct(0, p, res)
+		if err != nil {
+			return false
+		}
+		return back.Equal(el, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, shape := range [][]int{{8}, {4, 4}, {2, 8, 4}, {2, 2, 2, 2}, {1, 4}} {
+		a := randomCube(r, shape...)
+		w := Transform(a)
+		back := Inverse(w)
+		if !back.Equal(a, 1e-9) {
+			t.Fatalf("shape %v: Transform/Inverse round trip failed (maxdiff %g)", shape, back.MaxAbsDiff(a))
+		}
+	}
+}
+
+func TestTransformOriginIsGrandTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	a := randomCube(r, 4, 8)
+	w := Transform(a)
+	if math.Abs(w.At(0, 0)-a.Total()) > 1e-9 {
+		t.Fatalf("w[0,0]=%g, want grand total %g", w.At(0, 0), a.Total())
+	}
+}
+
+func TestTransformPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Transform must panic on non-power-of-two extents")
+		}
+	}()
+	Transform(ndarray.New(6))
+}
+
+func TestTransformIsNonExpansive(t *testing.T) {
+	a := ndarray.New(4, 4)
+	if Transform(a).Size() != a.Size() {
+		t.Fatal("wavelet transform must preserve volume (non-expansive)")
+	}
+}
+
+func TestTransformConstantCube(t *testing.T) {
+	// All residual coefficients of a constant cube are zero.
+	a := ndarray.New(4, 4)
+	a.Fill(2)
+	w := Transform(a)
+	if w.At(0, 0) != 32 {
+		t.Fatalf("grand total %g, want 32", w.At(0, 0))
+	}
+	nonzero := 0
+	for _, v := range w.Data() {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("constant cube must compress to a single nonzero coefficient, got %d", nonzero)
+	}
+}
+
+func TestNodeContributionSigns(t *testing.T) {
+	// Node 3 = R at depth 1: sign +1 for even coords, −1 for odd.
+	for coord := 0; coord < 8; coord++ {
+		local, sign := NodeContribution(freq.Node(3), coord)
+		wantSign := 1
+		if coord%2 == 1 {
+			wantSign = -1
+		}
+		if sign != wantSign || local != coord/2 {
+			t.Fatalf("coord %d: (%d,%d), want (%d,%d)", coord, local, sign, coord/2, wantSign)
+		}
+	}
+	// Root node: identity, always +1.
+	if local, sign := NodeContribution(freq.Root, 5); local != 5 || sign != 1 {
+		t.Fatal("root contribution wrong")
+	}
+}
+
+func TestCellContribution(t *testing.T) {
+	idx, sign, err := CellContribution(freq.Rect{3, 3}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two residual stages each with odd coordinate: signs multiply to +1.
+	if sign != 1 || idx[0] != 0 || idx[1] != 0 {
+		t.Fatalf("got idx %v sign %d", idx, sign)
+	}
+	if _, _, err := CellContribution(freq.Rect{3}, []int{1, 2}); err == nil {
+		t.Fatal("want error for rank mismatch")
+	}
+}

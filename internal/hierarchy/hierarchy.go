@@ -1,0 +1,108 @@
+// Package hierarchy models dimension hierarchies (day → month → quarter,
+// product → category) over dictionary-encoded cube dimensions.
+//
+// Because the relational layer assigns dictionary codes in sorted value
+// order, any grouping that is monotone with respect to that order (prefix
+// truncation, bucketing, classification by ordered key) makes every
+// hierarchy group a contiguous code range. Roll-up queries then reduce to
+// range aggregations, which the view element machinery answers in
+// O(log n) element cells per group (§6 of the paper) instead of scanning.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is one member of a hierarchy level: a named, inclusive range of
+// base dictionary codes.
+type Group struct {
+	Name   string
+	Lo, Hi int // inclusive code range over the base dimension
+}
+
+// Size returns the number of base values in the group.
+func (g Group) Size() int { return g.Hi - g.Lo + 1 }
+
+// Level is one level of a dimension hierarchy: an ordered partition of the
+// base dictionary into contiguous groups.
+type Level struct {
+	name   string
+	groups []Group
+}
+
+// BuildLevel derives a level by applying parentOf to the base values in
+// dictionary (sorted) order. Every group must be a contiguous run: if a
+// parent name re-appears after a different parent intervened, the grouping
+// is not monotone and BuildLevel returns an error naming the offender.
+func BuildLevel(name string, baseValues []string, parentOf func(string) string) (*Level, error) {
+	if name == "" {
+		return nil, fmt.Errorf("hierarchy: empty level name")
+	}
+	if len(baseValues) == 0 {
+		return nil, fmt.Errorf("hierarchy: level %q has no base values", name)
+	}
+	lv := &Level{name: name}
+	seen := make(map[string]bool)
+	for code, v := range baseValues {
+		parent := parentOf(v)
+		if parent == "" {
+			return nil, fmt.Errorf("hierarchy: value %q maps to an empty parent", v)
+		}
+		if n := len(lv.groups); n > 0 && lv.groups[n-1].Name == parent {
+			lv.groups[n-1].Hi = code
+			continue
+		}
+		if seen[parent] {
+			return nil, fmt.Errorf("hierarchy: group %q is not contiguous in dictionary order (re-appears at %q)", parent, v)
+		}
+		seen[parent] = true
+		lv.groups = append(lv.groups, Group{Name: parent, Lo: code, Hi: code})
+	}
+	return lv, nil
+}
+
+// Name returns the level's name.
+func (l *Level) Name() string { return l.name }
+
+// Groups returns the level's groups in base-code order.
+func (l *Level) Groups() []Group { return append([]Group(nil), l.groups...) }
+
+// NumGroups returns the number of groups.
+func (l *Level) NumGroups() int { return len(l.groups) }
+
+// GroupOf returns the group containing the base code.
+func (l *Level) GroupOf(code int) (Group, error) {
+	i := sort.Search(len(l.groups), func(i int) bool { return l.groups[i].Hi >= code })
+	if i == len(l.groups) || code < l.groups[i].Lo {
+		return Group{}, fmt.Errorf("hierarchy: code %d outside level %q", code, l.name)
+	}
+	return l.groups[i], nil
+}
+
+// GroupNamed returns the group with the given name.
+func (l *Level) GroupNamed(name string) (Group, error) {
+	for _, g := range l.groups {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Group{}, fmt.Errorf("hierarchy: level %q has no group %q", l.name, name)
+}
+
+// Validate checks internal consistency against a dictionary size: groups
+// must partition [0, dictLen) in order.
+func (l *Level) Validate(dictLen int) error {
+	next := 0
+	for _, g := range l.groups {
+		if g.Lo != next || g.Hi < g.Lo {
+			return fmt.Errorf("hierarchy: level %q group %q has range [%d,%d], expected to start at %d",
+				l.name, g.Name, g.Lo, g.Hi, next)
+		}
+		next = g.Hi + 1
+	}
+	if next != dictLen {
+		return fmt.Errorf("hierarchy: level %q covers %d codes, dictionary has %d", l.name, next, dictLen)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+func days(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "day-" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return out
+}
+
+func weekOf(v string) string {
+	// day-NN → week-(NN/7)
+	n := int(v[4]-'0')*10 + int(v[5]-'0')
+	return "week-" + string(rune('0'+n/7))
+}
+
+func TestBuildLevel(t *testing.T) {
+	lv, err := BuildLevel("week", days(28), weekOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Name() != "week" || lv.NumGroups() != 4 {
+		t.Fatalf("level %q with %d groups", lv.Name(), lv.NumGroups())
+	}
+	groups := lv.Groups()
+	if groups[0] != (Group{Name: "week-0", Lo: 0, Hi: 6}) {
+		t.Fatalf("group 0 = %+v", groups[0])
+	}
+	if groups[3] != (Group{Name: "week-3", Lo: 21, Hi: 27}) {
+		t.Fatalf("group 3 = %+v", groups[3])
+	}
+	if groups[1].Size() != 7 {
+		t.Fatalf("group size %d", groups[1].Size())
+	}
+	if err := lv.Validate(28); err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.Validate(29); err == nil {
+		t.Fatal("validate must catch uncovered codes")
+	}
+}
+
+func TestBuildLevelErrors(t *testing.T) {
+	if _, err := BuildLevel("", days(7), weekOf); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	if _, err := BuildLevel("x", nil, weekOf); err == nil {
+		t.Fatal("want error for no values")
+	}
+	if _, err := BuildLevel("x", days(7), func(string) string { return "" }); err == nil {
+		t.Fatal("want error for empty parent")
+	}
+	// Non-monotone grouping: even/odd alternation.
+	_, err := BuildLevel("parity", days(4), func(v string) string {
+		if int(v[5]-'0')%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	})
+	if err == nil || !strings.Contains(err.Error(), "not contiguous") {
+		t.Fatalf("want non-contiguity error, got %v", err)
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	lv, err := BuildLevel("week", days(28), weekOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for code := 0; code < 28; code++ {
+		g, err := lv.GroupOf(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := "week-" + string(rune('0'+code/7)); g.Name != want {
+			t.Fatalf("GroupOf(%d) = %q, want %q", code, g.Name, want)
+		}
+	}
+	if _, err := lv.GroupOf(99); err == nil {
+		t.Fatal("want error for out-of-range code")
+	}
+	if _, err := lv.GroupOf(-1); err == nil {
+		t.Fatal("want error for negative code")
+	}
+}
+
+func TestGroupNamed(t *testing.T) {
+	lv, _ := BuildLevel("week", days(14), weekOf)
+	g, err := lv.GroupNamed("week-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Lo != 7 || g.Hi != 13 {
+		t.Fatalf("group %+v", g)
+	}
+	if _, err := lv.GroupNamed("week-9"); err == nil {
+		t.Fatal("want error for unknown group")
+	}
+}
+
+func TestSingleGroupLevel(t *testing.T) {
+	lv, err := BuildLevel("all", days(5), func(string) string { return "everything" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.NumGroups() != 1 || lv.Groups()[0].Size() != 5 {
+		t.Fatalf("groups %+v", lv.Groups())
+	}
+}

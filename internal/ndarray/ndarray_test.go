@@ -1,0 +1,454 @@
+package ndarray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = float64(i)
+	}
+	return d
+}
+
+func randomArray(r *rand.Rand, shape ...int) *Array {
+	a := New(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = math.Round(r.Float64()*200 - 100)
+	}
+	return a
+}
+
+func TestNewZeroFilled(t *testing.T) {
+	a := New(3, 4, 5)
+	if a.Rank() != 3 || a.Size() != 60 {
+		t.Fatalf("rank=%d size=%d, want 3, 60", a.Rank(), a.Size())
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {2, -1}, {3, 0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestNewFromLengthMismatch(t *testing.T) {
+	if _, err := NewFrom(seq(5), 2, 3); err == nil {
+		t.Fatal("want error for mismatched data length")
+	}
+	a, err := NewFrom(seq(6), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 2) != 5 {
+		t.Fatalf("At(1,2)=%g, want 5", a.At(1, 2))
+	}
+}
+
+func TestOffsetIndexRoundTrip(t *testing.T) {
+	a := New(2, 3, 4)
+	for off := 0; off < a.Size(); off++ {
+		idx := a.Index(off)
+		if got := a.Offset(idx); got != off {
+			t.Fatalf("Offset(Index(%d)) = %d", off, got)
+		}
+	}
+}
+
+func TestOffsetPanicsOutOfBounds(t *testing.T) {
+	a := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Offset(%v) did not panic", idx)
+				}
+			}()
+			a.Offset(idx)
+		}()
+	}
+}
+
+func TestStridesRowMajor(t *testing.T) {
+	a := New(2, 3, 4)
+	want := []int{12, 4, 1}
+	for m, w := range want {
+		if a.Stride(m) != w {
+			t.Fatalf("Stride(%d)=%d, want %d", m, a.Stride(m), w)
+		}
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	a := New(2, 2)
+	a.Set(3, 1, 0)
+	a.Add(4, 1, 0)
+	if a.At(1, 0) != 7 {
+		t.Fatalf("At(1,0)=%g, want 7", a.At(1, 0))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a, _ := NewFrom(seq(4), 2, 2)
+	b := a.Clone()
+	b.Set(99, 0, 0)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Clone must not share data")
+	}
+	if !a.Equal(a.Clone(), 0) {
+		t.Fatal("clone should be equal to source")
+	}
+}
+
+func TestPairSumDiff1D(t *testing.T) {
+	a, _ := NewFrom([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	p, err := a.PairSum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.PairDiff(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := []float64{3, 7, 11, 15}
+	wantR := []float64{-1, -1, -1, -1}
+	for i := range wantP {
+		if p.Data()[i] != wantP[i] || r.Data()[i] != wantR[i] {
+			t.Fatalf("p=%v r=%v, want %v %v", p.Data(), r.Data(), wantP, wantR)
+		}
+	}
+}
+
+func TestPairSumOddExtent(t *testing.T) {
+	a := New(3, 2)
+	if _, err := a.PairSum(0); err == nil {
+		t.Fatal("want error for odd extent")
+	}
+	if _, err := a.PairDiff(0); err == nil {
+		t.Fatal("want error for odd extent")
+	}
+	if _, err := a.PairFold(0, func(x, y float64) float64 { return x }); err == nil {
+		t.Fatal("want error for odd extent")
+	}
+}
+
+func TestPairSumMatchesPairFold(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randomArray(r, 4, 6, 2)
+	for m := 0; m < 3; m++ {
+		p1, err := a.PairSum(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := a.PairFold(m, func(x, y float64) float64 { return x + y })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p1.Equal(p2, 0) {
+			t.Fatalf("dim %d: PairSum != PairFold(+)", m)
+		}
+		d1, _ := a.PairDiff(m)
+		d2, _ := a.PairFold(m, func(x, y float64) float64 { return x - y })
+		if !d1.Equal(d2, 0) {
+			t.Fatalf("dim %d: PairDiff != PairFold(-)", m)
+		}
+	}
+}
+
+func TestPairSumMiddleDim(t *testing.T) {
+	// Shape (2,4,2): fold dim 1, verify against hand computation.
+	a, _ := NewFrom(seq(16), 2, 4, 2)
+	p, err := a.PairSum(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Shape(); got[0] != 2 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("shape %v, want [2 2 2]", got)
+	}
+	// out[i,j,k] = a[i,2j,k] + a[i,2j+1,k]
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				want := a.At(i, 2*j, k) + a.At(i, 2*j+1, k)
+				if p.At(i, j, k) != want {
+					t.Fatalf("p[%d,%d,%d]=%g, want %g", i, j, k, p.At(i, j, k), want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterleavePerfectReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, shape := range [][]int{{8}, {4, 4}, {2, 4, 8}, {2, 2, 2, 2}} {
+		a := randomArray(r, shape...)
+		for m := range shape {
+			p, err := a.PairSum(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := a.PairDiff(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Interleave(m, p, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(a, 1e-12) {
+				t.Fatalf("shape %v dim %d: reconstruction failed (maxdiff %g)", shape, m, back.MaxAbsDiff(a))
+			}
+		}
+	}
+}
+
+func TestInterleaveShapeMismatch(t *testing.T) {
+	p := New(2, 2)
+	r := New(2, 3)
+	if _, err := Interleave(0, p, r); err == nil {
+		t.Fatal("want error for shape mismatch")
+	}
+}
+
+// Property: for any array with even extents, Interleave(PairSum, PairDiff)
+// is the identity on every dimension.
+func TestPerfectReconstructionProperty(t *testing.T) {
+	f := func(seed int64, rank uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := int(rank%3) + 1
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = 2 << (r.Intn(3)) // 2, 4 or 8
+		}
+		a := randomArray(r, shape...)
+		m := r.Intn(d)
+		p, err := a.PairSum(m)
+		if err != nil {
+			return false
+		}
+		res, err := a.PairDiff(m)
+		if err != nil {
+			return false
+		}
+		back, err := Interleave(m, p, res)
+		if err != nil {
+			return false
+		}
+		return back.Equal(a, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumAxisMatchesCascade(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randomArray(r, 8, 4)
+	direct := a.SumAxis(0)
+	cascade := a
+	var err error
+	for cascade.Dim(0) > 1 {
+		cascade, err = cascade.PairSum(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !direct.Equal(cascade, 1e-9) {
+		t.Fatal("SumAxis disagrees with PairSum cascade")
+	}
+}
+
+func TestSumAxisPreservesTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randomArray(r, 4, 4, 4)
+	for m := 0; m < 3; m++ {
+		if got := a.SumAxis(m).Total(); math.Abs(got-a.Total()) > 1e-9 {
+			t.Fatalf("dim %d: total %g != %g", m, got, a.Total())
+		}
+	}
+}
+
+func TestPrefixSumAxis(t *testing.T) {
+	a, _ := NewFrom([]float64{1, 2, 3, 4}, 4)
+	a.PrefixSumAxis(0)
+	want := []float64{1, 3, 6, 10}
+	for i := range want {
+		if a.Data()[i] != want[i] {
+			t.Fatalf("prefix sums %v, want %v", a.Data(), want)
+		}
+	}
+}
+
+func TestPrefixSumAllAxesGivesBoxSums(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := randomArray(r, 4, 8)
+	ps := a.Clone()
+	ps.PrefixSumAxis(0)
+	ps.PrefixSumAxis(1)
+	// ps[i,j] must equal sum of a[0..i, 0..j].
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			want, err := a.BoxSum([]int{0, 0}, []int{i + 1, j + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ps.At(i, j)-want) > 1e-9 {
+				t.Fatalf("ps[%d,%d]=%g, want %g", i, j, ps.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSubArray(t *testing.T) {
+	a, _ := NewFrom(seq(24), 4, 6)
+	sub, err := a.SubArray([]int{1, 2}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if sub.At(i, j) != a.At(1+i, 2+j) {
+				t.Fatalf("sub[%d,%d]=%g, want %g", i, j, sub.At(i, j), a.At(1+i, 2+j))
+			}
+		}
+	}
+}
+
+func TestSubArrayBounds(t *testing.T) {
+	a := New(4, 4)
+	cases := []struct{ lo, ext []int }{
+		{[]int{0, 0}, []int{5, 1}},
+		{[]int{-1, 0}, []int{1, 1}},
+		{[]int{3, 3}, []int{2, 1}},
+		{[]int{0, 0}, []int{0, 1}},
+		{[]int{0}, []int{1}},
+	}
+	for _, c := range cases {
+		if _, err := a.SubArray(c.lo, c.ext); err == nil {
+			t.Errorf("SubArray(%v,%v): want error", c.lo, c.ext)
+		}
+	}
+}
+
+func TestBoxSumMatchesSubArrayTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a := randomArray(r, 8, 8, 4)
+	for trial := 0; trial < 30; trial++ {
+		lo := []int{r.Intn(8), r.Intn(8), r.Intn(4)}
+		ext := []int{1 + r.Intn(8-lo[0]), 1 + r.Intn(8-lo[1]), 1 + r.Intn(4-lo[2])}
+		sub, err := a.SubArray(lo, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.BoxSum(lo, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-sub.Total()) > 1e-9 {
+			t.Fatalf("BoxSum=%g, SubArray total=%g", got, sub.Total())
+		}
+	}
+}
+
+func TestBoxSumBounds(t *testing.T) {
+	a := New(2, 2)
+	if _, err := a.BoxSum([]int{0, 0}, []int{3, 1}); err == nil {
+		t.Fatal("want error for out-of-bounds box")
+	}
+}
+
+func TestEachVisitsRowMajor(t *testing.T) {
+	a, _ := NewFrom(seq(6), 2, 3)
+	var visited []float64
+	var lastIdx []int
+	a.Each(func(idx []int, v float64) {
+		visited = append(visited, v)
+		lastIdx = append([]int(nil), idx...)
+	})
+	if len(visited) != 6 || visited[0] != 0 || visited[5] != 5 {
+		t.Fatalf("visited %v", visited)
+	}
+	if lastIdx[0] != 1 || lastIdx[1] != 2 {
+		t.Fatalf("last index %v, want [1 2]", lastIdx)
+	}
+}
+
+func TestMapScaleTotal(t *testing.T) {
+	a, _ := NewFrom(seq(4), 4)
+	a.Map(func(v float64) float64 { return v + 1 })
+	if a.Total() != 10 {
+		t.Fatalf("total=%g, want 10", a.Total())
+	}
+	a.Scale(2)
+	if a.Total() != 20 {
+		t.Fatalf("total=%g, want 20", a.Total())
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a, _ := NewFrom([]float64{1, 2}, 2)
+	b, _ := NewFrom([]float64{1, 2.0001}, 2)
+	if a.Equal(b, 0) {
+		t.Fatal("exact equal should fail")
+	}
+	if !a.Equal(b, 1e-3) {
+		t.Fatal("tolerant equal should pass")
+	}
+	c := New(2, 1)
+	if a.Equal(c, 1) {
+		t.Fatal("different shapes are never equal")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small, _ := NewFrom([]float64{1, 2}, 2)
+	if got := small.String(); got != "ndarray[2]{1 2}" {
+		t.Fatalf("String()=%q", got)
+	}
+	big := New(128)
+	if got := big.String(); got == "" {
+		t.Fatal("large String() should summarise, not be empty")
+	}
+}
+
+// Property: PairSum preserves the grand total; PairDiff of a constant array
+// is identically zero.
+func TestPairSumTotalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomArray(r, 4, 8)
+		m := r.Intn(2)
+		p, err := a.PairSum(m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(p.Total()-a.Total()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	c := New(4, 4)
+	c.Fill(3)
+	d, _ := c.PairDiff(1)
+	for _, v := range d.Data() {
+		if v != 0 {
+			t.Fatal("PairDiff of constant array must be zero")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that accepted queries
+// satisfy the structural invariants execution relies on. The seed corpus
+// runs as part of the ordinary test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT SUM(sales)",
+		"select sum(sales) group by product",
+		"SELECT SUM(s), COUNT(*), AVG(s) GROUP BY a, b WHERE c = 'x' AND d BETWEEN 'l' AND 'h'",
+		"select count(*) where x = 'it''s'",
+		"SELECT",
+		"SELECT SUM(",
+		"SELECT SUM(sales) WHERE day BETWEEN 'a' AND",
+		"group by select where",
+		"select sum(m) where d = '",
+		"'lonely string'",
+		"select sum(m) group by a where a = 'x'",
+		strings.Repeat("select sum(m) ", 50),
+		"select sum(m) where \x00 = 'x'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		if len(q.Aggregates) == 0 {
+			t.Fatal("accepted query with no aggregates")
+		}
+		// Grouped dimensions must never be filtered.
+		grouped := make(map[string]bool)
+		for _, d := range q.GroupBy {
+			grouped[strings.ToLower(d)] = true
+		}
+		for _, r := range q.Where {
+			if grouped[strings.ToLower(r.Dim)] {
+				t.Fatalf("accepted query grouping and filtering %q", r.Dim)
+			}
+		}
+	})
+}

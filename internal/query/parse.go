@@ -1,0 +1,275 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggKind names the supported aggregate functions.
+type AggKind int
+
+const (
+	// AggSum is SUM(measure).
+	AggSum AggKind = iota
+	// AggCount is COUNT(*) or COUNT(measure).
+	AggCount
+	// AggAvg is AVG(measure).
+	AggAvg
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Aggregate is one SELECT item.
+type Aggregate struct {
+	Kind AggKind
+	// Arg is the measure name, or "*" for COUNT(*).
+	Arg string
+}
+
+// Label renders the aggregate as a result column label, e.g. "SUM(sales)".
+func (a Aggregate) Label() string { return fmt.Sprintf("%s(%s)", a.Kind, a.Arg) }
+
+// Range is an inclusive value filter on one dimension. An equality
+// predicate has Lo == Hi.
+type Range struct {
+	Dim    string
+	Lo, Hi string
+}
+
+// Query is the parsed AST of a SELECT statement.
+type Query struct {
+	Aggregates []Aggregate
+	GroupBy    []string
+	Where      []Range
+}
+
+// NeedsCount reports whether execution requires a COUNT cube (any COUNT or
+// AVG aggregate).
+func (q *Query) NeedsCount() bool {
+	for _, a := range q.Aggregates {
+		if a.Kind != AggSum {
+			return true
+		}
+	}
+	return false
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex  lexer
+	tok  token
+	err  error
+	done bool
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: lexer{src: src}}
+	p.advance()
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("query: unexpected %s after end of query", p.tok)
+	}
+	return q, nil
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.tok, p.err = p.lex.next()
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive identifier).
+func (p *parser) keyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.err != nil {
+		return p.err
+	}
+	if !p.keyword(kw) {
+		return fmt.Errorf("query: expected %s, got %s", strings.ToUpper(kw), p.tok)
+	}
+	p.advance()
+	return p.err
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.err != nil {
+		return token{}, p.err
+	}
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("query: expected %s, got %s", what, p.tok)
+	}
+	t := p.tok
+	p.advance()
+	return t, p.err
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		agg, err := p.parseAggregate()
+		if err != nil {
+			return nil, err
+		}
+		q.Aggregates = append(q.Aggregates, agg)
+		if p.tok.kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if p.keyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(tokIdent, "dimension name")
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, t.text)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.keyword("where") {
+		p.advance()
+		for {
+			r, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, r)
+			if !p.keyword("and") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseAggregate() (Aggregate, error) {
+	t, err := p.expect(tokIdent, "aggregate function")
+	if err != nil {
+		return Aggregate{}, err
+	}
+	var kind AggKind
+	switch strings.ToUpper(t.text) {
+	case "SUM":
+		kind = AggSum
+	case "COUNT":
+		kind = AggCount
+	case "AVG":
+		kind = AggAvg
+	default:
+		return Aggregate{}, fmt.Errorf("query: unknown aggregate %q (want SUM, COUNT or AVG)", t.text)
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return Aggregate{}, err
+	}
+	var arg string
+	switch p.tok.kind {
+	case tokStar:
+		if kind != AggCount {
+			return Aggregate{}, fmt.Errorf("query: %s(*) is not allowed; name a measure", kind)
+		}
+		arg = "*"
+		p.advance()
+	case tokIdent:
+		arg = p.tok.text
+		p.advance()
+	default:
+		return Aggregate{}, fmt.Errorf("query: expected measure name or *, got %s", p.tok)
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return Aggregate{}, err
+	}
+	return Aggregate{Kind: kind, Arg: arg}, nil
+}
+
+func (p *parser) parsePredicate() (Range, error) {
+	dim, err := p.expect(tokIdent, "dimension name")
+	if err != nil {
+		return Range{}, err
+	}
+	switch {
+	case p.tok.kind == tokEq:
+		p.advance()
+		v, err := p.expect(tokString, "quoted value")
+		if err != nil {
+			return Range{}, err
+		}
+		return Range{Dim: dim.text, Lo: v.text, Hi: v.text}, nil
+	case p.keyword("between"):
+		p.advance()
+		lo, err := p.expect(tokString, "quoted value")
+		if err != nil {
+			return Range{}, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return Range{}, err
+		}
+		hi, err := p.expect(tokString, "quoted value")
+		if err != nil {
+			return Range{}, err
+		}
+		return Range{Dim: dim.text, Lo: lo.text, Hi: hi.text}, nil
+	default:
+		return Range{}, fmt.Errorf("query: expected = or BETWEEN after %q, got %s", dim.text, p.tok)
+	}
+}
+
+// validate enforces the structural rules the engine needs.
+func (p *parser) validate(q *Query) error {
+	if len(q.Aggregates) == 0 {
+		return fmt.Errorf("query: no aggregates")
+	}
+	seenDim := make(map[string]bool)
+	for _, d := range q.GroupBy {
+		key := strings.ToLower(d)
+		if seenDim[key] {
+			return fmt.Errorf("query: duplicate GROUP BY dimension %q", d)
+		}
+		seenDim[key] = true
+	}
+	seenPred := make(map[string]bool)
+	for _, r := range q.Where {
+		key := strings.ToLower(r.Dim)
+		if seenPred[key] {
+			return fmt.Errorf("query: multiple predicates on dimension %q", r.Dim)
+		}
+		seenPred[key] = true
+		if seenDim[key] {
+			return fmt.Errorf("query: dimension %q cannot be both grouped and filtered", r.Dim)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(`SELECT SUM(sales), COUNT(*), AVG(sales)
+		GROUP BY product, month
+		WHERE day BETWEEN 'd1' AND 'd5' AND region = 'east'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggregates) != 3 {
+		t.Fatalf("%d aggregates", len(q.Aggregates))
+	}
+	if q.Aggregates[0] != (Aggregate{Kind: AggSum, Arg: "sales"}) {
+		t.Fatalf("agg 0 = %+v", q.Aggregates[0])
+	}
+	if q.Aggregates[1] != (Aggregate{Kind: AggCount, Arg: "*"}) {
+		t.Fatalf("agg 1 = %+v", q.Aggregates[1])
+	}
+	if q.Aggregates[2] != (Aggregate{Kind: AggAvg, Arg: "sales"}) {
+		t.Fatalf("agg 2 = %+v", q.Aggregates[2])
+	}
+	if len(q.GroupBy) != 2 || q.GroupBy[0] != "product" || q.GroupBy[1] != "month" {
+		t.Fatalf("group by %v", q.GroupBy)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("where %v", q.Where)
+	}
+	if q.Where[0] != (Range{Dim: "day", Lo: "d1", Hi: "d5"}) {
+		t.Fatalf("pred 0 = %+v", q.Where[0])
+	}
+	if q.Where[1] != (Range{Dim: "region", Lo: "east", Hi: "east"}) {
+		t.Fatalf("pred 1 = %+v", q.Where[1])
+	}
+	if !q.NeedsCount() {
+		t.Fatal("COUNT/AVG queries need a count cube")
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	q, err := Parse("select sum(qty)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 0 || len(q.Where) != 0 {
+		t.Fatal("minimal query should have no group by or where")
+	}
+	if q.NeedsCount() {
+		t.Fatal("pure SUM does not need a count cube")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("SeLeCt AvG(m) gRoUp By d wHeRe x = 'v'"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseQuotedEscapes(t *testing.T) {
+	q, err := Parse(`select sum(m) where d = 'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Lo != "it's" {
+		t.Fatalf("escaped literal %q", q.Where[0].Lo)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"", "expected SELECT"},
+		{"select", "aggregate function"},
+		{"select max(m)", "unknown aggregate"},
+		{"select sum(*)", "name a measure"},
+		{"select sum(m) extra", "unexpected"},
+		{"select sum(m group by d", "')'"},
+		{"select sum(m) group d", "expected BY"},
+		{"select sum(m) group by", "dimension name"},
+		{"select sum(m) where d", "= or BETWEEN"},
+		{"select sum(m) where d = v", "quoted value"},
+		{"select sum(m) where d between 'a' 'b'", "expected AND"},
+		{"select sum(m) where d = 'unterminated", "unterminated string"},
+		{"select sum(m) group by d, d", "duplicate GROUP BY"},
+		{"select sum(m) where d = 'a' and d = 'b'", "multiple predicates"},
+		{"select sum(m) group by d where d = 'a'", "both grouped and filtered"},
+		{"select sum(m) where d ; 'a'", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestAggregateLabel(t *testing.T) {
+	if got := (Aggregate{Kind: AggSum, Arg: "sales"}).Label(); got != "SUM(sales)" {
+		t.Fatalf("label %q", got)
+	}
+	if got := (Aggregate{Kind: AggCount, Arg: "*"}).Label(); got != "COUNT(*)" {
+		t.Fatalf("label %q", got)
+	}
+	if AggKind(9).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestIdentifiersWithDashes(t *testing.T) {
+	// Dimension values like day-010 appear as identifiers in GROUP BY names
+	// and as string literals in predicates.
+	q, err := Parse("select sum(sales) group by product_line where day between 'day-001' and 'day-031'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupBy[0] != "product_line" || q.Where[0].Hi != "day-031" {
+		t.Fatalf("parsed %+v", q)
+	}
+}

@@ -1,0 +1,94 @@
+package rangeagg
+
+import (
+	"fmt"
+
+	"viewcube/internal/ndarray"
+)
+
+// GroupedRangeSum answers the classic OLAP "dice" query — SUM grouped by
+// the kept dimensions, filtered to a contiguous range on every other
+// dimension — through intermediate view elements: each filtered dimension
+// is dyadically decomposed, and for every combination of blocks one slab of
+// the matching intermediate element (kept dimensions undecomposed) is
+// accumulated into the result. The output array has the full cube extent on
+// kept dimensions and extent 1 elsewhere, matching the layout of an
+// aggregated view.
+//
+// The box must cover the full extent of every kept dimension (a filter on a
+// kept dimension would make the "group" cells outside the filter ambiguous;
+// slice the result instead).
+func (q *Querier) GroupedRangeSum(box Box, keep []bool) (*ndarray.Array, error) {
+	shape := q.space.Shape()
+	if len(keep) != len(shape) {
+		return nil, fmt.Errorf("rangeagg: keep mask rank %d, want %d", len(keep), len(shape))
+	}
+	if err := box.Validate(shape); err != nil {
+		return nil, err
+	}
+	d := len(shape)
+	outShape := make([]int, d)
+	blocks := make([][]Block, d)
+	for m := 0; m < d; m++ {
+		if keep[m] {
+			if box.Lo[m] != 0 || box.Ext[m] != shape[m] {
+				return nil, fmt.Errorf("rangeagg: kept dimension %d must be unfiltered (box %v)", m, box)
+			}
+			outShape[m] = shape[m]
+			blocks[m] = []Block{{Start: 0, Level: 0}} // placeholder; kept dims read whole slabs
+			continue
+		}
+		outShape[m] = 1
+		blocks[m] = DyadicBlocks(box.Lo[m], box.Ext[m])
+	}
+	out := ndarray.New(outShape...)
+
+	idx := make([]int, d)
+	depths := make([]int, d)
+	lo := make([]int, d)
+	ext := make([]int, d)
+	for {
+		for m := 0; m < d; m++ {
+			if keep[m] {
+				depths[m] = 0
+				lo[m] = 0
+				ext[m] = shape[m]
+				continue
+			}
+			b := blocks[m][idx[m]]
+			depths[m] = b.Level
+			lo[m] = b.Start >> uint(b.Level)
+			ext[m] = 1
+		}
+		el, err := q.element(depths)
+		if err != nil {
+			return nil, err
+		}
+		slab, err := el.SubArray(lo, ext)
+		if err != nil {
+			return nil, err
+		}
+		// Accumulate the slab into the output (same shapes by construction).
+		dst := out.Data()
+		for i, v := range slab.Data() {
+			dst[i] += v
+		}
+		q.CellsRead += slab.Size()
+
+		// Advance over the filtered dimensions' block products.
+		m := d - 1
+		for ; m >= 0; m-- {
+			if keep[m] {
+				continue
+			}
+			idx[m]++
+			if idx[m] < len(blocks[m]) {
+				break
+			}
+			idx[m] = 0
+		}
+		if m < 0 {
+			return out, nil
+		}
+	}
+}

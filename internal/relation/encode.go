@@ -1,0 +1,205 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"viewcube/internal/ndarray"
+)
+
+// This file maps relations onto MOLAP data cubes: each functional attribute
+// is dictionary-encoded onto [0, n_m) with n_m padded to the next power of
+// two (the paper's standing assumption n_m = 2^k_m), and the measure is
+// SUM-aggregated into the cube cells.
+
+// Dictionary maps the distinct values of one functional attribute to dense
+// integer codes in insertion order.
+type Dictionary struct {
+	values []string
+	index  map[string]int
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{index: make(map[string]int)}
+}
+
+// Encode returns the code for v, assigning the next code on first sight.
+func (d *Dictionary) Encode(v string) int {
+	if c, ok := d.index[v]; ok {
+		return c
+	}
+	c := len(d.values)
+	d.values = append(d.values, v)
+	d.index[v] = c
+	return c
+}
+
+// Code returns the code for v and whether it is present, without assigning.
+func (d *Dictionary) Code(v string) (int, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// Value returns the attribute value for a code.
+func (d *Dictionary) Value(code int) (string, bool) {
+	if code < 0 || code >= len(d.values) {
+		return "", false
+	}
+	return d.values[code], true
+}
+
+// Len returns the number of distinct values.
+func (d *Dictionary) Len() int { return len(d.values) }
+
+// PaddedLen returns the dictionary size rounded up to the next power of two
+// (minimum 2, so every dimension can be decomposed at least once).
+func (d *Dictionary) PaddedLen() int {
+	n := 2
+	for n < len(d.values) {
+		n *= 2
+	}
+	return n
+}
+
+// BoundsWithin returns the inclusive code range of dictionary values lying
+// lexicographically within [lo, hi]; empty lo means "from the first value"
+// and empty hi "to the last". ok is false when no value falls in the
+// interval. The matching codes must be contiguous — guaranteed when the
+// dictionary was built in sorted order (as BuildCube does) — otherwise an
+// error is returned.
+func (d *Dictionary) BoundsWithin(lo, hi string) (loCode, hiCode int, ok bool, err error) {
+	loCode, hiCode = -1, -1
+	for code, v := range d.values {
+		if (lo != "" && v < lo) || (hi != "" && v > hi) {
+			continue
+		}
+		if loCode < 0 {
+			loCode = code
+		} else if code != hiCode+1 {
+			return 0, 0, false, fmt.Errorf("relation: values in [%q,%q] are not contiguous in the dictionary", lo, hi)
+		}
+		hiCode = code
+	}
+	if loCode < 0 {
+		return 0, 0, false, nil
+	}
+	return loCode, hiCode, true, nil
+}
+
+// Encoding binds a relation's dimensions to cube coordinates.
+type Encoding struct {
+	Dimensions []string      // attribute names, in cube-dimension order
+	Dicts      []*Dictionary // one per dimension
+	Shape      []int         // power-of-two extents
+}
+
+// Index encodes one tuple's dimension values to a cube cell index, or an
+// error if any value is unknown to the encoding.
+func (e *Encoding) Index(values []string) ([]int, error) {
+	if len(values) != len(e.Dicts) {
+		return nil, fmt.Errorf("relation: %d values for %d dimensions", len(values), len(e.Dicts))
+	}
+	idx := make([]int, len(values))
+	for m, v := range values {
+		c, ok := e.Dicts[m].Code(v)
+		if !ok {
+			return nil, fmt.Errorf("relation: value %q unknown for dimension %s", v, e.Dimensions[m])
+		}
+		idx[m] = c
+	}
+	return idx, nil
+}
+
+// BuildCube loads the relation into a dense data cube. Each dimension's
+// values are dictionary-encoded in sorted order (so cube coordinates are
+// deterministic for a given table) and padded to a power of two; tuples
+// mapping to the same cell are SUM-aggregated. It returns the cube and the
+// encoding needed to interpret its coordinates.
+func BuildCube(t *Table) (*ndarray.Array, *Encoding, error) {
+	d := len(t.Schema().Dimensions)
+	enc := &Encoding{
+		Dimensions: append([]string(nil), t.Schema().Dimensions...),
+		Dicts:      make([]*Dictionary, d),
+		Shape:      make([]int, d),
+	}
+	for m := 0; m < d; m++ {
+		dict := NewDictionary()
+		for _, v := range t.DistinctValues(m) {
+			dict.Encode(v)
+		}
+		enc.Dicts[m] = dict
+		enc.Shape[m] = dict.PaddedLen()
+	}
+	cube := ndarray.New(enc.Shape...)
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		idx, err := enc.Index(row.Values)
+		if err != nil {
+			return nil, nil, err
+		}
+		cube.Add(row.Measure, idx...)
+	}
+	return cube, enc, nil
+}
+
+// ViewGroups converts a materialised aggregated view array back into
+// relational GROUP-BY form: a map from the group key (the values of the
+// non-aggregated dimensions, in dimension order) to the summed measure.
+// aggregated[m] reports whether dimension m was totally aggregated.
+// Padding cells (codes beyond the dictionary) are skipped; they are always
+// zero for views built from relations.
+func (e *Encoding) ViewGroups(view *ndarray.Array, aggregated []bool) (map[string]float64, error) {
+	if len(aggregated) != len(e.Dicts) {
+		return nil, fmt.Errorf("relation: aggregated mask rank %d, want %d", len(aggregated), len(e.Dicts))
+	}
+	for m := range aggregated {
+		want := 1
+		if !aggregated[m] {
+			want = e.Shape[m]
+		}
+		if view.Dim(m) != want {
+			return nil, fmt.Errorf("relation: view extent %d on dimension %d, want %d", view.Dim(m), m, want)
+		}
+	}
+	out := make(map[string]float64)
+	var bad error
+	view.Each(func(idx []int, v float64) {
+		if bad != nil {
+			return
+		}
+		var parts []string
+		for m, i := range idx {
+			if aggregated[m] {
+				continue
+			}
+			val, ok := e.Dicts[m].Value(i)
+			if !ok {
+				// Padding cell: must be empty.
+				if v != 0 {
+					bad = fmt.Errorf("relation: nonzero padding cell at %v", idx)
+				}
+				return
+			}
+			parts = append(parts, val)
+		}
+		out[GroupKey(parts...)] += v
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	// Sorting determinism is provided by the caller iterating keys; nothing
+	// further to do here.
+	return out, nil
+}
+
+// SortedKeys returns a group map's keys in sorted order, for deterministic
+// output in examples and tools.
+func SortedKeys(groups map[string]float64) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

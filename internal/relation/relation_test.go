@@ -1,0 +1,367 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"viewcube/internal/haar"
+	"viewcube/internal/velement"
+)
+
+func salesTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable(Schema{Dimensions: []string{"product", "region"}, Measure: "sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		p, r string
+		v    float64
+	}{
+		{"ale", "east", 10}, {"ale", "west", 5}, {"bock", "east", 7},
+		{"cider", "west", 3}, {"ale", "east", 2}, // duplicate cell: sums to 12
+	}
+	for _, r := range rows {
+		if err := tbl.Append([]string{r.p, r.r}, r.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := []Schema{
+		{},
+		{Dimensions: []string{"a"}},
+		{Dimensions: []string{"a", "a"}, Measure: "m"},
+		{Dimensions: []string{"a", "m"}, Measure: "m"},
+		{Dimensions: []string{""}, Measure: "m"},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	good := Schema{Dimensions: []string{"a", "b"}, Measure: "m"}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tbl := salesTable(t)
+	if err := tbl.Append([]string{"only-one"}, 1); err == nil {
+		t.Fatal("want error for wrong arity")
+	}
+	if tbl.Len() != 5 {
+		t.Fatalf("len %d, want 5", tbl.Len())
+	}
+	if tbl.Row(0).Measure != 10 {
+		t.Fatal("Row accessor broken")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	tbl := salesTable(t)
+	byProduct, err := tbl.GroupBy([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byProduct[GroupKey("ale")] != 17 || byProduct[GroupKey("bock")] != 7 || byProduct[GroupKey("cider")] != 3 {
+		t.Fatalf("by product: %v", byProduct)
+	}
+	grand, err := tbl.GroupBy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grand[""] != 27 {
+		t.Fatalf("grand total %v, want 27", grand[""])
+	}
+	if _, err := tbl.GroupBy([]int{5}); err == nil {
+		t.Fatal("want error for bad dimension")
+	}
+}
+
+func TestGroupKeyRoundTrip(t *testing.T) {
+	k := GroupKey("a", "b c", "d")
+	parts := SplitGroupKey(k)
+	if len(parts) != 3 || parts[1] != "b c" {
+		t.Fatalf("split %v", parts)
+	}
+	if SplitGroupKey("") != nil {
+		t.Fatal("empty key splits to nil")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := salesTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tbl.Len() {
+		t.Fatalf("round trip %d rows, want %d", back.Len(), tbl.Len())
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		a, b := tbl.Row(i), back.Row(i)
+		if a.Measure != b.Measure || a.Values[0] != b.Values[0] || a.Values[1] != b.Values[1] {
+			t.Fatalf("row %d mismatch: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), "sales"); err == nil {
+		t.Fatal("want error for missing measure column")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,sales\nx,notanumber\n"), "sales"); err == nil {
+		t.Fatal("want error for non-numeric measure")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), "sales"); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	if d.Encode("x") != 0 || d.Encode("y") != 1 || d.Encode("x") != 0 {
+		t.Fatal("Encode must be stable")
+	}
+	if c, ok := d.Code("y"); !ok || c != 1 {
+		t.Fatal("Code lookup broken")
+	}
+	if _, ok := d.Code("zzz"); ok {
+		t.Fatal("Code must not assign")
+	}
+	if v, ok := d.Value(1); !ok || v != "y" {
+		t.Fatal("Value lookup broken")
+	}
+	if _, ok := d.Value(9); ok {
+		t.Fatal("Value out of range must fail")
+	}
+	if d.Len() != 2 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestPaddedLen(t *testing.T) {
+	d := NewDictionary()
+	if d.PaddedLen() != 2 {
+		t.Fatalf("empty dictionary pads to 2, got %d", d.PaddedLen())
+	}
+	for _, v := range []string{"a", "b", "c"} {
+		d.Encode(v)
+	}
+	if d.PaddedLen() != 4 {
+		t.Fatalf("3 values pad to 4, got %d", d.PaddedLen())
+	}
+	d.Encode("d")
+	if d.PaddedLen() != 4 {
+		t.Fatalf("4 values pad to 4, got %d", d.PaddedLen())
+	}
+	d.Encode("e")
+	if d.PaddedLen() != 8 {
+		t.Fatalf("5 values pad to 8, got %d", d.PaddedLen())
+	}
+}
+
+func TestBuildCube(t *testing.T) {
+	tbl := salesTable(t)
+	cube, enc, err := BuildCube(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 products pad to 4, 2 regions stay 2.
+	shape := cube.Shape()
+	if shape[0] != 4 || shape[1] != 2 {
+		t.Fatalf("shape %v, want [4 2]", shape)
+	}
+	// Dictionary codes are sorted: ale=0, bock=1, cider=2; east=0, west=1.
+	if cube.At(0, 0) != 12 { // ale/east: 10+2
+		t.Fatalf("ale/east = %g, want 12", cube.At(0, 0))
+	}
+	if cube.At(2, 1) != 3 { // cider/west
+		t.Fatalf("cider/west = %g, want 3", cube.At(2, 1))
+	}
+	if math.Abs(cube.Total()-27) > 1e-12 {
+		t.Fatalf("cube total %g, want 27", cube.Total())
+	}
+	// Encoding round trip.
+	idx, err := enc.Index([]string{"bock", "west"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 1 || idx[1] != 1 {
+		t.Fatalf("index %v, want [1 1]", idx)
+	}
+	if _, err := enc.Index([]string{"stout", "west"}); err == nil {
+		t.Fatal("want error for unknown value")
+	}
+	if _, err := enc.Index([]string{"ale"}); err == nil {
+		t.Fatal("want error for wrong arity")
+	}
+}
+
+// The cube's totally aggregated views must agree with relational GROUP BY —
+// the bridge between the MOLAP machinery and the relational semantics.
+func TestAggregatedViewsMatchGroupBy(t *testing.T) {
+	tbl := salesTable(t)
+	cube, enc, err := BuildCube(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := velement.MustSpace(cube.Shape()...)
+	for mask := 0; mask < 4; mask++ {
+		aggregated := []bool{mask&1 != 0, mask&2 != 0}
+		var keepDims []int
+		for m, agg := range aggregated {
+			if !agg {
+				keepDims = append(keepDims, m)
+			}
+		}
+		want, err := tbl.GroupBy(keepDims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, err := haar.ApplyRect(cube, space.ViewForMask(uint(mask)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.ViewGroups(view, aggregated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, wv := range want {
+			if math.Abs(got[k]-wv) > 1e-9 {
+				t.Fatalf("mask %d: group %q = %g, want %g", mask, k, got[k], wv)
+			}
+		}
+		for k, gv := range got {
+			if _, ok := want[k]; !ok && math.Abs(gv) > 1e-9 {
+				t.Fatalf("mask %d: unexpected nonzero group %q = %g", mask, k, gv)
+			}
+		}
+	}
+}
+
+func TestViewGroupsValidation(t *testing.T) {
+	tbl := salesTable(t)
+	cube, enc, _ := BuildCube(tbl)
+	if _, err := enc.ViewGroups(cube, []bool{true}); err == nil {
+		t.Fatal("want error for mask rank mismatch")
+	}
+	if _, err := enc.ViewGroups(cube, []bool{true, false}); err == nil {
+		t.Fatal("want error for extent mismatch")
+	}
+}
+
+func TestDistinctValuesSorted(t *testing.T) {
+	tbl := salesTable(t)
+	got := tbl.DistinctValues(0)
+	want := []string{"ale", "bock", "cider"}
+	if len(got) != 3 {
+		t.Fatalf("distinct %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]float64{"b": 1, "a": 2})
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("sorted keys %v", keys)
+	}
+}
+
+// Property: for random tables, the cube grand total equals the relational
+// grand total, and a random single-dimension GROUP BY agrees with the
+// corresponding totally aggregated view.
+func TestRandomTableCubeConsistency(t *testing.T) {
+	products := []string{"p0", "p1", "p2", "p3", "p4", "p5"}
+	regions := []string{"r0", "r1", "r2"}
+	months := []string{"m0", "m1", "m2", "m3"}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, err := NewTable(Schema{Dimensions: []string{"product", "region", "month"}, Measure: "qty"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			err := tbl.Append([]string{
+				products[rng.Intn(len(products))],
+				regions[rng.Intn(len(regions))],
+				months[rng.Intn(len(months))],
+			}, float64(rng.Intn(100)))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cube, enc, err := BuildCube(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grand, _ := tbl.GroupBy(nil)
+		if math.Abs(cube.Total()-grand[""]) > 1e-9 {
+			t.Fatalf("seed %d: cube total %g, relational %g", seed, cube.Total(), grand[""])
+		}
+		space := velement.MustSpace(cube.Shape()...)
+		// Aggregate away dims 1 and 2, keep product (mask with bits 1,2).
+		view, err := haar.ApplyRect(cube, space.ViewForMask(0b110))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.ViewGroups(view, []bool{false, true, true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := tbl.GroupBy([]int{0})
+		for k, wv := range want {
+			if math.Abs(got[k]-wv) > 1e-9 {
+				t.Fatalf("seed %d: group %q = %g, want %g", seed, k, got[k], wv)
+			}
+		}
+	}
+}
+
+func TestBoundsWithin(t *testing.T) {
+	d := NewDictionary()
+	for _, v := range []string{"apple", "banana", "cherry", "date"} {
+		d.Encode(v)
+	}
+	lo, hi, ok, err := d.BoundsWithin("banana", "cherry")
+	if err != nil || !ok || lo != 1 || hi != 2 {
+		t.Fatalf("bounds (%d,%d,%v,%v)", lo, hi, ok, err)
+	}
+	// Bounds that are not exact values still select lexicographically.
+	lo, hi, ok, err = d.BoundsWithin("b", "cz")
+	if err != nil || !ok || lo != 1 || hi != 2 {
+		t.Fatalf("inexact bounds (%d,%d,%v,%v)", lo, hi, ok, err)
+	}
+	// Open bounds.
+	lo, hi, ok, err = d.BoundsWithin("", "")
+	if err != nil || !ok || lo != 0 || hi != 3 {
+		t.Fatalf("open bounds (%d,%d,%v,%v)", lo, hi, ok, err)
+	}
+	// Empty interval.
+	if _, _, ok, err = d.BoundsWithin("x", "y"); err != nil || ok {
+		t.Fatalf("empty interval ok=%v err=%v", ok, err)
+	}
+	// Unsorted dictionary with non-contiguous matches errors out.
+	u := NewDictionary()
+	for _, v := range []string{"b", "z", "c"} {
+		u.Encode(v)
+	}
+	if _, _, _, err := u.BoundsWithin("b", "c"); err == nil {
+		t.Fatal("want contiguity error for unsorted dictionary")
+	}
+}

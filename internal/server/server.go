@@ -1,0 +1,198 @@
+// Package server exposes a viewcube engine over HTTP with a small JSON API
+// — the daemon face of the library:
+//
+//	POST /query    {"sql": "SELECT SUM(sales) GROUP BY product"}
+//	POST /update   {"delta": 5, "values": {"product": "ale", ...}}
+//	GET  /groupby?keep=product,region
+//	GET  /range?dim=lo:hi&dim2=lo:hi
+//	GET  /explain?keep=product
+//	GET  /stats
+//	POST /optimize {"views": [{"keep": ["product"], "freq": 0.7}, ...]}
+//
+// The handler serialises access through a SafeEngine, so one server can
+// serve concurrent clients.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"viewcube"
+)
+
+// Server is an http.Handler over one cube engine.
+type Server struct {
+	cube *viewcube.Cube
+	eng  *viewcube.SafeEngine
+	// raw keeps the unwrapped engine for operations SafeEngine does not
+	// proxy; every use goes through safe wrappers added here.
+	mux *http.ServeMux
+}
+
+// New wraps a cube and its engine into an HTTP handler.
+func New(cube *viewcube.Cube, eng *viewcube.Engine) *Server {
+	s := &Server{cube: cube, eng: eng.Safe()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("POST /optimize", s.handleOptimize)
+	mux.HandleFunc("GET /groupby", s.handleGroupBy)
+	mux.HandleFunc("GET /range", s.handleRange)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /info", s.handleInfo)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+type queryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    []queryRow `json:"rows"`
+}
+
+type queryRow struct {
+	Key    []string  `json:"key"`
+	Values []float64 `json:"values"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	res, err := s.eng.Query(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := queryResponse{Columns: res.Columns}
+	for _, row := range res.Rows {
+		key := row.Key
+		if key == nil {
+			key = []string{}
+		}
+		resp.Rows = append(resp.Rows, queryRow{Key: key, Values: row.Values})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type updateRequest struct {
+	Delta  float64           `json:"delta"`
+	Values map[string]string `json:"values"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := s.eng.UpdateValue(req.Delta, req.Values); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type optimizeRequest struct {
+	Views []struct {
+		Keep []string `json:"keep"`
+		Freq float64  `json:"freq"`
+	} `json:"views"`
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	wl := s.cube.NewWorkload()
+	for _, v := range req.Views {
+		if err := wl.AddViewKeeping(v.Freq, v.Keep...); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := s.eng.Optimize(wl); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	keepParam := r.URL.Query().Get("keep")
+	var keep []string
+	if keepParam != "" {
+		keep = strings.Split(keepParam, ",")
+	}
+	v, err := s.eng.GroupBy(keep...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	groups, err := v.Groups()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make(map[string]float64, len(groups))
+	for k, val := range groups {
+		out[strings.Join(viewcube.SplitGroupKey(k), "/")] = val
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	ranges := make(map[string]viewcube.ValueRange)
+	for dim, vals := range r.URL.Query() {
+		if len(vals) == 0 {
+			continue
+		}
+		lo, hi, ok := strings.Cut(vals[0], ":")
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("range %q must be lo:hi", vals[0]))
+			return
+		}
+		ranges[dim] = viewcube.ValueRange{Lo: lo, Hi: hi}
+	}
+	sum, err := s.eng.RangeSum(ranges)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"sum": sum})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dimensions": s.cube.Dimensions(),
+		"shape":      s.cube.Shape(),
+		"volume":     s.cube.Volume(),
+		"measure":    s.cube.Measure(),
+	})
+}

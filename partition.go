@@ -1,0 +1,249 @@
+package viewcube
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// PartitionTable splits a relation into shard tables by hashing the values
+// of one dimension, so all tuples sharing that dimension value land in the
+// same shard. Because SUM is distributive, any aggregate over the whole
+// relation is the sum of the per-shard aggregates — the basis for the
+// scale-out engine below.
+func PartitionTable(t *Table, dim string, shards int) ([]*Table, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("viewcube: need at least one shard, got %d", shards)
+	}
+	dims := t.Dimensions()
+	dimIdx := -1
+	for i, d := range dims {
+		if d == dim {
+			dimIdx = i
+			break
+		}
+	}
+	if dimIdx < 0 {
+		return nil, fmt.Errorf("viewcube: unknown partition dimension %q (have %v)", dim, dims)
+	}
+	out := make([]*Table, shards)
+	for i := range out {
+		tbl, err := NewTable(dims, t.Measure())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tbl
+	}
+	for i := 0; i < t.t.Len(); i++ {
+		row := t.t.Row(i)
+		h := fnv.New32a()
+		h.Write([]byte(row.Values[dimIdx]))
+		shard := int(h.Sum32()) % shards
+		if shard < 0 {
+			shard += shards
+		}
+		if err := out[shard].Append(row.Values, row.Measure); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PartitionedEngine answers aggregation queries over a sharded relation by
+// fanning out to one Engine per shard (in parallel) and merging the
+// distributive results. Shards whose table is empty are skipped.
+type PartitionedEngine struct {
+	dims    []string
+	engines []*Engine
+	cubes   []*Cube
+}
+
+// NewPartitionedEngine builds one cube and engine per non-empty shard
+// table. All tables must share a schema.
+func NewPartitionedEngine(tables []*Table, opts EngineOptions) (*PartitionedEngine, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("viewcube: no shard tables")
+	}
+	if opts.DiskDir != "" {
+		return nil, fmt.Errorf("viewcube: shards cannot share one DiskDir; use per-shard engines directly")
+	}
+	p := &PartitionedEngine{dims: tables[0].Dimensions()}
+	for i, t := range tables {
+		if t.Len() == 0 {
+			continue
+		}
+		got := t.Dimensions()
+		if len(got) != len(p.dims) {
+			return nil, fmt.Errorf("viewcube: shard %d schema mismatch", i)
+		}
+		for j := range got {
+			if got[j] != p.dims[j] {
+				return nil, fmt.Errorf("viewcube: shard %d schema mismatch", i)
+			}
+		}
+		cube, err := FromRelation(t)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := cube.NewEngine(opts)
+		if err != nil {
+			return nil, err
+		}
+		p.cubes = append(p.cubes, cube)
+		p.engines = append(p.engines, eng)
+	}
+	if len(p.engines) == 0 {
+		return nil, fmt.Errorf("viewcube: all shards are empty")
+	}
+	return p, nil
+}
+
+// Shards returns the number of live (non-empty) shards.
+func (p *PartitionedEngine) Shards() int { return len(p.engines) }
+
+// fanOut runs fn on every shard concurrently and returns the first error.
+// Each shard's Engine is confined to its goroutine, so no locking is
+// needed beyond the merge.
+func (p *PartitionedEngine) fanOut(fn func(i int, eng *Engine) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(p.engines))
+	for i := range p.engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, p.engines[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroupBy merges the per-shard GROUP BY results (SUM is distributive, so
+// addition per group key is exact).
+func (p *PartitionedEngine) GroupBy(keep ...string) (map[string]float64, error) {
+	partial := make([]map[string]float64, len(p.engines))
+	err := p.fanOut(func(i int, eng *Engine) error {
+		v, err := eng.GroupBy(keep...)
+		if err != nil {
+			return err
+		}
+		g, err := v.Groups()
+		if err != nil {
+			return err
+		}
+		partial[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, g := range partial {
+		for k, v := range g {
+			out[k] += v
+		}
+	}
+	return out, nil
+}
+
+// Total sums the shard totals.
+func (p *PartitionedEngine) Total() (float64, error) {
+	totals := make([]float64, len(p.engines))
+	err := p.fanOut(func(i int, eng *Engine) error {
+		t, err := eng.Total()
+		if err != nil {
+			return err
+		}
+		totals[i] = t
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, t := range totals {
+		sum += t
+	}
+	return sum, nil
+}
+
+// RangeSum answers a value-range SUM across shards. Unlike Engine.RangeSum,
+// bounds are interpreted lexicographically (first value ≥ Lo through last
+// value ≤ Hi), because each shard holds a different subset of values and an
+// exact bound may be absent from some shards.
+func (p *PartitionedEngine) RangeSum(ranges map[string]ValueRange) (float64, error) {
+	for name := range ranges {
+		found := false
+		for _, d := range p.dims {
+			if d == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("viewcube: unknown dimension %q", name)
+		}
+	}
+	sums := make([]float64, len(p.engines))
+	err := p.fanOut(func(i int, eng *Engine) error {
+		shape := eng.cube.Shape()
+		lo := make([]int, len(shape))
+		ext := make([]int, len(shape))
+		for m := range shape {
+			ext[m] = eng.cube.enc.Dicts[m].Len()
+			if ext[m] == 0 {
+				return nil // empty dictionary: shard contributes nothing
+			}
+		}
+		for name, vr := range ranges {
+			m, err := eng.cube.DimIndex(name)
+			if err != nil {
+				return err
+			}
+			loCode, hiCode, ok, err := eng.cube.enc.Dicts[m].BoundsWithin(vr.Lo, vr.Hi)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil // no values in range on this shard
+			}
+			lo[m], ext[m] = loCode, hiCode-loCode+1
+		}
+		s, err := eng.RangeSumIndex(lo, ext)
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, s := range sums {
+		sum += s
+	}
+	return sum, nil
+}
+
+// Optimize fans a keep-lists workload out to every shard (each shard runs
+// Algorithm 1/2 on its own cube).
+func (p *PartitionedEngine) Optimize(hotViews [][]string, freqs []float64) error {
+	if len(hotViews) != len(freqs) {
+		return fmt.Errorf("viewcube: %d hot views but %d frequencies", len(hotViews), len(freqs))
+	}
+	return p.fanOut(func(i int, eng *Engine) error {
+		w := p.cubes[i].NewWorkload()
+		for j, keep := range hotViews {
+			if err := w.AddViewKeeping(freqs[j], keep...); err != nil {
+				return err
+			}
+		}
+		return eng.Optimize(w)
+	})
+}

@@ -1,0 +1,152 @@
+package viewcube
+
+import (
+	"fmt"
+	"sort"
+
+	"viewcube/internal/query"
+)
+
+// QueryRow is one group of a query result: the kept dimensions' values (in
+// GROUP BY order) and one value per selected aggregate.
+type QueryRow struct {
+	Key    []string
+	Values []float64
+}
+
+// QueryResult is the tabular answer to a SQL-like query.
+type QueryResult struct {
+	// Columns lists the kept dimensions followed by the aggregate labels,
+	// e.g. ["product", "SUM(sales)", "COUNT(*)"].
+	Columns []string
+	Rows    []QueryRow
+}
+
+// Query parses and executes a SQL-like aggregation statement against the
+// engine:
+//
+//	SELECT SUM(sales) GROUP BY product WHERE day BETWEEN 'd1' AND 'd5'
+//
+// Only SUM aggregates are supported on a plain Engine; use AvgEngine.Query
+// for COUNT and AVG. Grouped dimensions cannot also be filtered.
+func (e *Engine) Query(sql string) (*QueryResult, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if q.NeedsCount() {
+		return nil, fmt.Errorf("viewcube: COUNT/AVG need an AvgEngine (this engine has only the SUM cube)")
+	}
+	return executeQuery(q, e, nil)
+}
+
+// Query parses and executes a SQL-like statement supporting SUM, COUNT(*)
+// (or COUNT(measure)) and AVG.
+func (a *AvgEngine) Query(sql string) (*QueryResult, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return executeQuery(q, a.Sum, a.Count)
+}
+
+// executeQuery runs the parsed query against the SUM engine and, when
+// needed, the COUNT engine.
+func executeQuery(q *query.Query, sumEng, countEng *Engine) (*QueryResult, error) {
+	cube := sumEng.cube
+	if cube.enc == nil && len(q.Where) > 0 {
+		return nil, fmt.Errorf("viewcube: WHERE needs a dictionary-encoded cube")
+	}
+	for _, agg := range q.Aggregates {
+		if agg.Arg == "*" {
+			continue
+		}
+		if cube.measure != "" && agg.Arg != cube.measure {
+			return nil, fmt.Errorf("viewcube: unknown measure %q (cube measure is %q)", agg.Arg, cube.measure)
+		}
+	}
+
+	ranges := make(map[string]ValueRange, len(q.Where))
+	for _, r := range q.Where {
+		if _, err := cube.DimIndex(r.Dim); err != nil {
+			return nil, err
+		}
+		ranges[r.Dim] = ValueRange{Lo: r.Lo, Hi: r.Hi}
+	}
+
+	groupsOf := func(eng *Engine) (map[string]float64, error) {
+		if len(ranges) == 0 {
+			v, err := eng.GroupBy(q.GroupBy...)
+			if err != nil {
+				return nil, err
+			}
+			if eng.cube.enc == nil {
+				// Raw cube, no dictionaries: only the ungrouped total works.
+				if len(q.GroupBy) > 0 {
+					return nil, fmt.Errorf("viewcube: GROUP BY needs a dictionary-encoded cube")
+				}
+				val, err := v.Value()
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{"": val}, nil
+			}
+			return v.Groups()
+		}
+		v, err := eng.GroupByWhere(q.GroupBy, ranges)
+		if err != nil {
+			return nil, err
+		}
+		return v.Groups()
+	}
+
+	sums, err := groupsOf(sumEng)
+	if err != nil {
+		return nil, err
+	}
+	var counts map[string]float64
+	if q.NeedsCount() {
+		if countEng == nil {
+			return nil, fmt.Errorf("viewcube: COUNT/AVG need a count cube")
+		}
+		counts, err = groupsOf(countEng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &QueryResult{Columns: append([]string(nil), q.GroupBy...)}
+	for _, agg := range q.Aggregates {
+		res.Columns = append(res.Columns, agg.Label())
+	}
+
+	// Canonical group set: keys of counts when present (count > 0 means
+	// tuples exist), else keys of sums.
+	keySet := sums
+	if counts != nil {
+		keySet = counts
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if counts != nil && counts[k] == 0 {
+			continue // no tuples in this group under the filter
+		}
+		row := QueryRow{Key: SplitGroupKey(k)}
+		for _, agg := range q.Aggregates {
+			switch agg.Kind {
+			case query.AggSum:
+				row.Values = append(row.Values, sums[k])
+			case query.AggCount:
+				row.Values = append(row.Values, counts[k])
+			case query.AggAvg:
+				row.Values = append(row.Values, sums[k]/counts[k])
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package viewcube
+
+import (
+	"io"
+	"sync"
+)
+
+// SafeEngine wraps an Engine with a mutex so it can be shared across
+// goroutines (e.g. a query server). All operations serialise: the
+// underlying engine mutates shared state (plans, caches, adaptation
+// counters) even on reads, so a plain RWMutex split is not sound.
+type SafeEngine struct {
+	mu  sync.Mutex
+	eng *Engine
+}
+
+// Safe wraps the engine for concurrent use. The wrapped engine must not be
+// used directly afterwards.
+func (e *Engine) Safe() *SafeEngine { return &SafeEngine{eng: e} }
+
+// GroupBy is Engine.GroupBy under the lock.
+func (s *SafeEngine) GroupBy(keep ...string) (*View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.GroupBy(keep...)
+}
+
+// GroupByWhere is Engine.GroupByWhere under the lock.
+func (s *SafeEngine) GroupByWhere(keep []string, ranges map[string]ValueRange) (*View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.GroupByWhere(keep, ranges)
+}
+
+// View is Engine.View under the lock.
+func (s *SafeEngine) View(el Element) (*View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.View(el)
+}
+
+// Total is Engine.Total under the lock.
+func (s *SafeEngine) Total() (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Total()
+}
+
+// RangeSum is Engine.RangeSum under the lock.
+func (s *SafeEngine) RangeSum(ranges map[string]ValueRange) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.RangeSum(ranges)
+}
+
+// Query is Engine.Query under the lock.
+func (s *SafeEngine) Query(sql string) (*QueryResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Query(sql)
+}
+
+// Optimize is Engine.Optimize under the lock.
+func (s *SafeEngine) Optimize(w *Workload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Optimize(w)
+}
+
+// Update is Engine.Update under the lock.
+func (s *SafeEngine) Update(delta float64, idx ...int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Update(delta, idx...)
+}
+
+// UpdateValue is Engine.UpdateValue under the lock.
+func (s *SafeEngine) UpdateValue(delta float64, values map[string]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.UpdateValue(delta, values)
+}
+
+// Stats is Engine.Stats under the lock.
+func (s *SafeEngine) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Stats()
+}
+
+// SaveState is Engine.SaveState under the lock.
+func (s *SafeEngine) SaveState(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.SaveState(w)
+}

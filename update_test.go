@@ -1,0 +1,97 @@
+package viewcube_test
+
+import (
+	"math"
+	"testing"
+
+	"viewcube"
+)
+
+func TestEngineUpdateMaintainsViews(t *testing.T) {
+	c := loadSales(t)
+	eng, err := c.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialise a basis so updates exercise maintenance of real elements.
+	w := c.NewWorkload()
+	if err := w.AddViewKeeping(1, "product"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Optimize(w); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new ale sale in the east on day d2: +5.
+	if err := eng.UpdateValue(5, map[string]string{
+		"product": "ale", "region": "east", "day": "d2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := eng.GroupBy("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := v.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups["ale"] != 22 { // 17 + 5
+		t.Fatalf("ale after update = %g, want 22", groups["ale"])
+	}
+	total, err := eng.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 43 {
+		t.Fatalf("total after update = %g, want 43", total)
+	}
+	// Range queries see the update too (the querier cache is invalidated).
+	early, err := eng.RangeSum(map[string]viewcube.ValueRange{"day": {Lo: "d1", Hi: "d2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early != 33 { // 28 + 5
+		t.Fatalf("range after update = %g, want 33", early)
+	}
+	// The cube itself reflects the change.
+	if math.Abs(c.Total()-43) > 1e-12 {
+		t.Fatalf("cube total %g, want 43", c.Total())
+	}
+}
+
+func TestEngineUpdateValidation(t *testing.T) {
+	c := loadSales(t)
+	eng, _ := c.NewEngine(viewcube.EngineOptions{})
+	if err := eng.Update(1, 0); err == nil {
+		t.Fatal("want error for rank mismatch")
+	}
+	if err := eng.UpdateValue(1, map[string]string{"product": "ale"}); err == nil {
+		t.Fatal("want error for missing dimensions")
+	}
+	if err := eng.UpdateValue(1, map[string]string{
+		"product": "nope", "region": "east", "day": "d1",
+	}); err == nil {
+		t.Fatal("want error for unknown value")
+	}
+	if err := eng.UpdateValue(1, map[string]string{
+		"product": "ale", "regionX": "east", "day": "d1",
+	}); err == nil {
+		t.Fatal("want error for unknown dimension")
+	}
+	raw, _ := viewcube.NewCube([]string{"x"}, []int{4})
+	rawEng, _ := raw.NewEngine(viewcube.EngineOptions{})
+	if err := rawEng.UpdateValue(1, map[string]string{"x": "a"}); err == nil {
+		t.Fatal("raw cubes cannot update by value")
+	}
+	if err := rawEng.Update(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rawEng.GroupBy("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.At(2) != 3 {
+		t.Fatalf("raw update lost: %g", v.At(2))
+	}
+}
