@@ -1,0 +1,72 @@
+// Machine-readable benchmark results. The canonical `go test -bench=.`
+// output is for humans; CI and tracking scripts want JSON lines:
+//
+//	go test -run TestBenchJSON -benchjson [-benchjson.out results.json]
+//
+// Each line is one benchmark: {"name", "iterations", "ns_per_op",
+// "bytes_per_op", "allocs_per_op"}.
+package viewcube_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+)
+
+var (
+	benchJSON    = flag.Bool("benchjson", false, "run the canonical benchmarks and emit JSON lines")
+	benchJSONOut = flag.String("benchjson.out", "", "write -benchjson results to this file instead of stdout")
+)
+
+// benchResult is one emitted line.
+type benchResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// TestBenchJSON runs a representative slice of the benchmark suite under
+// testing.Benchmark and prints one JSON object per line. It is opt-in
+// (skipped without -benchjson) so the ordinary test run stays fast.
+func TestBenchJSON(t *testing.T) {
+	if !*benchJSON {
+		t.Skip("enable with -benchjson")
+	}
+	out := os.Stdout
+	if *benchJSONOut != "" {
+		f, err := os.Create(*benchJSONOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EngineGroupBy", BenchmarkEngineGroupBy},
+		{"AssembleViewFromBasis", BenchmarkAssembleViewFromBasis},
+		{"RangeSumViaElements", BenchmarkRangeSumViaElements},
+		{"RangeAggregation", BenchmarkRangeAggregation},
+		{"FileStoreRoundTrip", BenchmarkFileStoreRoundTrip},
+		{"QueryLanguage", BenchmarkQueryLanguage},
+		{"AdaptiveReconfigure", BenchmarkAdaptiveReconfigure},
+		{"WaveletTransform", BenchmarkWaveletTransform},
+	} {
+		r := testing.Benchmark(bench.fn)
+		if err := enc.Encode(benchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

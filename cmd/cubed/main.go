@@ -9,15 +9,22 @@
 //	curl -s localhost:8080/groupby?keep=product
 //	curl -s 'localhost:8080/range?day=day-000:day-013'
 //	curl -s -X POST localhost:8080/query -d '{"sql":"SELECT SUM(sales) GROUP BY region"}'
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/healthz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"viewcube"
 	"viewcube/internal/server"
@@ -33,24 +40,76 @@ func main() {
 	budget := flag.Float64("budget", 1.0, "storage budget as a multiple of the cube volume")
 	reselect := flag.Int("reselect", 0, "adapt the materialised set every N queries (0 = off)")
 	diskDir := flag.String("store", "", "directory for the durable element store (default: in memory)")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logJSON := flag.Bool("logjson", false, "emit request logs as JSON instead of text")
 	flag.Parse()
 
-	cube, err := loadCube(*csvPath, *measure, *gen, *seed)
+	if err := run(*csvPath, *measure, *gen, *seed, *addr, *budget, *reselect,
+		*diskDir, *enablePprof, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "cubed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(csvPath, measure string, gen int, seed int64, addr string,
+	budget float64, reselect int, diskDir string, enablePprof, logJSON bool) error {
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	cube, err := loadCube(csvPath, measure, gen, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	eng, err := cube.NewEngine(viewcube.EngineOptions{
-		StorageBudget: int(*budget * float64(cube.Volume())),
-		ReselectEvery: *reselect,
-		DiskDir:       *diskDir,
+		StorageBudget: int(budget * float64(cube.Volume())),
+		ReselectEvery: reselect,
+		DiskDir:       diskDir,
+		Metrics:       viewcube.NewMetrics(),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("cubed: serving cube %v over %v on %s", cube.Shape(), cube.Dimensions(), *addr)
-	if err := http.ListenAndServe(*addr, server.New(cube, eng)); err != nil {
-		log.Fatal(err)
+	opts := []server.Option{server.WithLogger(logger)}
+	if enablePprof {
+		opts = append(opts, server.WithPprof())
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
+
+	srv := &http.Server{Addr: addr, Handler: server.New(cube, eng, opts...)}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("serving",
+			"addr", addr,
+			"shape", fmt.Sprint(cube.Shape()),
+			"dimensions", fmt.Sprint(cube.Dimensions()),
+		)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Finish in-flight requests, then close; a stuck client cannot hold the
+	// process beyond the grace period.
+	logger.Info("shutting down", "grace", "10s")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("stopped")
+	return nil
 }
 
 func loadCube(csvPath, measure string, gen int, seed int64) (*viewcube.Cube, error) {
@@ -62,7 +121,7 @@ func loadCube(csvPath, measure string, gen int, seed int64) (*viewcube.Cube, err
 		return viewcube.FromTable(tbl)
 	}
 	if csvPath == "" {
-		return nil, fmt.Errorf("cubed: need -csv <file> or -gen <rows>")
+		return nil, fmt.Errorf("need -csv <file> or -gen <rows>")
 	}
 	f, err := os.Open(csvPath)
 	if err != nil {

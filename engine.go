@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"viewcube/internal/adaptive"
 	"viewcube/internal/assembly"
@@ -71,6 +72,11 @@ type EngineOptions struct {
 	// CacheCells bounds the disk store's in-memory LRU cache (cells);
 	// ignored for in-memory stores. 0 defaults to one cube volume.
 	CacheCells int
+	// Metrics receives the engine's instruments (latency histograms,
+	// cache and reselection counters, ...). nil gives the engine a
+	// private registry, reachable via Engine.Metrics. Sharing one Metrics
+	// across engines aggregates their series.
+	Metrics *Metrics
 }
 
 // Engine answers queries against a cube by dynamically assembling views
@@ -81,6 +87,7 @@ type Engine struct {
 	st    assembly.Store
 	inner *adaptive.Engine
 	rq    *rangeagg.Querier
+	met   *Metrics
 }
 
 // Stats re-exports the adaptive engine's counters.
@@ -117,10 +124,24 @@ func (c *Cube) NewEngine(opts EngineOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cube: c, st: st, inner: inner}
+	met := opts.Metrics
+	if met == nil {
+		met = NewMetrics()
+	}
+	e := &Engine{cube: c, st: st, inner: inner, met: met}
 	e.rq = rangeagg.NewQuerier(c.space, engineElementSource{e})
+	if fs, ok := st.(*store.FileStore); ok {
+		fs.SetMetrics(met.store)
+	}
+	inner.SetMetrics(met.adaptive)
+	inner.Assembler().SetMetrics(met.assembly)
+	e.rq.SetMetrics(met.ranges)
 	return e, nil
 }
+
+// Metrics returns the engine's metrics registry (the one passed in
+// EngineOptions, or the engine's private registry).
+func (e *Engine) Metrics() *Metrics { return e.met }
 
 // engineElementSource feeds the range querier with assembled elements,
 // recording their accesses so adaptation sees range workloads too.
@@ -151,6 +172,13 @@ func (e *Engine) Reconfigure() (bool, error) { return e.inner.Reconfigure() }
 // View answers a view-element query, assembling it from the materialised
 // set.
 func (e *Engine) View(el Element) (*View, error) {
+	start := time.Now()
+	v, err := e.viewInner(el)
+	e.met.observe("view", start, err)
+	return v, err
+}
+
+func (e *Engine) viewInner(el Element) (*View, error) {
 	if !e.cube.Valid(el) {
 		return nil, fmt.Errorf("viewcube: invalid element %v", el)
 	}
@@ -164,17 +192,31 @@ func (e *Engine) View(el Element) (*View, error) {
 // GroupBy answers the aggregated view that keeps the named dimensions and
 // SUM-aggregates all others.
 func (e *Engine) GroupBy(keep ...string) (*View, error) {
+	start := time.Now()
+	v, err := e.groupByInner(keep...)
+	e.met.observe("groupby", start, err)
+	return v, err
+}
+
+func (e *Engine) groupByInner(keep ...string) (*View, error) {
 	el, err := e.cube.ViewKeeping(keep...)
 	if err != nil {
 		return nil, err
 	}
-	return e.View(el)
+	return e.viewInner(el)
 }
 
 // Total returns the grand total via the engine (exercising assembly rather
 // than scanning the cube).
 func (e *Engine) Total() (float64, error) {
-	v, err := e.View(e.cube.GrandTotal())
+	start := time.Now()
+	total, err := e.totalInner()
+	e.met.observe("total", start, err)
+	return total, err
+}
+
+func (e *Engine) totalInner() (float64, error) {
+	v, err := e.viewInner(e.cube.GrandTotal())
 	if err != nil {
 		return 0, err
 	}
@@ -193,6 +235,13 @@ type ValueRange struct {
 // per-dimension value ranges (unnamed dimensions are unrestricted),
 // answered through intermediate view elements (§6 of the paper).
 func (e *Engine) RangeSum(ranges map[string]ValueRange) (float64, error) {
+	start := time.Now()
+	sum, err := e.rangeSumInner(ranges)
+	e.met.observe("range", start, err)
+	return sum, err
+}
+
+func (e *Engine) rangeSumInner(ranges map[string]ValueRange) (float64, error) {
 	if e.cube.enc == nil {
 		return 0, fmt.Errorf("viewcube: RangeSum by value needs a dictionary-encoded cube; use RangeSumIndex")
 	}
@@ -217,13 +266,16 @@ func (e *Engine) RangeSum(ranges map[string]ValueRange) (float64, error) {
 		}
 		lo[m], ext[m] = loCode, extCode
 	}
-	return e.RangeSumIndex(lo, ext)
+	return e.rq.RangeSum(rangeagg.Box{Lo: lo, Ext: ext})
 }
 
 // RangeSumIndex computes the SUM over the half-open coordinate box
 // [lo, lo+ext).
 func (e *Engine) RangeSumIndex(lo, ext []int) (float64, error) {
-	return e.rq.RangeSum(rangeagg.Box{Lo: lo, Ext: ext})
+	start := time.Now()
+	sum, err := e.rq.RangeSum(rangeagg.Box{Lo: lo, Ext: ext})
+	e.met.observe("range", start, err)
+	return sum, err
 }
 
 // GroupByWhere answers the OLAP "dice" query: SUM grouped by the kept
@@ -233,6 +285,13 @@ func (e *Engine) RangeSumIndex(lo, ext []int) (float64, error) {
 // instead of scanning the filtered region. Kept dimensions cannot also be
 // filtered.
 func (e *Engine) GroupByWhere(keep []string, ranges map[string]ValueRange) (*View, error) {
+	start := time.Now()
+	v, err := e.groupByWhereInner(keep, ranges)
+	e.met.observe("groupby_where", start, err)
+	return v, err
+}
+
+func (e *Engine) groupByWhereInner(keep []string, ranges map[string]ValueRange) (*View, error) {
 	if e.cube.enc == nil {
 		return nil, fmt.Errorf("viewcube: GroupByWhere needs a dictionary-encoded cube")
 	}
@@ -318,6 +377,7 @@ func (e *Engine) Update(delta float64, idx ...int) error {
 	}
 	e.cube.data.Add(delta, idx...)
 	e.rq.Reset()
+	e.met.updates.Inc()
 	return nil
 }
 
@@ -367,6 +427,21 @@ func (e *Engine) LoadState(r io.Reader) error {
 
 // Stats returns the engine's counters.
 func (e *Engine) Stats() Stats { return e.inner.Stats() }
+
+// StoreStats reports the element store's cache behaviour; for an in-memory
+// store every field is zero and Disk is false.
+func (e *Engine) StoreStats() StoreStats {
+	if fs, ok := e.st.(*store.FileStore); ok {
+		return StoreStats{
+			Disk:           true,
+			CacheHits:      fs.Hits,
+			CacheMisses:    fs.Misses,
+			CacheEvictions: fs.Evictions,
+			CachedCells:    fs.CachedCells(),
+		}
+	}
+	return StoreStats{}
+}
 
 // MaterializedElements returns how many view elements are currently
 // materialised.

@@ -19,6 +19,7 @@ import (
 	"viewcube/internal/core"
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
 	"viewcube/internal/velement"
 )
 
@@ -62,6 +63,9 @@ type Engine struct {
 	counts        map[freq.Key]float64
 	stats         Stats
 	sinceReconfig int
+
+	met   *obs.AdaptiveMetrics
+	trace *obs.Trace
 }
 
 // New returns an adaptive engine over an existing store. The store must
@@ -81,10 +85,33 @@ func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error
 		inner:  assembly.NewEngine(space, st),
 		opts:   opts,
 		counts: make(map[freq.Key]float64),
+		met:    obs.NewAdaptiveMetrics(nil),
 	}
 	e.stats.StorageCells = space.SetVolume(els)
 	e.stats.CurrentElements = len(els)
 	return e, nil
+}
+
+// Assembler returns the inner assembly engine, so callers can attach
+// observability instruments to the plan/execute hot path.
+func (e *Engine) Assembler() *assembly.Engine { return e.inner }
+
+// SetMetrics attaches registered instruments; nil restores the no-op set.
+// The materialised-set gauges are initialised from the current state.
+func (e *Engine) SetMetrics(m *obs.AdaptiveMetrics) {
+	if m == nil {
+		m = obs.NewAdaptiveMetrics(nil)
+	}
+	e.met = m
+	e.met.BasisElements.Set(int64(e.stats.CurrentElements))
+	e.met.StorageCells.Set(int64(e.stats.StorageCells))
+}
+
+// SetTrace attaches (or with nil detaches) a per-query trace on this engine
+// and its inner assembly engine.
+func (e *Engine) SetTrace(t *obs.Trace) {
+	e.trace = t
+	e.inner.SetTrace(t)
 }
 
 // Query answers a view-element query, records the access, and triggers an
@@ -104,6 +131,7 @@ func (e *Engine) Query(r freq.Rect) (*ndarray.Array, error) {
 	e.stats.ModelOps += int64(assembly.PlanCost(plan))
 	e.sinceReconfig++
 	if e.opts.ReselectEvery > 0 && e.sinceReconfig >= e.opts.ReselectEvery {
+		e.met.AutoReselects.Inc()
 		if _, err := e.Reconfigure(); err != nil {
 			return nil, fmt.Errorf("adaptive: automatic reconfiguration: %w", err)
 		}
@@ -222,9 +250,16 @@ func (e *Engine) greedyCandidates(queries []core.Query) []freq.Rect {
 // materialised set changed.
 func (e *Engine) Reconfigure() (bool, error) {
 	e.sinceReconfig = 0
+	e.met.Reselections.Inc()
 	queries := e.ObservedQueries()
 	if len(queries) == 0 {
 		return false, nil
+	}
+	var sp *obs.Span
+	if e.trace != nil {
+		sp = e.trace.Start("reconfigure")
+		sp.SetAttr("observed_queries", int64(len(queries)))
+		defer sp.End()
 	}
 	res, err := core.SelectBasis(e.space, queries)
 	if err != nil {
@@ -269,6 +304,8 @@ func (e *Engine) Reconfigure() (bool, error) {
 			return changed, fmt.Errorf("adaptive: storing %v: %w", r, err)
 		}
 		e.stats.Migrated++
+		e.met.Migrated.Inc()
+		sp.AddAttr("migrated", 1)
 		changed = true
 	}
 	// Phase 2: drop elements no longer selected.
@@ -280,14 +317,22 @@ func (e *Engine) Reconfigure() (bool, error) {
 			return changed, fmt.Errorf("adaptive: dropping %v: %w", r, err)
 		}
 		e.stats.Dropped++
+		e.met.Dropped.Inc()
+		sp.AddAttr("dropped", 1)
 		changed = true
 	}
 	if changed {
 		e.stats.Reconfigs++
+		e.met.ChangedReconfigs.Inc()
 	}
 	els := e.store.Elements()
 	e.stats.StorageCells = e.space.SetVolume(els)
 	e.stats.CurrentElements = len(els)
+	e.met.BasisElements.Set(int64(len(els)))
+	e.met.StorageCells.Set(int64(e.stats.StorageCells))
+	if e.opts.Decay < 1 {
+		e.met.DecayApplied.Inc()
+	}
 	for k := range e.counts {
 		e.counts[k] *= e.opts.Decay
 	}

@@ -7,6 +7,7 @@ import (
 	"viewcube/internal/freq"
 	"viewcube/internal/haar"
 	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
 	"viewcube/internal/velement"
 )
 
@@ -62,12 +63,27 @@ type Plan struct {
 type Engine struct {
 	space *velement.Space
 	store Store
+	met   *obs.AssemblyMetrics
+	trace *obs.Trace
 }
 
 // NewEngine returns an engine over the given space and store.
 func NewEngine(space *velement.Space, store Store) *Engine {
-	return &Engine{space: space, store: store}
+	return &Engine{space: space, store: store, met: obs.NewAssemblyMetrics(nil)}
 }
+
+// SetMetrics attaches registered instruments; nil restores the no-op set.
+func (e *Engine) SetMetrics(m *obs.AssemblyMetrics) {
+	if m == nil {
+		m = obs.NewAssemblyMetrics(nil)
+	}
+	e.met = m
+}
+
+// SetTrace attaches (or with nil detaches) a per-query trace. While one is
+// attached, Plan records a "plan" span and Execute records one span per
+// plan node, carrying the cells read and modelled ops of each step.
+func (e *Engine) SetTrace(t *obs.Trace) { e.trace = t }
 
 // Space returns the engine's view element space.
 func (e *Engine) Space() *velement.Space { return e.space }
@@ -81,11 +97,21 @@ func (e *Engine) Plan(r freq.Rect) (*Plan, error) {
 	if !e.space.Valid(r) {
 		return nil, fmt.Errorf("assembly: %v is not a view element of the space", r)
 	}
+	var sp *obs.Span
+	if e.trace != nil {
+		sp = e.trace.Start("plan " + r.String())
+		defer sp.End()
+	}
+	e.met.Plans.Inc()
 	pl := e.planner()
 	plan, cost := pl.plan(r)
 	if math.IsInf(cost, 1) {
 		return nil, fmt.Errorf("assembly: stored set cannot generate %v (incomplete)", r)
 	}
+	// "plan_ops", not "ops": the execute spans below account the same work
+	// node by node, and summing "ops" over the tree must count it once.
+	sp.SetAttr("plan_ops", int64(plan.Ops))
+	sp.SetAttr("stored_elements", int64(len(pl.stored)))
 	return plan, nil
 }
 
@@ -102,25 +128,67 @@ func (e *Engine) Answer(r freq.Rect) (*ndarray.Array, error) {
 
 // Execute runs a plan and returns the produced element.
 func (e *Engine) Execute(p *Plan) (*ndarray.Array, error) {
+	e.met.Executions.Inc()
+	var sp *obs.Span
+	if e.trace != nil {
+		sp = e.trace.Start("execute " + p.Rect.String())
+		sp.SetAttr("total_ops", int64(p.Ops))
+		defer sp.End()
+	}
+	return e.exec(p)
+}
+
+// exec recursively runs plan nodes, recording one span and one counter
+// bump per node. The "ops" attr of each span is that node's own modelled
+// add/subtract work (not the subtree's), so summing "ops" over the span
+// tree reproduces PlanCost exactly.
+func (e *Engine) exec(p *Plan) (*ndarray.Array, error) {
 	switch p.Kind {
 	case PlanStored:
+		var sp *obs.Span
+		if e.trace != nil {
+			sp = e.trace.Start("stored " + p.Rect.String())
+			defer sp.End()
+		}
 		a, ok := e.store.Get(p.Rect)
 		if !ok {
 			return nil, fmt.Errorf("assembly: plan references %v but it is not stored", p.Rect)
 		}
+		e.met.StoredNodes.Inc()
+		e.met.CellsRead.Add(uint64(a.Size()))
+		sp.SetAttr("cells", int64(a.Size()))
 		return a.Clone(), nil
 	case PlanAggregate:
+		var sp *obs.Span
+		if e.trace != nil {
+			sp = e.trace.Start("aggregate " + p.Rect.String() + " from " + p.Source.String())
+			sp.SetAttr("ops", int64(p.Ops))
+			defer sp.End()
+		}
 		src, ok := e.store.Get(p.Source)
 		if !ok {
 			return nil, fmt.Errorf("assembly: plan references stored ancestor %v but it is absent", p.Source)
 		}
+		e.met.AggregateNodes.Inc()
+		e.met.CellsRead.Add(uint64(src.Size()))
+		e.met.OpsModeled.Add(uint64(p.Ops))
+		sp.SetAttr("cells", int64(src.Size()))
 		return haar.ApplyPath(src, p.Source, p.Rect)
 	case PlanSynthesize:
-		part, err := e.Execute(p.Partial)
+		ownOps := p.Ops - p.Partial.Ops - p.Residual.Ops
+		var sp *obs.Span
+		if e.trace != nil {
+			sp = e.trace.Start(fmt.Sprintf("synthesize %s dim=%d", p.Rect.String(), p.Dim))
+			sp.SetAttr("ops", int64(ownOps))
+			defer sp.End()
+		}
+		e.met.SynthesizeNodes.Inc()
+		e.met.OpsModeled.Add(uint64(ownOps))
+		part, err := e.exec(p.Partial)
 		if err != nil {
 			return nil, err
 		}
-		res, err := e.Execute(p.Residual)
+		res, err := e.exec(p.Residual)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,111 @@
+package obs
+
+// This file defines the instrument groups the engine's components hold.
+// Each constructor registers its instruments in a Registry; called with a
+// nil registry it returns a struct of nil instruments, which no-op — so a
+// component can always keep a non-nil group and call through it
+// unconditionally.
+
+// StoreMetrics instruments a disk-backed element store.
+type StoreMetrics struct {
+	CacheHits   *Counter
+	CacheMisses *Counter
+	Evictions   *Counter
+	DiskReads   *Counter
+	DiskWrites  *Counter
+	CachedCells *Gauge
+}
+
+// NewStoreMetrics registers the store instrument set.
+func NewStoreMetrics(r *Registry) *StoreMetrics {
+	return &StoreMetrics{
+		CacheHits:   r.Counter("viewcube_store_cache_hits_total", "Element reads served from the store's in-memory LRU cache."),
+		CacheMisses: r.Counter("viewcube_store_cache_misses_total", "Element reads that went to disk."),
+		Evictions:   r.Counter("viewcube_store_cache_evictions_total", "Elements evicted from the LRU cache to stay within the cell budget."),
+		DiskReads:   r.Counter("viewcube_store_disk_reads_total", "Element files read from disk."),
+		DiskWrites:  r.Counter("viewcube_store_disk_writes_total", "Element files written to disk."),
+		CachedCells: r.Gauge("viewcube_store_cached_cells", "Cells currently held in the store's in-memory cache."),
+	}
+}
+
+// AssemblyMetrics instruments the plan/execute hot path.
+type AssemblyMetrics struct {
+	Plans           *Counter
+	Executions      *Counter
+	CellsRead       *Counter // cells fetched from stored elements
+	OpsModeled      *Counter // modelled add/subtract operations executed
+	StoredNodes     *Counter
+	AggregateNodes  *Counter
+	SynthesizeNodes *Counter
+}
+
+// NewAssemblyMetrics registers the assembly instrument set.
+func NewAssemblyMetrics(r *Registry) *AssemblyMetrics {
+	return &AssemblyMetrics{
+		Plans:           r.Counter("viewcube_assembly_plans_total", "Procedure 3 plans computed."),
+		Executions:      r.Counter("viewcube_assembly_executions_total", "Plans executed (elements assembled)."),
+		CellsRead:       r.Counter("viewcube_assembly_cells_read_total", "Cells read from stored elements during plan execution."),
+		OpsModeled:      r.Counter("viewcube_assembly_ops_total", "Modelled add/subtract operations executed (the paper's processing cost)."),
+		StoredNodes:     r.Counter("viewcube_assembly_plan_nodes_total", "Executed plan nodes by kind.", "kind", "stored"),
+		AggregateNodes:  r.Counter("viewcube_assembly_plan_nodes_total", "Executed plan nodes by kind.", "kind", "aggregate"),
+		SynthesizeNodes: r.Counter("viewcube_assembly_plan_nodes_total", "Executed plan nodes by kind.", "kind", "synthesize"),
+	}
+}
+
+// NodeCounter returns the per-kind plan node counter.
+func (m *AssemblyMetrics) NodeCounter(kind string) *Counter {
+	if m == nil {
+		return nil
+	}
+	switch kind {
+	case "stored":
+		return m.StoredNodes
+	case "aggregate":
+		return m.AggregateNodes
+	case "synthesize":
+		return m.SynthesizeNodes
+	}
+	return nil
+}
+
+// AdaptiveMetrics instruments Algorithm 1/2 reselection behaviour.
+type AdaptiveMetrics struct {
+	Reselections     *Counter // Reconfigure invocations (manual or automatic)
+	AutoReselects    *Counter // triggered by ReselectEvery
+	ChangedReconfigs *Counter
+	Migrated         *Counter
+	Dropped          *Counter
+	DecayApplied     *Counter
+	BasisElements    *Gauge
+	StorageCells     *Gauge
+}
+
+// NewAdaptiveMetrics registers the adaptive instrument set.
+func NewAdaptiveMetrics(r *Registry) *AdaptiveMetrics {
+	return &AdaptiveMetrics{
+		Reselections:     r.Counter("viewcube_reselections_total", "Materialised-set reselections run (Algorithm 1/2 invocations)."),
+		AutoReselects:    r.Counter("viewcube_reselections_auto_total", "Reselections triggered automatically by ReselectEvery."),
+		ChangedReconfigs: r.Counter("viewcube_reselections_changed_total", "Reselections that changed the materialised set."),
+		Migrated:         r.Counter("viewcube_elements_migrated_total", "Elements newly materialised across reselections."),
+		Dropped:          r.Counter("viewcube_elements_dropped_total", "Elements dropped across reselections."),
+		DecayApplied:     r.Counter("viewcube_decay_applied_total", "Times frequency decay was applied to the observed workload."),
+		BasisElements:    r.Gauge("viewcube_materialized_elements", "View elements currently materialised."),
+		StorageCells:     r.Gauge("viewcube_storage_cells", "Materialised volume in cells."),
+	}
+}
+
+// RangeMetrics instruments §6 range aggregation.
+type RangeMetrics struct {
+	RangeQueries *Counter
+	CellsRead    *Counter
+	ElementMiss  *Counter // intermediate elements fetched (pyramid cache misses)
+}
+
+// NewRangeMetrics registers the range-aggregation instrument set.
+func NewRangeMetrics(r *Registry) *RangeMetrics {
+	return &RangeMetrics{
+		RangeQueries: r.Counter("viewcube_range_queries_total", "Range-SUM queries answered through intermediate elements."),
+		CellsRead:    r.Counter("viewcube_range_cells_read_total", "Intermediate-element cells read by range queries (the §6 cost)."),
+		ElementMiss:  r.Counter("viewcube_range_element_fetches_total", "Intermediate elements fetched into the range querier's pyramid cache."),
+	}
+}

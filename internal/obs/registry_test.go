@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A test counter.")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("test_cells", "A test gauge.")
+	g.Set(10)
+	g.Add(-3)
+	kc := r.Counter("test_kinds_total", "By kind.", "kind", "groupby")
+	kc.Add(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_total A test counter.",
+		"# TYPE test_total counter",
+		"test_total 5",
+		"# TYPE test_cells gauge",
+		"test_cells 7",
+		`test_kinds_total{kind="groupby"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h")
+	b := r.Counter("dup_total", "h")
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	x := r.Counter("dup_total", "h", "k", "v1")
+	y := r.Counter("dup_total", "h", "k", "v2")
+	if x == y {
+		t.Fatal("different label values must be distinct series")
+	}
+	x.Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// One HELP/TYPE block for the whole family.
+	if n := strings.Count(sb.String(), "# TYPE dup_total counter"); n != 1 {
+		t.Fatalf("want one TYPE line for the family, got %d:\n%s", n, sb.String())
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 5.605",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(4)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("x", "h") != nil || r.Gauge("x", "h") != nil || r.Histogram("x", "h", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil || b.Len() != 0 {
+		t.Fatal("nil registry exposition must be empty")
+	}
+	m := NewStoreMetrics(nil)
+	m.CacheHits.Inc() // must not panic
+	am := NewAdaptiveMetrics(nil)
+	am.BasisElements.Set(3)
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "h")
+	h := r.Histogram("conc_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				r.Counter("conc_kinds_total", "h", "kind", "a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", "path", `a"b\c`).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c"} 1`) {
+		t.Fatalf("bad escaping:\n%s", b.String())
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds a single trace so a pathological plan tree cannot balloon
+// the response; spans beyond the cap are counted, not recorded.
+const maxSpans = 2048
+
+// Attr is one integer annotation on a span (cells read, modelled ops, cache
+// hit flags, ...). Integer-only attrs keep spans allocation-light on the hot
+// path.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Span is one timed region of a trace. Spans nest: Start pushes onto the
+// trace's span stack, End pops. All methods are safe on a nil receiver so
+// untraced executions cost only nil checks.
+type Span struct {
+	t        *Trace
+	Name     string
+	start    time.Time
+	Dur      time.Duration
+	Attrs    []Attr
+	Children []*Span
+}
+
+// SetAttr sets (or replaces) an integer annotation. Safe on nil.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Val = v
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
+}
+
+// AddAttr accumulates into an integer annotation. Safe on nil.
+func (s *Span) AddAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Val += v
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
+}
+
+// End closes the span, recording its duration and popping it off the
+// trace's stack. Ends must match Starts in LIFO order. Safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.start)
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = t.stack[:i]
+			return
+		}
+	}
+}
+
+// Trace records the timed span tree of one query execution. A nil *Trace is
+// a valid no-op tracer: Start returns nil and every span method no-ops, so
+// instrumented code calls unconditionally.
+type Trace struct {
+	mu      sync.Mutex
+	root    *Span
+	stack   []*Span
+	spans   int
+	dropped int
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{t: t, Name: name, start: time.Now()}
+	t.spans = 1
+	t.stack = []*Span{t.root}
+	return t
+}
+
+// Start opens a child span under the innermost open span. Safe on a nil
+// receiver (returns a nil span).
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spans >= maxSpans {
+		t.dropped++
+		return nil
+	}
+	parent := t.root
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	s := &Span{t: t, Name: name, start: time.Now()}
+	parent.Children = append(parent.Children, s)
+	t.stack = append(t.stack, s)
+	t.spans++
+	return s
+}
+
+// Finish closes the root span (and any still-open descendants). Safe on nil.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	stack := t.stack
+	t.stack = nil
+	t.mu.Unlock()
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].Dur == 0 {
+			stack[i].Dur = time.Since(stack[i].start)
+		}
+	}
+}
+
+// Dropped returns how many spans were discarded to honour the trace size
+// cap. Safe on nil.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Root returns the root span, or nil for a nil trace.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// SpanNode is the JSON-able shape of one span; Tree converts a trace into
+// it for API responses.
+type SpanNode struct {
+	Name       string           `json:"name"`
+	DurationUS int64            `json:"duration_us"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []*SpanNode      `json:"children,omitempty"`
+}
+
+// Tree renders the trace as a SpanNode tree. Safe on nil (returns nil).
+func (t *Trace) Tree() *SpanNode {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return toNode(t.root)
+}
+
+func toNode(s *Span) *SpanNode {
+	n := &SpanNode{Name: s.Name, DurationUS: s.Dur.Microseconds()}
+	if len(s.Attrs) > 0 {
+		n.Attrs = make(map[string]int64, len(s.Attrs))
+		for _, a := range s.Attrs {
+			n.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range s.Children {
+		n.Children = append(n.Children, toNode(c))
+	}
+	return n
+}
+
+// SumAttr totals the named attribute over the node and its subtree. Safe on
+// nil.
+func (n *SpanNode) SumAttr(key string) int64 {
+	if n == nil {
+		return 0
+	}
+	total := n.Attrs[key]
+	for _, c := range n.Children {
+		total += c.SumAttr(key)
+	}
+	return total
+}
+
+// String renders the trace as an EXPLAIN ANALYZE-style indented tree. Safe
+// on nil.
+func (t *Trace) String() string {
+	if t == nil || t.root == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	renderSpan(&b, t.root, 0)
+	if t.dropped > 0 {
+		fmt.Fprintf(&b, "(%d spans dropped over the %d-span cap)\n", t.dropped, maxSpans)
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s (%s)", s.Name, s.Dur.Round(time.Microsecond))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(b, " %s=%d", a.Key, a.Val)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(b, c, depth+1)
+	}
+}

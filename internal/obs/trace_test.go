@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceNestingAndTree(t *testing.T) {
+	tr := NewTrace("query")
+	plan := tr.Start("plan")
+	plan.SetAttr("ops", 24)
+	plan.End()
+	exec := tr.Start("execute")
+	child := tr.Start("stored view{product}")
+	child.SetAttr("cells", 8)
+	child.End()
+	exec.SetAttr("ops", 24)
+	exec.End()
+	tr.Finish()
+
+	tree := tr.Tree()
+	if tree == nil || tree.Name != "query" {
+		t.Fatalf("tree root = %+v", tree)
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("root children = %d", len(tree.Children))
+	}
+	if tree.Children[0].Name != "plan" || tree.Children[0].Attrs["ops"] != 24 {
+		t.Fatalf("plan child = %+v", tree.Children[0])
+	}
+	if tree.Children[1].Children[0].Name != "stored view{product}" {
+		t.Fatalf("execute child = %+v", tree.Children[1])
+	}
+	if got := tree.SumAttr("ops"); got != 48 {
+		t.Fatalf("SumAttr(ops) = %d", got)
+	}
+	if got := tree.SumAttr("cells"); got != 8 {
+		t.Fatalf("SumAttr(cells) = %d", got)
+	}
+
+	// The tree must round-trip through JSON with the documented keys.
+	buf, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"query"`, `"duration_us"`, `"attrs"`, `"children"`} {
+		if !strings.Contains(string(buf), want) {
+			t.Errorf("JSON missing %s: %s", want, buf)
+		}
+	}
+
+	out := tr.String()
+	if !strings.Contains(out, "query (") || !strings.Contains(out, "  plan (") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTraceAddAttr(t *testing.T) {
+	tr := NewTrace("q")
+	s := tr.Start("range_sum")
+	s.AddAttr("cells_read", 3)
+	s.AddAttr("cells_read", 4)
+	s.End()
+	tr.Finish()
+	if got := tr.Tree().SumAttr("cells_read"); got != 7 {
+		t.Fatalf("cells_read = %d", got)
+	}
+}
+
+func TestNilTraceNoops(t *testing.T) {
+	var tr *Trace
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil trace must hand out nil spans")
+	}
+	s.SetAttr("a", 1)
+	s.AddAttr("a", 1)
+	s.End()
+	tr.Finish()
+	if tr.Tree() != nil || tr.String() != "" || tr.Dropped() != 0 {
+		t.Fatal("nil trace must render empty")
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("root")
+	for i := 0; i < maxSpans+10; i++ {
+		sp := tr.Start("s")
+		sp.End()
+	}
+	tr.Finish()
+	if tr.Dropped() != 11 { // root counts toward the cap
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	if !strings.Contains(tr.String(), "spans dropped") {
+		t.Fatal("render should mention dropped spans")
+	}
+}

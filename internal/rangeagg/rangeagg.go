@@ -21,6 +21,7 @@ import (
 
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
 	"viewcube/internal/velement"
 )
 
@@ -104,13 +105,33 @@ type Querier struct {
 	// CellsRead counts element cells fetched across all queries — the
 	// operational cost that §6 argues is logarithmic per dimension.
 	CellsRead int
+
+	met   *obs.RangeMetrics
+	trace *obs.Trace
 }
 
 // NewQuerier returns a range querier over the space, fetching intermediate
 // elements from src on demand.
 func NewQuerier(space *velement.Space, src ElementSource) *Querier {
-	return &Querier{space: space, src: src, cache: make(map[freq.Key]*ndarray.Array)}
+	return &Querier{
+		space: space, src: src,
+		cache: make(map[freq.Key]*ndarray.Array),
+		met:   obs.NewRangeMetrics(nil),
+	}
 }
+
+// SetMetrics attaches registered instruments; nil restores the no-op set.
+func (q *Querier) SetMetrics(m *obs.RangeMetrics) {
+	if m == nil {
+		m = obs.NewRangeMetrics(nil)
+	}
+	q.met = m
+}
+
+// SetTrace attaches (or with nil detaches) a per-query trace. While one is
+// attached, RangeSum records a "range_sum" span and every intermediate
+// element fetched into the pyramid cache records an "element" span.
+func (q *Querier) SetTrace(t *obs.Trace) { q.trace = t }
 
 // Reset drops every cached element. Call it after the underlying data
 // changes (e.g. incremental cube updates) so subsequent range queries
@@ -130,10 +151,17 @@ func (q *Querier) element(depths []int) (*ndarray.Array, error) {
 	if a, ok := q.cache[key]; ok {
 		return a, nil
 	}
+	var sp *obs.Span
+	if q.trace != nil {
+		sp = q.trace.Start("element " + r.String())
+		defer sp.End()
+	}
 	a, err := q.src.Element(r)
 	if err != nil {
 		return nil, err
 	}
+	q.met.ElementMiss.Inc()
+	sp.SetAttr("cells", int64(a.Size()))
 	q.cache[key] = a
 	return a, nil
 }
@@ -144,6 +172,13 @@ func (q *Querier) RangeSum(box Box) (float64, error) {
 	shape := q.space.Shape()
 	if err := box.Validate(shape); err != nil {
 		return 0, err
+	}
+	q.met.RangeQueries.Inc()
+	var sp *obs.Span
+	if q.trace != nil {
+		sp = q.trace.Start("range_sum")
+		sp.SetAttr("box_cells", int64(box.Cells()))
+		defer sp.End()
 	}
 	d := len(shape)
 	blocks := make([][]Block, d)
@@ -156,6 +191,7 @@ func (q *Querier) RangeSum(box Box) (float64, error) {
 	depths := make([]int, d)
 	cell := make([]int, d)
 	sum := 0.0
+	read := 0
 	for {
 		for m := 0; m < d; m++ {
 			b := blocks[m][idx[m]]
@@ -171,6 +207,7 @@ func (q *Querier) RangeSum(box Box) (float64, error) {
 		}
 		sum += el.At(cell...)
 		q.CellsRead++
+		read++
 		// Advance the product iterator.
 		m := d - 1
 		for ; m >= 0; m-- {
@@ -184,6 +221,8 @@ func (q *Querier) RangeSum(box Box) (float64, error) {
 			break
 		}
 	}
+	q.met.CellsRead.Add(uint64(read))
+	sp.SetAttr("cells_read", int64(read))
 	return sum, nil
 }
 

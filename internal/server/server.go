@@ -1,71 +1,168 @@
 // Package server exposes a viewcube engine over HTTP with a small JSON API
 // — the daemon face of the library:
 //
-//	POST /query    {"sql": "SELECT SUM(sales) GROUP BY product"}
+//	POST /query    {"sql": "SELECT SUM(sales) GROUP BY product"}   (?trace=1 adds a span tree)
 //	POST /update   {"delta": 5, "values": {"product": "ale", ...}}
-//	GET  /groupby?keep=product,region
-//	GET  /range?dim=lo:hi&dim2=lo:hi
+//	GET  /groupby?keep=product,region                              (?trace=1 adds a span tree)
+//	GET  /range?dim=lo:hi&dim2=lo:hi                               (?trace=1 adds a span tree)
 //	GET  /explain?keep=product
 //	GET  /stats
+//	GET  /metrics          (Prometheus text exposition)
+//	GET  /healthz
+//	GET  /debug/pprof/*    (only with WithPprof)
 //	POST /optimize {"views": [{"keep": ["product"], "freq": 0.7}, ...]}
 //
-// The handler serialises access through a SafeEngine, so one server can
-// serve concurrent clients.
+// The handler serialises engine access through a SafeEngine, so one server
+// can serve concurrent clients. Every request is logged through slog with
+// its method, path, status and latency, and counted in the engine's metrics
+// registry.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"time"
 
 	"viewcube"
+	"viewcube/internal/obs"
 )
 
 // Server is an http.Handler over one cube engine.
 type Server struct {
 	cube *viewcube.Cube
 	eng  *viewcube.SafeEngine
-	// raw keeps the unwrapped engine for operations SafeEngine does not
-	// proxy; every use goes through safe wrappers added here.
-	mux *http.ServeMux
+	met  *viewcube.Metrics
+	log  *slog.Logger
+	mux  *http.ServeMux
+
+	reqLatency  *obs.Histogram
+	reqInFlight *obs.Gauge
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Profiling endpoints
+// expose internals (goroutine dumps, heap contents), so they are opt-in.
+func WithPprof() Option {
+	return func(s *Server) {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// WithLogger sets the request logger; the default is slog.Default.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
 }
 
 // New wraps a cube and its engine into an HTTP handler.
-func New(cube *viewcube.Cube, eng *viewcube.Engine) *Server {
-	s := &Server{cube: cube, eng: eng.Safe()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("POST /optimize", s.handleOptimize)
-	mux.HandleFunc("GET /groupby", s.handleGroupBy)
-	mux.HandleFunc("GET /range", s.handleRange)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /info", s.handleInfo)
-	s.mux = mux
+func New(cube *viewcube.Cube, eng *viewcube.Engine, opts ...Option) *Server {
+	met := eng.Metrics()
+	s := &Server{
+		cube: cube,
+		eng:  eng.Safe(),
+		met:  met,
+		log:  slog.Default(),
+		mux:  http.NewServeMux(),
+	}
+	reg := met.Registry()
+	s.reqLatency = reg.Histogram("viewcube_http_request_seconds",
+		"HTTP request latency in seconds.", nil)
+	s.reqInFlight = reg.Gauge("viewcube_http_in_flight_requests",
+		"HTTP requests currently being served.")
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /groupby", s.handleGroupBy)
+	s.mux.HandleFunc("GET /range", s.handleRange)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /info", s.handleInfo)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for _, o := range opts {
+		o(s)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusRecorder captures the response status and size for logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// ServeHTTP implements http.Handler: it dispatches through the mux with
+// structured request logging and HTTP metrics around every call.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reqInFlight.Add(1)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	dur := time.Since(start)
+	s.reqInFlight.Add(-1)
+	s.reqLatency.Observe(dur.Seconds())
+	s.met.Registry().Counter("viewcube_http_requests_total",
+		"HTTP requests served, by status code.", "code", fmt.Sprintf("%d", rec.status)).Inc()
+	s.log.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.status,
+		"bytes", rec.bytes,
+		"duration_ms", float64(dur.Microseconds())/1000,
+	)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire; all we can do is log.
+		s.log.Error("encoding response", "error", err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// errorBody is the JSON shape of every error response; Status echoes the
+// HTTP status code so clients reading buffered bodies can disambiguate.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
 }
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error(), Status: status})
+}
+
+func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
 
 type queryRequest struct {
 	SQL string `json:"sql"`
 }
 
 type queryResponse struct {
-	Columns []string   `json:"columns"`
-	Rows    []queryRow `json:"rows"`
+	Columns []string             `json:"columns"`
+	Rows    []queryRow           `json:"rows"`
+	Trace   *viewcube.QueryTrace `json:"trace,omitempty"`
 }
 
 type queryRow struct {
@@ -76,15 +173,24 @@ type queryRow struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	res, err := s.eng.Query(req.SQL)
+	var (
+		res *viewcube.QueryResult
+		tr  *viewcube.QueryTrace
+		err error
+	)
+	if wantTrace(r) {
+		res, tr, err = s.eng.TraceQuery(req.SQL)
+	} else {
+		res, err = s.eng.Query(req.SQL)
+	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := queryResponse{Columns: res.Columns}
+	resp := queryResponse{Columns: res.Columns, Trace: tr}
 	for _, row := range res.Rows {
 		key := row.Key
 		if key == nil {
@@ -92,7 +198,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows = append(resp.Rows, queryRow{Key: key, Values: row.Values})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type updateRequest struct {
@@ -103,14 +209,14 @@ type updateRequest struct {
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if err := s.eng.UpdateValue(req.Delta, req.Values); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 type optimizeRequest struct {
@@ -123,76 +229,144 @@ type optimizeRequest struct {
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req optimizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	wl := s.cube.NewWorkload()
 	for _, v := range req.Views {
 		if err := wl.AddViewKeeping(v.Freq, v.Keep...); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	if err := s.eng.Optimize(wl); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func parseKeep(r *http.Request) []string {
+	keepParam := r.URL.Query().Get("keep")
+	if keepParam == "" {
+		return nil
+	}
+	return strings.Split(keepParam, ",")
 }
 
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
-	keepParam := r.URL.Query().Get("keep")
-	var keep []string
-	if keepParam != "" {
-		keep = strings.Split(keepParam, ",")
+	keep := parseKeep(r)
+	var (
+		v   *viewcube.View
+		tr  *viewcube.QueryTrace
+		err error
+	)
+	if wantTrace(r) {
+		v, tr, err = s.eng.TraceGroupBy(keep...)
+	} else {
+		v, err = s.eng.GroupBy(keep...)
 	}
-	v, err := s.eng.GroupBy(keep...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	groups, err := v.Groups()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	out := make(map[string]float64, len(groups))
 	for k, val := range groups {
 		out[strings.Join(viewcube.SplitGroupKey(k), "/")] = val
 	}
-	writeJSON(w, http.StatusOK, out)
+	if tr != nil {
+		s.writeJSON(w, http.StatusOK, map[string]any{"groups": out, "trace": tr})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	ranges := make(map[string]viewcube.ValueRange)
 	for dim, vals := range r.URL.Query() {
-		if len(vals) == 0 {
+		if dim == "trace" || len(vals) == 0 {
 			continue
 		}
 		lo, hi, ok := strings.Cut(vals[0], ":")
 		if !ok {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("range %q must be lo:hi", vals[0]))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("range %q must be lo:hi", vals[0]))
 			return
 		}
 		ranges[dim] = viewcube.ValueRange{Lo: lo, Hi: hi}
 	}
-	sum, err := s.eng.RangeSum(ranges)
+	var (
+		sum float64
+		tr  *viewcube.QueryTrace
+		err error
+	)
+	if wantTrace(r) {
+		sum, tr, err = s.eng.TraceRangeSum(ranges)
+	} else {
+		sum, err = s.eng.RangeSum(ranges)
+	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]float64{"sum": sum})
+	if tr != nil {
+		s.writeJSON(w, http.StatusOK, map[string]any{"sum": sum, "trace": tr})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]float64{"sum": sum})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	// Explain needs the raw engine's plan view; SafeEngine does not proxy
+	// it, so answer from the trace of a real (traced) groupby instead:
+	// the span tree is the executed plan.
+	_, tr, err := s.eng.TraceGroupBy(parseKeep(r)...)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"trace": tr, "text": tr.String()})
+}
+
+// fullStats embeds the adaptive engine counters (flattened into the
+// top-level JSON object, preserving the historical /stats shape) and adds
+// the store cache and materialised-set figures.
+type fullStats struct {
+	viewcube.Stats
+	Store                viewcube.StoreStats `json:"store"`
+	MaterializedElements int                 `json:"materialized_elements"`
+	StorageCellsNow      int                 `json:"storage_cells"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	s.writeJSON(w, http.StatusOK, fullStats{
+		Stats:                s.eng.Stats(),
+		Store:                s.eng.StoreStats(),
+		MaterializedElements: s.eng.MaterializedElements(),
+		StorageCellsNow:      s.eng.StorageCells(),
+	})
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"dimensions": s.cube.Dimensions(),
 		"shape":      s.cube.Shape(),
 		"volume":     s.cube.Volume(),
 		"measure":    s.cube.Measure(),
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.met.WritePrometheus(w); err != nil {
+		s.log.Error("writing metrics", "error", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

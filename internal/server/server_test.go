@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +13,9 @@ import (
 
 	"viewcube"
 )
+
+// quiet discards request logs so test output stays readable.
+var quiet = WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
 
 const salesCSV = `product,region,day,sales
 ale,east,d1,10
@@ -21,7 +26,7 @@ bock,west,d2,4
 cider,west,d3,3
 `
 
-func newServer(t *testing.T) *httptest.Server {
+func newCubeEngine(t *testing.T) (*viewcube.Cube, *viewcube.Engine) {
 	t.Helper()
 	cube, err := viewcube.Load(strings.NewReader(salesCSV), "sales")
 	if err != nil {
@@ -31,9 +36,20 @@ func newServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(cube, eng))
+	return cube, eng
+}
+
+func newTestServer(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(h)
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cube, eng := newCubeEngine(t)
+	return newTestServer(t, New(cube, eng, quiet))
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
@@ -106,9 +122,12 @@ func TestGroupByAndRangeEndpoints(t *testing.T) {
 	if rangeOut["sum"] != 28 {
 		t.Fatalf("range %v", rangeOut)
 	}
-	var errOut map[string]string
+	var errOut map[string]any
 	if resp := getJSON(t, ts.URL+"/range?day=oops", &errOut); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed range: status %d", resp.StatusCode)
+	}
+	if errOut["status"].(float64) != http.StatusBadRequest {
+		t.Fatalf("error body should echo the status code: %v", errOut)
 	}
 }
 

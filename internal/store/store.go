@@ -23,6 +23,7 @@ import (
 
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
 )
 
 const (
@@ -198,8 +199,11 @@ type FileStore struct {
 	lru         *list.List // front = most recent; values are *cacheEntry
 	cache       map[freq.Key]*list.Element
 
-	// Hits and Misses count cache performance for observability.
-	Hits, Misses int
+	// Hits, Misses and Evictions count cache performance for observability.
+	Hits, Misses, Evictions int
+
+	met   *obs.StoreMetrics
+	trace *obs.Trace
 }
 
 type cacheEntry struct {
@@ -219,6 +223,7 @@ func Open(dir string, cacheBudget int) (*FileStore, error) {
 		cacheBudget: cacheBudget,
 		lru:         list.New(),
 		cache:       make(map[freq.Key]*list.Element),
+		met:         obs.NewStoreMetrics(nil),
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -238,6 +243,18 @@ func Open(dir string, cacheBudget int) (*FileStore, error) {
 // Dir returns the store's directory.
 func (fs *FileStore) Dir() string { return fs.dir }
 
+// SetMetrics attaches registered instruments; nil restores the no-op set.
+func (fs *FileStore) SetMetrics(m *obs.StoreMetrics) {
+	if m == nil {
+		m = obs.NewStoreMetrics(nil)
+	}
+	fs.met = m
+}
+
+// SetTrace attaches (or with nil detaches) a per-query trace; element reads
+// record "store.get" spans with their cache outcome while one is attached.
+func (fs *FileStore) SetTrace(t *obs.Trace) { fs.trace = t }
+
 // Len returns the number of stored elements.
 func (fs *FileStore) Len() int { return len(fs.index) }
 
@@ -247,12 +264,23 @@ func (fs *FileStore) Get(r freq.Rect) (*ndarray.Array, bool) {
 	if !fs.index[k] {
 		return nil, false
 	}
+	var sp *obs.Span
+	if fs.trace != nil {
+		sp = fs.trace.Start("store.get " + r.String())
+		defer sp.End()
+	}
 	if el, ok := fs.cache[k]; ok {
 		fs.lru.MoveToFront(el)
 		fs.Hits++
-		return el.Value.(*cacheEntry).arr, true
+		fs.met.CacheHits.Inc()
+		a := el.Value.(*cacheEntry).arr
+		sp.SetAttr("cache_hit", 1)
+		sp.SetAttr("cells", int64(a.Size()))
+		return a, true
 	}
 	fs.Misses++
+	fs.met.CacheMisses.Inc()
+	sp.SetAttr("cache_hit", 0)
 	f, err := os.Open(filepath.Join(fs.dir, fileName(r)))
 	if err != nil {
 		return nil, false
@@ -262,6 +290,8 @@ func (fs *FileStore) Get(r freq.Rect) (*ndarray.Array, bool) {
 	if err != nil || !gotRect.Equal(r) {
 		return nil, false
 	}
+	fs.met.DiskReads.Inc()
+	sp.SetAttr("cells", int64(a.Size()))
 	fs.admit(k, a)
 	return a, true
 }
@@ -284,9 +314,12 @@ func (fs *FileStore) admit(k freq.Key, a *ndarray.Array) {
 		fs.cacheCells -= ent.arr.Size()
 		fs.lru.Remove(back)
 		delete(fs.cache, ent.key)
+		fs.Evictions++
+		fs.met.Evictions.Inc()
 	}
 	fs.cache[k] = fs.lru.PushFront(&cacheEntry{key: k, arr: a})
 	fs.cacheCells += a.Size()
+	fs.met.CachedCells.Set(int64(fs.cacheCells))
 }
 
 // Put implements assembly.Store: write-through to disk.
@@ -312,6 +345,7 @@ func (fs *FileStore) Put(r freq.Rect, a *ndarray.Array) error {
 	}
 	k := r.Key()
 	fs.index[k] = true
+	fs.met.DiskWrites.Inc()
 	fs.admit(k, a)
 	return nil
 }
@@ -327,6 +361,7 @@ func (fs *FileStore) Delete(r freq.Rect) error {
 		fs.cacheCells -= el.Value.(*cacheEntry).arr.Size()
 		fs.lru.Remove(el)
 		delete(fs.cache, k)
+		fs.met.CachedCells.Set(int64(fs.cacheCells))
 	}
 	if err := os.Remove(filepath.Join(fs.dir, fileName(r))); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: deleting %v: %w", r, err)

@@ -3,6 +3,7 @@ package viewcube
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"viewcube/internal/query"
 )
@@ -30,6 +31,13 @@ type QueryResult struct {
 // Only SUM aggregates are supported on a plain Engine; use AvgEngine.Query
 // for COUNT and AVG. Grouped dimensions cannot also be filtered.
 func (e *Engine) Query(sql string) (*QueryResult, error) {
+	start := time.Now()
+	res, err := e.queryInner(sql)
+	e.met.observe("sql", start, err)
+	return res, err
+}
+
+func (e *Engine) queryInner(sql string) (*QueryResult, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -43,11 +51,15 @@ func (e *Engine) Query(sql string) (*QueryResult, error) {
 // Query parses and executes a SQL-like statement supporting SUM, COUNT(*)
 // (or COUNT(measure)) and AVG.
 func (a *AvgEngine) Query(sql string) (*QueryResult, error) {
+	start := time.Now()
 	q, err := query.Parse(sql)
 	if err != nil {
+		a.Sum.met.observe("sql", start, err)
 		return nil, err
 	}
-	return executeQuery(q, a.Sum, a.Count)
+	res, err := executeQuery(q, a.Sum, a.Count)
+	a.Sum.met.observe("sql", start, err)
+	return res, err
 }
 
 // executeQuery runs the parsed query against the SUM engine and, when
@@ -74,9 +86,11 @@ func executeQuery(q *query.Query, sumEng, countEng *Engine) (*QueryResult, error
 		ranges[r.Dim] = ValueRange{Lo: r.Lo, Hi: r.Hi}
 	}
 
+	// Queries route through the uninstrumented inner methods: the SQL
+	// entry point records one "sql" observation, not one per sub-query.
 	groupsOf := func(eng *Engine) (map[string]float64, error) {
 		if len(ranges) == 0 {
-			v, err := eng.GroupBy(q.GroupBy...)
+			v, err := eng.groupByInner(q.GroupBy...)
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +107,7 @@ func executeQuery(q *query.Query, sumEng, countEng *Engine) (*QueryResult, error
 			}
 			return v.Groups()
 		}
-		v, err := eng.GroupByWhere(q.GroupBy, ranges)
+		v, err := eng.groupByWhereInner(q.GroupBy, ranges)
 		if err != nil {
 			return nil, err
 		}

@@ -88,6 +88,56 @@ func (s *SafeEngine) Stats() Stats {
 	return s.eng.Stats()
 }
 
+// StoreStats is Engine.StoreStats under the lock.
+func (s *SafeEngine) StoreStats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.StoreStats()
+}
+
+// MaterializedElements is Engine.MaterializedElements under the lock.
+func (s *SafeEngine) MaterializedElements() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.MaterializedElements()
+}
+
+// StorageCells is Engine.StorageCells under the lock.
+func (s *SafeEngine) StorageCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.StorageCells()
+}
+
+// Metrics returns the engine's metrics registry. The registry itself is
+// safe for concurrent use, so no lock is taken to read instruments.
+func (s *SafeEngine) Metrics() *Metrics {
+	return s.eng.Metrics()
+}
+
+// TraceQuery is Engine.TraceQuery under the lock. Holding the lock for the
+// whole traced execution keeps the attached trace from observing another
+// client's query.
+func (s *SafeEngine) TraceQuery(sql string) (*QueryResult, *QueryTrace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.TraceQuery(sql)
+}
+
+// TraceGroupBy is Engine.TraceGroupBy under the lock.
+func (s *SafeEngine) TraceGroupBy(keep ...string) (*View, *QueryTrace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.TraceGroupBy(keep...)
+}
+
+// TraceRangeSum is Engine.TraceRangeSum under the lock.
+func (s *SafeEngine) TraceRangeSum(ranges map[string]ValueRange) (float64, *QueryTrace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.TraceRangeSum(ranges)
+}
+
 // SaveState is Engine.SaveState under the lock.
 func (s *SafeEngine) SaveState(w io.Writer) error {
 	s.mu.Lock()

@@ -1,0 +1,108 @@
+package viewcube
+
+import (
+	"encoding/json"
+	"strings"
+
+	"viewcube/internal/obs"
+	"viewcube/internal/store"
+)
+
+// QueryTrace is the recorded execution of one traced query: a tree of timed
+// spans (plan lookup, per-element assembly steps, store reads with cache
+// outcomes, range aggregation) annotated with cell and operation counts. It
+// renders as an EXPLAIN ANALYZE-style tree via String, and marshals to JSON
+// as the span tree ({name, duration_us, attrs, children}).
+type QueryTrace struct {
+	t *obs.Trace
+}
+
+// String renders the trace as an indented span tree.
+func (qt *QueryTrace) String() string {
+	if qt == nil {
+		return ""
+	}
+	return qt.t.String()
+}
+
+// Tree returns the span tree in its JSON-able shape.
+func (qt *QueryTrace) Tree() *obs.SpanNode {
+	if qt == nil {
+		return nil
+	}
+	return qt.t.Tree()
+}
+
+// MarshalJSON encodes the span tree.
+func (qt *QueryTrace) MarshalJSON() ([]byte, error) { return json.Marshal(qt.Tree()) }
+
+// Ops totals the modelled add/subtract operations recorded across the span
+// tree. For a traced view-element query it equals the plan cost reported by
+// Explain for the same materialised set.
+func (qt *QueryTrace) Ops() int64 { return qt.Tree().SumAttr("ops") }
+
+// CellsRead totals the stored-element cells fetched during execution.
+func (qt *QueryTrace) CellsRead() int64 { return qt.Tree().SumAttr("cells") }
+
+// setTrace attaches (or with nil detaches) a trace to every traced
+// component of the engine.
+func (e *Engine) setTrace(t *obs.Trace) {
+	e.inner.SetTrace(t)
+	e.rq.SetTrace(t)
+	if fs, ok := e.st.(*store.FileStore); ok {
+		fs.SetTrace(t)
+	}
+}
+
+// withTrace runs fn with a fresh trace attached and returns the finished
+// trace. The engine is single-threaded per query (serialise with
+// SafeEngine), so the trace attachment cannot leak across queries.
+func (e *Engine) withTrace(name string, fn func() error) (*QueryTrace, error) {
+	t := obs.NewTrace(name)
+	e.setTrace(t)
+	err := fn()
+	e.setTrace(nil)
+	t.Finish()
+	return &QueryTrace{t: t}, err
+}
+
+// TraceQuery is Query with per-span tracing: it answers the SQL-like
+// statement and returns the span tree of its execution alongside the
+// result.
+func (e *Engine) TraceQuery(sql string) (*QueryResult, *QueryTrace, error) {
+	var res *QueryResult
+	tr, err := e.withTrace("query", func() (err error) {
+		res, err = e.Query(sql)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// TraceGroupBy is GroupBy with per-span tracing.
+func (e *Engine) TraceGroupBy(keep ...string) (*View, *QueryTrace, error) {
+	var v *View
+	tr, err := e.withTrace("groupby "+strings.Join(keep, ","), func() (err error) {
+		v, err = e.GroupBy(keep...)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, tr, nil
+}
+
+// TraceRangeSum is RangeSum with per-span tracing.
+func (e *Engine) TraceRangeSum(ranges map[string]ValueRange) (float64, *QueryTrace, error) {
+	var sum float64
+	tr, err := e.withTrace("range", func() (err error) {
+		sum, err = e.RangeSum(ranges)
+		return err
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return sum, tr, nil
+}
