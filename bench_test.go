@@ -186,7 +186,7 @@ func BenchmarkAssembleViewFromBasis(b *testing.B) {
 	views := s.AggregatedViews()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Answer(views[1+i%(len(views)-1)]); err != nil {
+		if _, err := eng.Answer(nil, views[1+i%(len(views)-1)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -269,6 +269,36 @@ func BenchmarkEngineGroupBy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelGroupBy measures multi-core read throughput: the same
+// workload as BenchmarkEngineGroupBy, but issued from GOMAXPROCS
+// goroutines against one SafeEngine. With the read path reentrant, this
+// should scale beyond the serial baseline (compare ns/op against
+// BenchmarkEngineGroupBy; use -cpu 1,2,4 to see the curve).
+func BenchmarkParallelGroupBy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl, err := workload.SalesTable(rng, 100, 8, 60, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	safe := eng.Safe()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := safe.GroupBy("product"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFileStoreRoundTrip measures disk persistence of a 64k-cell

@@ -50,6 +50,7 @@ func TestBenchJSON(t *testing.T) {
 		fn   func(*testing.B)
 	}{
 		{"EngineGroupBy", BenchmarkEngineGroupBy},
+		{"ParallelGroupBy", BenchmarkParallelGroupBy},
 		{"AssembleViewFromBasis", BenchmarkAssembleViewFromBasis},
 		{"RangeSumViaElements", BenchmarkRangeSumViaElements},
 		{"RangeAggregation", BenchmarkRangeAggregation},

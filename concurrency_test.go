@@ -1,0 +1,269 @@
+// Concurrent stress tests for the SafeEngine read path. Run under the race
+// detector (CI runs `go test -race -run Concurrent ./...`): the point is
+// not just that answers stay correct, but that overlapping reads, traced
+// queries, and background reconfigurations share no unsynchronised state.
+package viewcube_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viewcube"
+	"viewcube/internal/workload"
+)
+
+// almostEqual compares aggregates up to float reordering: reconfiguration
+// changes the assembly plan, which reorders the summation.
+func almostEqual(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-7*scale
+}
+
+func sameGroups(t *testing.T, got, want map[string]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("group count %d, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || !almostEqual(g, w) {
+			t.Fatalf("group %q = %g, want %g", k, got[k], w)
+		}
+	}
+}
+
+// TestConcurrentStressAgainstSerialOracle hammers one SafeEngine with
+// goroutines mixing GroupBy, RangeSum, SQL and traced queries while a
+// background goroutine keeps reconfiguring the materialised set. Assembly
+// is exact, so every concurrent answer must match the serial oracle
+// computed up front, whatever set the planner is working from.
+func TestConcurrentStressAgainstSerialOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl, err := workload.SalesTable(rng, 12, 6, 30, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{ReselectEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := eng.Safe()
+
+	// Serial oracle, computed before any concurrency starts.
+	dayRange := map[string]viewcube.ValueRange{"day": {Lo: "day-005", Hi: "day-019"}}
+	const sql = "SELECT SUM(sales) GROUP BY region"
+	oracleProductView, err := safe.GroupBy("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleProduct, err := oracleProductView.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleTotal, err := safe.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleRange, err := safe.RangeSum(dayRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleSQL, err := safe.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Background writer: keep migrating the materialised set while the
+	// readers run.
+	var stop atomic.Bool
+	var reconfigs int
+	writerDone := make(chan error, 1)
+	go func() {
+		defer close(writerDone)
+		for !stop.Load() {
+			if _, err := safe.Reconfigure(); err != nil {
+				writerDone <- err
+				return
+			}
+			reconfigs++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					v, err := safe.GroupBy("product")
+					if err != nil {
+						fail(err)
+						return
+					}
+					groups, err := v.Groups()
+					if err != nil {
+						fail(err)
+						return
+					}
+					for k, w := range oracleProduct {
+						if !almostEqual(groups[k], w) {
+							fail(errForGroup(k, groups[k], w))
+							return
+						}
+					}
+				case 1:
+					total, err := safe.Total()
+					if err != nil {
+						fail(err)
+						return
+					}
+					if !almostEqual(total, oracleTotal) {
+						fail(errForGroup("total", total, oracleTotal))
+						return
+					}
+				case 2:
+					sum, err := safe.RangeSum(dayRange)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if !almostEqual(sum, oracleRange) {
+						fail(errForGroup("range", sum, oracleRange))
+						return
+					}
+				case 3:
+					res, tr, err := safe.TraceQuery(sql)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if tr == nil || tr.Tree() == nil {
+						fail(errForGroup("trace", 0, 1))
+						return
+					}
+					if len(res.Rows) != len(oracleSQL.Rows) {
+						fail(errForGroup("sql rows", float64(len(res.Rows)), float64(len(oracleSQL.Rows))))
+						return
+					}
+					for j, row := range res.Rows {
+						if !almostEqual(row.Values[0], oracleSQL.Rows[j].Values[0]) {
+							fail(errForGroup(row.Key[0], row.Values[0], oracleSQL.Rows[j].Values[0]))
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("background reconfigure: %v", err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if reconfigs == 0 {
+		t.Fatal("background writer never reconfigured")
+	}
+	if got := safe.Stats().Queries; got < goroutines*iters/2 {
+		t.Fatalf("only %d queries recorded", got)
+	}
+	// Re-check serially after the storm: the store must still be a
+	// consistent basis.
+	v, err := safe.GroupBy("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := v.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGroups(t, groups, oracleProduct)
+}
+
+type groupMismatch struct {
+	key       string
+	got, want float64
+}
+
+func (e groupMismatch) Error() string {
+	return "concurrent answer for " + e.key + " diverged from serial oracle"
+}
+
+func errForGroup(key string, got, want float64) error {
+	return groupMismatch{key: key, got: got, want: want}
+}
+
+// TestConcurrentTraceIsolation runs many traced queries in parallel and
+// checks each trace observed only its own query's spans: per-query
+// execution contexts mean a trace can never pick up another goroutine's
+// plan or store reads.
+func TestConcurrentTraceIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl, err := workload.SalesTable(rng, 8, 4, 16, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := eng.Safe()
+	// Reference trace, serially.
+	_, want, err := safe.TraceGroupBy("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := want.Ops()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, tr, err := safe.TraceGroupBy("product")
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Same materialised set (no writer in this test) → same plan
+				// → identical modelled ops in every isolated trace.
+				if tr.Ops() != wantOps {
+					errs <- errForGroup("trace ops", float64(tr.Ops()), float64(wantOps))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

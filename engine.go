@@ -10,6 +10,7 @@ import (
 	"viewcube/internal/assembly"
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
 	"viewcube/internal/rangeagg"
 	"viewcube/internal/store"
 )
@@ -81,7 +82,14 @@ type EngineOptions struct {
 
 // Engine answers queries against a cube by dynamically assembling views
 // from its materialised view element set, and adapts that set to the
-// workload. Engines are not safe for concurrent use.
+// workload.
+//
+// A plain Engine is not safe for concurrent use: its public query methods
+// perform any due automatic reselection inline, which rewrites the
+// materialised set. Wrap it with Safe to share it across goroutines — the
+// SafeEngine routes queries through the side-effect-free read path under a
+// read lock and serialises mutations (Optimize, Update, reselection) under
+// the write lock.
 type Engine struct {
 	cube  *Cube
 	st    assembly.Store
@@ -148,7 +156,25 @@ func (e *Engine) Metrics() *Metrics { return e.met }
 type engineElementSource struct{ e *Engine }
 
 func (s engineElementSource) Element(r freq.Rect) (*ndarray.Array, error) {
-	return s.e.inner.Query(r)
+	return s.ElementCtx(nil, r)
+}
+
+// ElementCtx implements rangeagg.CtxElementSource, forwarding the per-query
+// execution context into assembly.
+func (s engineElementSource) ElementCtx(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error) {
+	return s.e.inner.Query(x, r)
+}
+
+// maybeReselect performs a due automatic reselection. Only the plain
+// Engine's public entry points call it (queries on a plain engine are
+// single-threaded by contract); SafeEngine instead drains the due flag
+// under its write lock after the read completes.
+func (e *Engine) maybeReselect() error {
+	if !e.inner.ReselectDue() {
+		return nil
+	}
+	_, err := e.inner.AutoReconfigure(nil)
+	return err
 }
 
 // Optimize selects and materialises the best element set for an
@@ -161,28 +187,41 @@ func (e *Engine) Optimize(w *Workload) error {
 			e.inner.Observe(ent.rect, ent.freq)
 		}
 	}
-	_, err := e.inner.Reconfigure()
+	_, err := e.inner.Reconfigure(nil)
 	return err
 }
 
 // Reconfigure re-selects the materialised set from the observed query
 // frequencies, reporting whether anything changed.
-func (e *Engine) Reconfigure() (bool, error) { return e.inner.Reconfigure() }
+func (e *Engine) Reconfigure() (bool, error) { return e.inner.Reconfigure(nil) }
 
 // View answers a view-element query, assembling it from the materialised
 // set.
 func (e *Engine) View(el Element) (*View, error) {
+	v, err := e.viewObserved(nil, el)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// viewObserved is the timed-and-counted read path: it never reselects, so
+// SafeEngine may call it under a read lock.
+func (e *Engine) viewObserved(x *obs.ExecCtx, el Element) (*View, error) {
 	start := time.Now()
-	v, err := e.viewInner(el)
+	v, err := e.viewInner(x, el)
 	e.met.observe("view", start, err)
 	return v, err
 }
 
-func (e *Engine) viewInner(el Element) (*View, error) {
+func (e *Engine) viewInner(x *obs.ExecCtx, el Element) (*View, error) {
 	if !e.cube.Valid(el) {
 		return nil, fmt.Errorf("viewcube: invalid element %v", el)
 	}
-	arr, err := e.inner.Query(el.rect)
+	arr, err := e.inner.Query(x, el.rect)
 	if err != nil {
 		return nil, err
 	}
@@ -192,31 +231,50 @@ func (e *Engine) viewInner(el Element) (*View, error) {
 // GroupBy answers the aggregated view that keeps the named dimensions and
 // SUM-aggregates all others.
 func (e *Engine) GroupBy(keep ...string) (*View, error) {
+	v, err := e.groupByObserved(nil, keep...)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (e *Engine) groupByObserved(x *obs.ExecCtx, keep ...string) (*View, error) {
 	start := time.Now()
-	v, err := e.groupByInner(keep...)
+	v, err := e.groupByInner(x, keep...)
 	e.met.observe("groupby", start, err)
 	return v, err
 }
 
-func (e *Engine) groupByInner(keep ...string) (*View, error) {
+func (e *Engine) groupByInner(x *obs.ExecCtx, keep ...string) (*View, error) {
 	el, err := e.cube.ViewKeeping(keep...)
 	if err != nil {
 		return nil, err
 	}
-	return e.viewInner(el)
+	return e.viewInner(x, el)
 }
 
 // Total returns the grand total via the engine (exercising assembly rather
 // than scanning the cube).
 func (e *Engine) Total() (float64, error) {
+	total, err := e.totalObserved(nil)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	return total, err
+}
+
+func (e *Engine) totalObserved(x *obs.ExecCtx) (float64, error) {
 	start := time.Now()
-	total, err := e.totalInner()
+	total, err := e.totalInner(x)
 	e.met.observe("total", start, err)
 	return total, err
 }
 
-func (e *Engine) totalInner() (float64, error) {
-	v, err := e.viewInner(e.cube.GrandTotal())
+func (e *Engine) totalInner(x *obs.ExecCtx) (float64, error) {
+	v, err := e.viewInner(x, e.cube.GrandTotal())
 	if err != nil {
 		return 0, err
 	}
@@ -235,13 +293,21 @@ type ValueRange struct {
 // per-dimension value ranges (unnamed dimensions are unrestricted),
 // answered through intermediate view elements (§6 of the paper).
 func (e *Engine) RangeSum(ranges map[string]ValueRange) (float64, error) {
+	sum, err := e.rangeSumObserved(nil, ranges)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	return sum, err
+}
+
+func (e *Engine) rangeSumObserved(x *obs.ExecCtx, ranges map[string]ValueRange) (float64, error) {
 	start := time.Now()
-	sum, err := e.rangeSumInner(ranges)
+	sum, err := e.rangeSumInner(x, ranges)
 	e.met.observe("range", start, err)
 	return sum, err
 }
 
-func (e *Engine) rangeSumInner(ranges map[string]ValueRange) (float64, error) {
+func (e *Engine) rangeSumInner(x *obs.ExecCtx, ranges map[string]ValueRange) (float64, error) {
 	if e.cube.enc == nil {
 		return 0, fmt.Errorf("viewcube: RangeSum by value needs a dictionary-encoded cube; use RangeSumIndex")
 	}
@@ -266,14 +332,22 @@ func (e *Engine) rangeSumInner(ranges map[string]ValueRange) (float64, error) {
 		}
 		lo[m], ext[m] = loCode, extCode
 	}
-	return e.rq.RangeSum(rangeagg.Box{Lo: lo, Ext: ext})
+	return e.rq.RangeSumCtx(x, rangeagg.Box{Lo: lo, Ext: ext})
 }
 
 // RangeSumIndex computes the SUM over the half-open coordinate box
 // [lo, lo+ext).
 func (e *Engine) RangeSumIndex(lo, ext []int) (float64, error) {
+	sum, err := e.rangeSumIndexObserved(nil, lo, ext)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	return sum, err
+}
+
+func (e *Engine) rangeSumIndexObserved(x *obs.ExecCtx, lo, ext []int) (float64, error) {
 	start := time.Now()
-	sum, err := e.rq.RangeSum(rangeagg.Box{Lo: lo, Ext: ext})
+	sum, err := e.rq.RangeSumCtx(x, rangeagg.Box{Lo: lo, Ext: ext})
 	e.met.observe("range", start, err)
 	return sum, err
 }
@@ -285,13 +359,24 @@ func (e *Engine) RangeSumIndex(lo, ext []int) (float64, error) {
 // instead of scanning the filtered region. Kept dimensions cannot also be
 // filtered.
 func (e *Engine) GroupByWhere(keep []string, ranges map[string]ValueRange) (*View, error) {
+	v, err := e.groupByWhereObserved(nil, keep, ranges)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (e *Engine) groupByWhereObserved(x *obs.ExecCtx, keep []string, ranges map[string]ValueRange) (*View, error) {
 	start := time.Now()
-	v, err := e.groupByWhereInner(keep, ranges)
+	v, err := e.groupByWhereInner(x, keep, ranges)
 	e.met.observe("groupby_where", start, err)
 	return v, err
 }
 
-func (e *Engine) groupByWhereInner(keep []string, ranges map[string]ValueRange) (*View, error) {
+func (e *Engine) groupByWhereInner(x *obs.ExecCtx, keep []string, ranges map[string]ValueRange) (*View, error) {
 	if e.cube.enc == nil {
 		return nil, fmt.Errorf("viewcube: GroupByWhere needs a dictionary-encoded cube")
 	}
@@ -331,7 +416,7 @@ func (e *Engine) groupByWhereInner(keep []string, ranges map[string]ValueRange) 
 		}
 		lo[m], ext[m] = loCode, extCode
 	}
-	arr, err := e.rq.GroupedRangeSum(rangeagg.Box{Lo: lo, Ext: ext}, keepMask)
+	arr, err := e.rq.GroupedRangeSumCtx(x, rangeagg.Box{Lo: lo, Ext: ext}, keepMask)
 	if err != nil {
 		return nil, err
 	}
@@ -434,9 +519,9 @@ func (e *Engine) StoreStats() StoreStats {
 	if fs, ok := e.st.(*store.FileStore); ok {
 		return StoreStats{
 			Disk:           true,
-			CacheHits:      fs.Hits,
-			CacheMisses:    fs.Misses,
-			CacheEvictions: fs.Evictions,
+			CacheHits:      fs.Hits(),
+			CacheMisses:    fs.Misses(),
+			CacheEvictions: fs.Evictions(),
 			CachedCells:    fs.CachedCells(),
 		}
 	}

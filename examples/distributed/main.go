@@ -2,6 +2,10 @@
 // engine per shard, and answers global queries by parallel fan-out and
 // merge — exact because SUM is distributive over the partition. Each shard
 // independently runs Algorithm 1 on its own sub-cube.
+//
+// Shard engines are reentrant (SafeEngine read path), so whole global
+// queries are also issued concurrently with each other: three overlapping
+// fan-outs below share the four shards without serialising.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"log"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"viewcube"
@@ -50,22 +55,53 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Issue all three global queries concurrently: every one fans out to
+	// every shard, and the reentrant shard engines serve the overlapping
+	// legs in parallel.
+	var (
+		total    float64
+		byRegion map[string]float64
+		window   float64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	report := func(err error) {
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	}
 	start := time.Now()
-	total, err := pe.Total()
-	if err != nil {
-		log.Fatal(err)
-	}
-	byRegion, err := pe.GroupBy("region")
-	if err != nil {
-		log.Fatal(err)
-	}
-	window, err := pe.RangeSum(map[string]viewcube.ValueRange{
-		"day": {Lo: "day-000", Hi: "day-013"},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		var err error
+		total, err = pe.Total()
+		report(err)
+	}()
+	go func() {
+		defer wg.Done()
+		var err error
+		byRegion, err = pe.GroupBy("region")
+		report(err)
+	}()
+	go func() {
+		defer wg.Done()
+		var err error
+		window, err = pe.RangeSum(map[string]viewcube.ValueRange{
+			"day": {Lo: "day-000", Hi: "day-013"},
+		})
+		report(err)
+	}()
+	wg.Wait()
 	elapsed := time.Since(start)
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
 
 	fmt.Printf("\nglobal total: %g units\n", total)
 	fmt.Println("units by region (merged across shards):")
@@ -78,7 +114,31 @@ func main() {
 		fmt.Printf("  %-12s %10g\n", k, byRegion[k])
 	}
 	fmt.Printf("first two weeks: %g units\n", window)
-	fmt.Printf("three fan-out queries in %v\n", elapsed)
+	fmt.Printf("three overlapping fan-out queries in %v\n", elapsed)
+
+	// Per-shard timings for one more fan-out, legs timed individually.
+	perShard := make([]time.Duration, pe.Shards())
+	shardStart := time.Now()
+	wg.Add(pe.Shards())
+	for i := 0; i < pe.Shards(); i++ {
+		go func(i int) {
+			defer wg.Done()
+			legStart := time.Now()
+			_, err := pe.Shard(i).GroupBy("region")
+			perShard[i] = time.Since(legStart)
+			report(err)
+		}(i)
+	}
+	wg.Wait()
+	shardElapsed := time.Since(shardStart)
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+	fmt.Println("per-shard group-by timings (parallel legs):")
+	for i, d := range perShard {
+		fmt.Printf("  shard %d: %v\n", i, d)
+	}
+	fmt.Printf("slowest leg bounds the fan-out: total %v\n", shardElapsed)
 
 	// Cross-check against a single unsharded engine.
 	cube, err := viewcube.FromRelation(tbl)

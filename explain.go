@@ -19,7 +19,7 @@ func (e *Engine) Explain(el Element) (string, error) {
 	}
 	// Plan through the assembly engine directly so explaining a query does
 	// not count as an access for adaptation.
-	plan, err := assembly.NewEngine(e.cube.space, e.st).Plan(el.rect)
+	plan, err := assembly.NewEngine(e.cube.space, e.st).Plan(nil, el.rect)
 	if err != nil {
 		return "", err
 	}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"viewcube/internal/assembly"
 	"viewcube/internal/core"
@@ -25,9 +27,11 @@ import (
 
 // Options tunes the adaptive engine.
 type Options struct {
-	// ReselectEvery triggers an automatic Reconfigure after this many
-	// queries; 0 disables automatic reconfiguration (call Reconfigure
-	// manually).
+	// ReselectEvery marks a reconfiguration as due after this many queries;
+	// 0 disables automatic reconfiguration (call Reconfigure manually).
+	// Query itself never reconfigures: it only raises the due flag, and the
+	// caller (see ReselectDue/AutoReconfigure) performs the reselection at a
+	// point where exclusive access is held.
 	ReselectEvery int
 	// StorageBudget is the Algorithm 2 target storage in cells. If it is 0
 	// or no larger than the cube volume, only the non-redundant Algorithm 1
@@ -52,20 +56,35 @@ type Stats struct {
 	LastTotalCost   float64 // Procedure 3 population cost after last reconfig
 }
 
-// Engine is an adaptive view-element engine. It is not safe for concurrent
-// use.
+// recorder is the only mutable state touched by the query path: the
+// observed access counts, the running Stats, and the queries-since-last-
+// reconfiguration counter, all guarded by one mutex, plus the lock-free
+// "reselection due" flag. Keeping it separate from the planning state means
+// answering a query never writes anything a concurrent query could read
+// unsynchronised.
+type recorder struct {
+	mu            sync.Mutex
+	counts        map[freq.Key]float64
+	stats         Stats
+	sinceReconfig int
+	due           atomic.Bool
+}
+
+// Engine is an adaptive view-element engine. Answering a query is a pure
+// read of the materialised set plus a short locked workload observation, so
+// any number of Query calls may run concurrently (given a store that is
+// safe for concurrent reads). Reconfigure is the only writer: it must not
+// overlap queries — callers serialise it externally (see the root package's
+// SafeEngine, which runs it under a write lock).
 type Engine struct {
 	space *velement.Space
 	store assembly.Store
 	inner *assembly.Engine
 	opts  Options
 
-	counts        map[freq.Key]float64
-	stats         Stats
-	sinceReconfig int
+	rec recorder
 
-	met   *obs.AdaptiveMetrics
-	trace *obs.Trace
+	met *obs.AdaptiveMetrics
 }
 
 // New returns an adaptive engine over an existing store. The store must
@@ -80,15 +99,15 @@ func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error
 		return nil, fmt.Errorf("adaptive: store content is not a basis of the cube")
 	}
 	e := &Engine{
-		space:  space,
-		store:  st,
-		inner:  assembly.NewEngine(space, st),
-		opts:   opts,
-		counts: make(map[freq.Key]float64),
-		met:    obs.NewAdaptiveMetrics(nil),
+		space: space,
+		store: st,
+		inner: assembly.NewEngine(space, st),
+		opts:  opts,
+		met:   obs.NewAdaptiveMetrics(nil),
 	}
-	e.stats.StorageCells = space.SetVolume(els)
-	e.stats.CurrentElements = len(els)
+	e.rec.counts = make(map[freq.Key]float64)
+	e.rec.stats.StorageCells = space.SetVolume(els)
+	e.rec.stats.CurrentElements = len(els)
 	return e, nil
 }
 
@@ -97,46 +116,66 @@ func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error
 func (e *Engine) Assembler() *assembly.Engine { return e.inner }
 
 // SetMetrics attaches registered instruments; nil restores the no-op set.
-// The materialised-set gauges are initialised from the current state.
+// The materialised-set gauges are initialised from the current state. Call
+// it during wiring, before the engine is shared across goroutines.
 func (e *Engine) SetMetrics(m *obs.AdaptiveMetrics) {
 	if m == nil {
 		m = obs.NewAdaptiveMetrics(nil)
 	}
 	e.met = m
-	e.met.BasisElements.Set(int64(e.stats.CurrentElements))
-	e.met.StorageCells.Set(int64(e.stats.StorageCells))
+	st := e.Stats()
+	e.met.BasisElements.Set(int64(st.CurrentElements))
+	e.met.StorageCells.Set(int64(st.StorageCells))
 }
 
-// SetTrace attaches (or with nil detaches) a per-query trace on this engine
-// and its inner assembly engine.
-func (e *Engine) SetTrace(t *obs.Trace) {
-	e.trace = t
-	e.inner.SetTrace(t)
-}
-
-// Query answers a view-element query, records the access, and triggers an
-// automatic reconfiguration when due.
-func (e *Engine) Query(r freq.Rect) (*ndarray.Array, error) {
-	plan, err := e.inner.Plan(r)
+// Query answers a view-element query and records the access. It never
+// reconfigures: when the observation pushes the engine past ReselectEvery
+// it raises the due flag, and the caller decides when to run
+// AutoReconfigure with exclusive access.
+func (e *Engine) Query(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error) {
+	plan, err := e.inner.Plan(x, r)
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.inner.Execute(plan)
+	out, err := e.inner.Execute(x, plan)
 	if err != nil {
 		return nil, err
 	}
-	e.counts[r.Key()]++
-	e.stats.Queries++
-	e.stats.LastPlanCost = assembly.PlanCost(plan)
-	e.stats.ModelOps += int64(assembly.PlanCost(plan))
-	e.sinceReconfig++
-	if e.opts.ReselectEvery > 0 && e.sinceReconfig >= e.opts.ReselectEvery {
-		e.met.AutoReselects.Inc()
-		if _, err := e.Reconfigure(); err != nil {
-			return nil, fmt.Errorf("adaptive: automatic reconfiguration: %w", err)
-		}
-	}
+	e.observeQuery(r, assembly.PlanCost(plan))
 	return out, nil
+}
+
+// observeQuery folds one served query into the recorder.
+func (e *Engine) observeQuery(r freq.Rect, cost int) {
+	rec := &e.rec
+	rec.mu.Lock()
+	rec.counts[r.Key()]++
+	rec.stats.Queries++
+	rec.stats.LastPlanCost = cost
+	rec.stats.ModelOps += int64(cost)
+	rec.sinceReconfig++
+	due := e.opts.ReselectEvery > 0 && rec.sinceReconfig >= e.opts.ReselectEvery
+	rec.mu.Unlock()
+	if due {
+		rec.due.Store(true)
+	}
+}
+
+// ReselectDue reports whether enough queries have accumulated since the
+// last reconfiguration that an automatic reselection should run. It is a
+// lock-free read, safe from any goroutine.
+func (e *Engine) ReselectDue() bool { return e.rec.due.Load() }
+
+// AutoReconfigure performs the reconfiguration that ReselectDue announced,
+// counting it as an automatic reselection. Like Reconfigure it must not
+// overlap queries.
+func (e *Engine) AutoReconfigure(x *obs.ExecCtx) (bool, error) {
+	e.met.AutoReselects.Inc()
+	changed, err := e.Reconfigure(x)
+	if err != nil {
+		return changed, fmt.Errorf("adaptive: automatic reconfiguration: %w", err)
+	}
+	return changed, nil
 }
 
 // State exports the observed access counts keyed by a stable textual
@@ -144,8 +183,10 @@ func (e *Engine) Query(r freq.Rect) (*ndarray.Array, error) {
 // persistence; RestoreState imports them. Together they let an engine
 // restart with a warm workload profile.
 func (e *Engine) State() map[string]float64 {
-	out := make(map[string]float64, len(e.counts))
-	for k, c := range e.counts {
+	e.rec.mu.Lock()
+	defer e.rec.mu.Unlock()
+	out := make(map[string]float64, len(e.rec.counts))
+	for k, c := range e.rec.counts {
 		out[encodeRect(k.Rect())] = c
 	}
 	return out
@@ -163,7 +204,9 @@ func (e *Engine) RestoreState(state map[string]float64) error {
 			return fmt.Errorf("adaptive: state id %q is not an element of this cube", id)
 		}
 		if c > 0 {
-			e.counts[r.Key()] += c
+			e.rec.mu.Lock()
+			e.rec.counts[r.Key()] += c
+			e.rec.mu.Unlock()
 		}
 	}
 	return nil
@@ -196,23 +239,38 @@ func decodeRect(id string) (freq.Rect, error) {
 // anticipates the relative frequency" mode of §5).
 func (e *Engine) Observe(r freq.Rect, weight float64) {
 	if weight > 0 {
-		e.counts[r.Key()] += weight
+		e.rec.mu.Lock()
+		e.rec.counts[r.Key()] += weight
+		e.rec.mu.Unlock()
 	}
 }
 
 // ObservedQueries converts the recorded access counts into a normalised
 // query population.
 func (e *Engine) ObservedQueries() []core.Query {
-	queries := make([]core.Query, 0, len(e.counts))
-	for k, c := range e.counts {
+	e.rec.mu.Lock()
+	queries := make([]core.Query, 0, len(e.rec.counts))
+	for k, c := range e.rec.counts {
 		queries = append(queries, core.Query{Rect: k.Rect(), Freq: c})
 	}
+	e.rec.mu.Unlock()
 	core.NormalizeFrequencies(queries)
 	return queries
 }
 
 // Stats returns a snapshot of the engine's counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.rec.mu.Lock()
+	defer e.rec.mu.Unlock()
+	return e.rec.stats
+}
+
+// mutateStats applies f to the running stats under the recorder lock.
+func (e *Engine) mutateStats(f func(*Stats)) {
+	e.rec.mu.Lock()
+	f(&e.rec.stats)
+	e.rec.mu.Unlock()
+}
 
 // Elements returns the currently materialised set.
 func (e *Engine) Elements() []freq.Rect { return e.store.Elements() }
@@ -248,19 +306,22 @@ func (e *Engine) greedyCandidates(queries []core.Query) []freq.Rect {
 // elements are assembled from the current set before anything is dropped,
 // so the store is never left unable to answer. It reports whether the
 // materialised set changed.
-func (e *Engine) Reconfigure() (bool, error) {
-	e.sinceReconfig = 0
+//
+// Reconfigure is the engine's only writer of planning state (the store
+// content). It must not overlap Query calls; serialise it externally.
+func (e *Engine) Reconfigure(x *obs.ExecCtx) (bool, error) {
+	e.rec.mu.Lock()
+	e.rec.sinceReconfig = 0
+	e.rec.mu.Unlock()
+	e.rec.due.Store(false)
 	e.met.Reselections.Inc()
 	queries := e.ObservedQueries()
 	if len(queries) == 0 {
 		return false, nil
 	}
-	var sp *obs.Span
-	if e.trace != nil {
-		sp = e.trace.Start("reconfigure")
-		sp.SetAttr("observed_queries", int64(len(queries)))
-		defer sp.End()
-	}
+	sp := x.Start("reconfigure")
+	sp.SetAttr("observed_queries", int64(len(queries)))
+	defer sp.End()
 	res, err := core.SelectBasis(e.space, queries)
 	if err != nil {
 		return false, err
@@ -272,12 +333,14 @@ func (e *Engine) Reconfigure() (bool, error) {
 			return false, err
 		}
 		target = greedy.Final
-		e.stats.LastTotalCost = greedy.InitialCost
+		cost := greedy.InitialCost
 		if n := len(greedy.Steps); n > 0 {
-			e.stats.LastTotalCost = greedy.Steps[n-1].Cost
+			cost = greedy.Steps[n-1].Cost
 		}
+		e.mutateStats(func(s *Stats) { s.LastTotalCost = cost })
 	} else {
-		e.stats.LastTotalCost = core.TotalProcessingCost(e.space, target, queries)
+		cost := core.TotalProcessingCost(e.space, target, queries)
+		e.mutateStats(func(s *Stats) { s.LastTotalCost = cost })
 	}
 
 	current := e.store.Elements()
@@ -296,14 +359,14 @@ func (e *Engine) Reconfigure() (bool, error) {
 		if have[r.Key()] {
 			continue
 		}
-		a, err := e.inner.Answer(r)
+		a, err := e.inner.Answer(x, r)
 		if err != nil {
 			return changed, fmt.Errorf("adaptive: assembling %v for migration: %w", r, err)
 		}
 		if err := e.store.Put(r, a); err != nil {
 			return changed, fmt.Errorf("adaptive: storing %v: %w", r, err)
 		}
-		e.stats.Migrated++
+		e.mutateStats(func(s *Stats) { s.Migrated++ })
 		e.met.Migrated.Inc()
 		sp.AddAttr("migrated", 1)
 		changed = true
@@ -316,25 +379,32 @@ func (e *Engine) Reconfigure() (bool, error) {
 		if err := e.store.Delete(r); err != nil {
 			return changed, fmt.Errorf("adaptive: dropping %v: %w", r, err)
 		}
-		e.stats.Dropped++
+		e.mutateStats(func(s *Stats) { s.Dropped++ })
 		e.met.Dropped.Inc()
 		sp.AddAttr("dropped", 1)
 		changed = true
 	}
+	els := e.store.Elements()
+	cells := e.space.SetVolume(els)
+	e.mutateStats(func(s *Stats) {
+		if changed {
+			s.Reconfigs++
+		}
+		s.StorageCells = cells
+		s.CurrentElements = len(els)
+	})
 	if changed {
-		e.stats.Reconfigs++
 		e.met.ChangedReconfigs.Inc()
 	}
-	els := e.store.Elements()
-	e.stats.StorageCells = e.space.SetVolume(els)
-	e.stats.CurrentElements = len(els)
 	e.met.BasisElements.Set(int64(len(els)))
-	e.met.StorageCells.Set(int64(e.stats.StorageCells))
+	e.met.StorageCells.Set(int64(cells))
 	if e.opts.Decay < 1 {
 		e.met.DecayApplied.Inc()
 	}
-	for k := range e.counts {
-		e.counts[k] *= e.opts.Decay
+	e.rec.mu.Lock()
+	for k := range e.rec.counts {
+		e.rec.counts[k] *= e.opts.Decay
 	}
+	e.rec.mu.Unlock()
 	return changed, nil
 }

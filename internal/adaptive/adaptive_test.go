@@ -55,7 +55,7 @@ func TestQueryAnswersCorrectly(t *testing.T) {
 	cube := randomCube(rng, 8, 4)
 	e, s := newEngine(t, cube, Options{})
 	for _, v := range s.AggregatedViews() {
-		got, err := e.Query(v)
+		got, err := e.Query(nil, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func TestQueryAnswersCorrectly(t *testing.T) {
 func TestQueryInvalidElement(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	e, _ := newEngine(t, randomCube(rng, 4, 4), Options{})
-	if _, err := e.Query(freq.Rect{64, 1}); err == nil {
+	if _, err := e.Query(nil, freq.Rect{64, 1}); err == nil {
 		t.Fatal("want error for invalid element")
 	}
 }
@@ -84,7 +84,7 @@ func TestReconfigureMovesTowardWorkload(t *testing.T) {
 	// Hammer one view.
 	hot := s.ViewForMask(1) // aggregate dimension 0
 	for i := 0; i < 50; i++ {
-		if _, err := e.Query(hot); err != nil {
+		if _, err := e.Query(nil, hot); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -92,7 +92,7 @@ func TestReconfigureMovesTowardWorkload(t *testing.T) {
 	if costBefore == 0 {
 		t.Fatal("assembling the hot view from the cube should cost > 0")
 	}
-	changed, err := e.Reconfigure()
+	changed, err := e.Reconfigure(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestReconfigureMovesTowardWorkload(t *testing.T) {
 		t.Fatal("reconfiguration should change the materialised set")
 	}
 	// After adaptation the hot view is free.
-	if _, err := e.Query(hot); err != nil {
+	if _, err := e.Query(nil, hot); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Stats().LastPlanCost; got != 0 {
@@ -108,7 +108,7 @@ func TestReconfigureMovesTowardWorkload(t *testing.T) {
 	}
 	// And it still answers every view correctly.
 	for _, v := range s.AggregatedViews() {
-		got, err := e.Query(v)
+		got, err := e.Query(nil, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func TestReconfigureMovesTowardWorkload(t *testing.T) {
 func TestReconfigureNoQueriesIsNoop(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	e, _ := newEngine(t, randomCube(rng, 4, 4), Options{})
-	changed, err := e.Reconfigure()
+	changed, err := e.Reconfigure(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,8 +145,15 @@ func TestAutomaticReconfiguration(t *testing.T) {
 	e, s := newEngine(t, cube, Options{ReselectEvery: 10})
 	hot := s.ViewForMask(3) // grand total
 	for i := 0; i < 25; i++ {
-		if _, err := e.Query(hot); err != nil {
+		if _, err := e.Query(nil, hot); err != nil {
 			t.Fatal(err)
+		}
+		// Query never reconfigures itself; the caller drains the due flag
+		// at a point where it holds exclusive access.
+		if e.ReselectDue() {
+			if _, err := e.AutoReconfigure(nil); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if e.Stats().Reconfigs == 0 {
@@ -172,14 +179,14 @@ func TestStorageBudgetGreedy(t *testing.T) {
 	}
 	// Two hot views.
 	for i := 0; i < 20; i++ {
-		if _, err := e.Query(s.ViewForMask(1)); err != nil {
+		if _, err := e.Query(nil, s.ViewForMask(1)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := e.Query(s.ViewForMask(2)); err != nil {
+		if _, err := e.Query(nil, s.ViewForMask(2)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := e.Reconfigure(); err != nil {
+	if _, err := e.Reconfigure(nil); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().StorageCells > budget {
@@ -187,7 +194,7 @@ func TestStorageBudgetGreedy(t *testing.T) {
 	}
 	// Both hot views should now be stored (free).
 	for _, mask := range []uint{1, 2} {
-		if _, err := e.Query(s.ViewForMask(mask)); err != nil {
+		if _, err := e.Query(nil, s.ViewForMask(mask)); err != nil {
 			t.Fatal(err)
 		}
 		if e.Stats().LastPlanCost != 0 {
@@ -203,23 +210,23 @@ func TestWorkloadShiftWithDecay(t *testing.T) {
 	first := s.ViewForMask(1)
 	second := s.ViewForMask(2)
 	for i := 0; i < 30; i++ {
-		if _, err := e.Query(first); err != nil {
+		if _, err := e.Query(nil, first); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := e.Reconfigure(); err != nil {
+	if _, err := e.Reconfigure(nil); err != nil {
 		t.Fatal(err)
 	}
 	// Shift the workload; decay lets the new view dominate quickly.
 	for i := 0; i < 30; i++ {
-		if _, err := e.Query(second); err != nil {
+		if _, err := e.Query(nil, second); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := e.Reconfigure(); err != nil {
+	if _, err := e.Reconfigure(nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Query(second); err != nil {
+	if _, err := e.Query(nil, second); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().LastPlanCost != 0 {
@@ -227,7 +234,7 @@ func TestWorkloadShiftWithDecay(t *testing.T) {
 	}
 	// Every view still answers correctly after two migrations.
 	for _, v := range s.AggregatedViews() {
-		got, err := e.Query(v)
+		got, err := e.Query(nil, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,11 +249,11 @@ func TestObservedQueriesNormalised(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	e, s := newEngine(t, randomCube(rng, 4, 4), Options{})
 	for i := 0; i < 3; i++ {
-		if _, err := e.Query(s.ViewForMask(1)); err != nil {
+		if _, err := e.Query(nil, s.ViewForMask(1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := e.Query(s.ViewForMask(3)); err != nil {
+	if _, err := e.Query(nil, s.ViewForMask(3)); err != nil {
 		t.Fatal(err)
 	}
 	qs := e.ObservedQueries()
@@ -282,10 +289,10 @@ func TestStateRoundTrip(t *testing.T) {
 		t.Fatalf("restored %d queries", len(qs))
 	}
 	// Reconfigure from restored state materialises the hot view.
-	if _, err := e2.Reconfigure(); err != nil {
+	if _, err := e2.Reconfigure(nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e2.Query(s.ViewForMask(1)); err != nil {
+	if _, err := e2.Query(nil, s.ViewForMask(1)); err != nil {
 		t.Fatal(err)
 	}
 	if e2.Stats().LastPlanCost != 0 {
@@ -308,7 +315,7 @@ func TestLastTotalCostTracked(t *testing.T) {
 	cube := randomCube(rng, 4, 4)
 	e, s := newEngine(t, cube, Options{})
 	e.Observe(s.ViewForMask(1), 10)
-	if _, err := e.Reconfigure(); err != nil {
+	if _, err := e.Reconfigure(nil); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().LastTotalCost != 0 {

@@ -14,6 +14,7 @@ import (
 	"viewcube/internal/freq"
 	"viewcube/internal/haar"
 	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
 	"viewcube/internal/velement"
 )
 
@@ -31,8 +32,18 @@ type Store interface {
 	Elements() []freq.Rect
 }
 
+// CtxStore is optionally implemented by stores that can record per-query
+// spans on element reads. The assembly engine forwards its execution
+// context through GetCtx when the store supports it, so store access shows
+// up in query traces without the store holding any per-query state.
+type CtxStore interface {
+	GetCtx(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, bool)
+}
+
 // MemStore is an in-memory Store. The zero value is not usable; construct
-// with NewMemStore. MemStore is not safe for concurrent mutation.
+// with NewMemStore. MemStore is not safe for concurrent mutation, but any
+// number of concurrent readers may call Get/Elements while no mutation is
+// in flight (reads do not touch shared mutable state).
 type MemStore struct {
 	items map[freq.Key]*ndarray.Array
 	cells int

@@ -155,7 +155,7 @@ func TestEngineAnswersEveryElementFromWaveletBasis(t *testing.T) {
 	}
 	eng := NewEngine(s, store)
 	s.Elements(func(r freq.Rect) bool {
-		got, err := eng.Answer(r.Clone())
+		got, err := eng.Answer(nil, r.Clone())
 		if err != nil {
 			t.Fatalf("%v: %v", r, err)
 		}
@@ -179,7 +179,7 @@ func TestEngineAnswerFromCubeOnly(t *testing.T) {
 	eng := NewEngine(s, store)
 	// Every aggregated view must come out exactly right.
 	for _, v := range s.AggregatedViews() {
-		got, err := eng.Answer(v)
+		got, err := eng.Answer(nil, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,17 +198,17 @@ func TestEngineIncompleteStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(s, store)
-	if _, err := eng.Answer(s.Root()); err == nil {
+	if _, err := eng.Answer(nil, s.Root()); err == nil {
 		t.Fatal("want error for unreachable element")
 	}
-	if _, err := eng.Answer(freq.Rect{99, 1}); err == nil {
+	if _, err := eng.Answer(nil, freq.Rect{99, 1}); err == nil {
 		t.Fatal("want error for invalid rectangle")
 	}
 	// The stored element itself and its descendants remain answerable.
-	if _, err := eng.Answer(freq.Rect{2, 1}); err != nil {
+	if _, err := eng.Answer(nil, freq.Rect{2, 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Answer(freq.Rect{4, 1}); err != nil {
+	if _, err := eng.Answer(nil, freq.Rect{4, 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -226,7 +226,7 @@ func TestPlanKindsAndOps(t *testing.T) {
 	eng := NewEngine(s, store)
 
 	// V1 is stored: plan must be a direct read with zero ops.
-	p, err := eng.Plan(freq.Rect{2, 1})
+	p, err := eng.Plan(nil, freq.Rect{2, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestPlanKindsAndOps(t *testing.T) {
 	}
 
 	// V2 (total aggregation) aggregates from V1 at cost 1.
-	p, err = eng.Plan(freq.Rect{2, 2})
+	p, err = eng.Plan(nil, freq.Rect{2, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestPlanKindsAndOps(t *testing.T) {
 	}
 
 	// V7 must be synthesised from V2 and V5 at total cost 3 (Table 2).
-	p, err = eng.Plan(freq.Rect{1, 2})
+	p, err = eng.Plan(nil, freq.Rect{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestPlanCostMatchesProcedure3(t *testing.T) {
 		ok := true
 		s.Elements(func(r freq.Rect) bool {
 			want := ev.ElementCost(r)
-			plan, err := eng.Plan(r.Clone())
+			plan, err := eng.Plan(nil, r.Clone())
 			if err != nil {
 				ok = !math.IsInf(want, 1) == false // error iff model says unreachable
 				return ok
@@ -315,7 +315,7 @@ func TestAssemblyCorrectnessProperty(t *testing.T) {
 		}
 		eng := NewEngine(s, store)
 		for _, v := range s.AggregatedViews() {
-			got, err := eng.Answer(v)
+			got, err := eng.Answer(nil, v)
 			if err != nil {
 				return false
 			}
@@ -337,15 +337,15 @@ func TestExecuteMissingStoredElement(t *testing.T) {
 	eng := NewEngine(s, store)
 	// Hand-built plan referencing an element the store does not have.
 	p := &Plan{Rect: freq.Rect{1, 1}, Kind: PlanStored}
-	if _, err := eng.Execute(p); err == nil {
+	if _, err := eng.Execute(nil, p); err == nil {
 		t.Fatal("want error for missing stored element")
 	}
 	p = &Plan{Rect: freq.Rect{2, 1}, Kind: PlanAggregate, Source: freq.Rect{1, 1}}
-	if _, err := eng.Execute(p); err == nil {
+	if _, err := eng.Execute(nil, p); err == nil {
 		t.Fatal("want error for missing aggregation source")
 	}
 	p = &Plan{Rect: freq.Rect{1, 1}, Kind: PlanKind(42)}
-	if _, err := eng.Execute(p); err == nil {
+	if _, err := eng.Execute(nil, p); err == nil {
 		t.Fatal("want error for unknown plan kind")
 	}
 }

@@ -60,11 +60,16 @@ type Plan struct {
 // elements, planning each answer with the Procedure 3 cost recursion and
 // executing it with the Haar operators. The engine never touches the
 // original cube: everything is assembled from the store.
+//
+// The engine holds only immutable planning state (space, store handle,
+// metrics wiring): answering a query writes nothing through the receiver,
+// so any number of Plan/Execute calls may run concurrently as long as the
+// store itself is safe for concurrent reads. Per-query state (the trace)
+// arrives via an explicit *obs.ExecCtx.
 type Engine struct {
 	space *velement.Space
 	store Store
 	met   *obs.AssemblyMetrics
-	trace *obs.Trace
 }
 
 // NewEngine returns an engine over the given space and store.
@@ -73,17 +78,15 @@ func NewEngine(space *velement.Space, store Store) *Engine {
 }
 
 // SetMetrics attaches registered instruments; nil restores the no-op set.
+// Call it during wiring, before the engine is shared across goroutines:
+// the instruments themselves are concurrency-safe atomics, but the handle
+// swap is not synchronised.
 func (e *Engine) SetMetrics(m *obs.AssemblyMetrics) {
 	if m == nil {
 		m = obs.NewAssemblyMetrics(nil)
 	}
 	e.met = m
 }
-
-// SetTrace attaches (or with nil detaches) a per-query trace. While one is
-// attached, Plan records a "plan" span and Execute records one span per
-// plan node, carrying the cells read and modelled ops of each step.
-func (e *Engine) SetTrace(t *obs.Trace) { e.trace = t }
 
 // Space returns the engine's view element space.
 func (e *Engine) Space() *velement.Space { return e.space }
@@ -92,16 +95,14 @@ func (e *Engine) Space() *velement.Space { return e.space }
 func (e *Engine) Store() Store { return e.store }
 
 // Plan returns the minimum-cost operator tree producing element r from the
-// stored set, or an error if the stored set cannot generate r.
-func (e *Engine) Plan(r freq.Rect) (*Plan, error) {
+// stored set, or an error if the stored set cannot generate r. While x
+// carries a trace, a "plan" span is recorded; a nil x means untraced.
+func (e *Engine) Plan(x *obs.ExecCtx, r freq.Rect) (*Plan, error) {
 	if !e.space.Valid(r) {
 		return nil, fmt.Errorf("assembly: %v is not a view element of the space", r)
 	}
-	var sp *obs.Span
-	if e.trace != nil {
-		sp = e.trace.Start("plan " + r.String())
-		defer sp.End()
-	}
+	sp := x.Start("plan " + r.String())
+	defer sp.End()
 	e.met.Plans.Inc()
 	pl := e.planner()
 	plan, cost := pl.plan(r)
@@ -118,39 +119,43 @@ func (e *Engine) Plan(r freq.Rect) (*Plan, error) {
 // Answer plans and executes the query for element r, returning the
 // materialised result. The result is freshly allocated and owned by the
 // caller.
-func (e *Engine) Answer(r freq.Rect) (*ndarray.Array, error) {
-	plan, err := e.Plan(r)
+func (e *Engine) Answer(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error) {
+	plan, err := e.Plan(x, r)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(plan)
+	return e.Execute(x, plan)
 }
 
-// Execute runs a plan and returns the produced element.
-func (e *Engine) Execute(p *Plan) (*ndarray.Array, error) {
+// Execute runs a plan and returns the produced element. While x carries a
+// trace, one span is recorded per plan node.
+func (e *Engine) Execute(x *obs.ExecCtx, p *Plan) (*ndarray.Array, error) {
 	e.met.Executions.Inc()
-	var sp *obs.Span
-	if e.trace != nil {
-		sp = e.trace.Start("execute " + p.Rect.String())
-		sp.SetAttr("total_ops", int64(p.Ops))
-		defer sp.End()
+	sp := x.Start("execute " + p.Rect.String())
+	sp.SetAttr("total_ops", int64(p.Ops))
+	defer sp.End()
+	return e.exec(x, p)
+}
+
+// get reads one stored element, forwarding the execution context to stores
+// that can record per-query spans (CtxStore).
+func (e *Engine) get(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, bool) {
+	if cs, ok := e.store.(CtxStore); ok {
+		return cs.GetCtx(x, r)
 	}
-	return e.exec(p)
+	return e.store.Get(r)
 }
 
 // exec recursively runs plan nodes, recording one span and one counter
 // bump per node. The "ops" attr of each span is that node's own modelled
 // add/subtract work (not the subtree's), so summing "ops" over the span
 // tree reproduces PlanCost exactly.
-func (e *Engine) exec(p *Plan) (*ndarray.Array, error) {
+func (e *Engine) exec(x *obs.ExecCtx, p *Plan) (*ndarray.Array, error) {
 	switch p.Kind {
 	case PlanStored:
-		var sp *obs.Span
-		if e.trace != nil {
-			sp = e.trace.Start("stored " + p.Rect.String())
-			defer sp.End()
-		}
-		a, ok := e.store.Get(p.Rect)
+		sp := x.Start("stored " + p.Rect.String())
+		defer sp.End()
+		a, ok := e.get(x, p.Rect)
 		if !ok {
 			return nil, fmt.Errorf("assembly: plan references %v but it is not stored", p.Rect)
 		}
@@ -159,13 +164,10 @@ func (e *Engine) exec(p *Plan) (*ndarray.Array, error) {
 		sp.SetAttr("cells", int64(a.Size()))
 		return a.Clone(), nil
 	case PlanAggregate:
-		var sp *obs.Span
-		if e.trace != nil {
-			sp = e.trace.Start("aggregate " + p.Rect.String() + " from " + p.Source.String())
-			sp.SetAttr("ops", int64(p.Ops))
-			defer sp.End()
-		}
-		src, ok := e.store.Get(p.Source)
+		sp := x.Start("aggregate " + p.Rect.String() + " from " + p.Source.String())
+		sp.SetAttr("ops", int64(p.Ops))
+		defer sp.End()
+		src, ok := e.get(x, p.Source)
 		if !ok {
 			return nil, fmt.Errorf("assembly: plan references stored ancestor %v but it is absent", p.Source)
 		}
@@ -176,19 +178,16 @@ func (e *Engine) exec(p *Plan) (*ndarray.Array, error) {
 		return haar.ApplyPath(src, p.Source, p.Rect)
 	case PlanSynthesize:
 		ownOps := p.Ops - p.Partial.Ops - p.Residual.Ops
-		var sp *obs.Span
-		if e.trace != nil {
-			sp = e.trace.Start(fmt.Sprintf("synthesize %s dim=%d", p.Rect.String(), p.Dim))
-			sp.SetAttr("ops", int64(ownOps))
-			defer sp.End()
-		}
+		sp := x.Start(fmt.Sprintf("synthesize %s dim=%d", p.Rect.String(), p.Dim))
+		sp.SetAttr("ops", int64(ownOps))
+		defer sp.End()
 		e.met.SynthesizeNodes.Inc()
 		e.met.OpsModeled.Add(uint64(ownOps))
-		part, err := e.exec(p.Partial)
+		part, err := e.exec(x, p.Partial)
 		if err != nil {
 			return nil, err
 		}
-		res, err := e.exec(p.Residual)
+		res, err := e.exec(x, p.Residual)
 		if err != nil {
 			return nil, err
 		}

@@ -249,5 +249,5 @@ func (c *Compressed) Decompress() (*ndarray.Array, error) {
 		}
 	}
 	eng := assembly.NewEngine(c.Space, st)
-	return eng.Answer(c.Space.Root())
+	return eng.Answer(nil, c.Space.Root())
 }

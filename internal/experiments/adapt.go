@@ -68,14 +68,21 @@ func Adaptation(shape []int, phases, queriesPerPhase int, seed int64) (*AdaptRes
 		var staticOps, adaptOps float64
 		for q := 0; q < queriesPerPhase; q++ {
 			target := views[hot[q%len(hot)]]
-			plan, err := staticEng.Plan(target)
+			plan, err := staticEng.Plan(nil, target)
 			if err != nil {
 				return nil, err
 			}
 			staticOps += float64(assembly.PlanCost(plan))
 			before := adaptEng.Stats().ModelOps
-			if _, err := adaptEng.Query(target); err != nil {
+			if _, err := adaptEng.Query(nil, target); err != nil {
 				return nil, err
+			}
+			// Queries only raise the due flag; the experiment loop drains it,
+			// standing in for the SafeEngine's write-locked drain.
+			if adaptEng.ReselectDue() {
+				if _, err := adaptEng.AutoReconfigure(nil); err != nil {
+					return nil, err
+				}
 			}
 			adaptOps += float64(adaptEng.Stats().ModelOps - before)
 		}

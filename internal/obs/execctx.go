@@ -1,0 +1,32 @@
+package obs
+
+// ExecCtx is the per-query execution context threaded explicitly through
+// the read path (assembly planning/execution, range aggregation, store
+// reads). It carries everything a single query execution is allowed to
+// write to — today the query's trace — so the engines themselves hold only
+// immutable planning state and any number of queries can execute
+// concurrently without sharing mutable per-query fields.
+//
+// A nil *ExecCtx is valid and means "untraced": Start returns a nil span
+// and every span method no-ops, so instrumented code calls unconditionally.
+// Shared instruments (metrics counters, histograms) are deliberately NOT
+// part of the context: they are lock-free atomics attached to each engine
+// once at wiring time and are safe to hit from any goroutine.
+type ExecCtx struct {
+	// Trace collects this query's span tree; nil when the query is
+	// untraced.
+	Trace *Trace
+}
+
+// Traced returns an execution context recording into t. A nil t yields a
+// context whose spans are all no-ops.
+func Traced(t *Trace) *ExecCtx { return &ExecCtx{Trace: t} }
+
+// Start opens a span on the context's trace. Safe on a nil receiver (and
+// on a context with a nil trace): it returns a nil span.
+func (x *ExecCtx) Start(name string) *Span {
+	if x == nil {
+		return nil
+	}
+	return x.Trace.Start(name)
+}

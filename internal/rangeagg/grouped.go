@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
 )
 
 // GroupedRangeSum answers the classic OLAP "dice" query — SUM grouped by
@@ -19,6 +20,12 @@ import (
 // kept dimension would make the "group" cells outside the filter ambiguous;
 // slice the result instead).
 func (q *Querier) GroupedRangeSum(box Box, keep []bool) (*ndarray.Array, error) {
+	return q.GroupedRangeSumCtx(nil, box, keep)
+}
+
+// GroupedRangeSumCtx is GroupedRangeSum with an explicit per-query
+// execution context (nil means untraced).
+func (q *Querier) GroupedRangeSumCtx(x *obs.ExecCtx, box Box, keep []bool) (*ndarray.Array, error) {
 	shape := q.space.Shape()
 	if len(keep) != len(shape) {
 		return nil, fmt.Errorf("rangeagg: keep mask rank %d, want %d", len(keep), len(shape))
@@ -42,6 +49,7 @@ func (q *Querier) GroupedRangeSum(box Box, keep []bool) (*ndarray.Array, error) 
 		blocks[m] = DyadicBlocks(box.Lo[m], box.Ext[m])
 	}
 	out := ndarray.New(outShape...)
+	read := 0
 
 	idx := make([]int, d)
 	depths := make([]int, d)
@@ -60,7 +68,7 @@ func (q *Querier) GroupedRangeSum(box Box, keep []bool) (*ndarray.Array, error) 
 			lo[m] = b.Start >> uint(b.Level)
 			ext[m] = 1
 		}
-		el, err := q.element(depths)
+		el, err := q.element(x, depths)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +81,7 @@ func (q *Querier) GroupedRangeSum(box Box, keep []bool) (*ndarray.Array, error) 
 		for i, v := range slab.Data() {
 			dst[i] += v
 		}
-		q.CellsRead += slab.Size()
+		read += slab.Size()
 
 		// Advance over the filtered dimensions' block products.
 		m := d - 1
@@ -88,6 +96,9 @@ func (q *Querier) GroupedRangeSum(box Box, keep []bool) (*ndarray.Array, error) 
 			idx[m] = 0
 		}
 		if m < 0 {
+			q.mu.Lock()
+			q.CellsRead += read
+			q.mu.Unlock()
 			return out, nil
 		}
 	}

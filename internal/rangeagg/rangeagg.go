@@ -18,6 +18,7 @@ package rangeagg
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
@@ -95,19 +96,35 @@ type ElementSource interface {
 	Element(r freq.Rect) (*ndarray.Array, error)
 }
 
+// CtxElementSource is optionally implemented by sources that can record
+// per-query spans while producing an element. The querier forwards its
+// execution context through ElementCtx when the source supports it, so
+// element assembly shows up in query traces without the source holding any
+// per-query state.
+type CtxElementSource interface {
+	ElementCtx(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error)
+}
+
 // Querier answers range-SUM queries from intermediate view elements,
-// caching each element it touches. It is not safe for concurrent use.
+// caching each element it touches. Queries may run concurrently: the
+// pyramid cache and the CellsRead tally are guarded by an internal mutex,
+// and cached arrays are only ever read after insertion. (Concurrent safety
+// additionally requires an element source that is safe for concurrent
+// calls, such as an assembly engine over a concurrent-read store.)
 type Querier struct {
 	space *velement.Space
 	src   ElementSource
+
+	mu    sync.Mutex // guards cache and CellsRead
 	cache map[freq.Key]*ndarray.Array
 
 	// CellsRead counts element cells fetched across all queries — the
-	// operational cost that §6 argues is logarithmic per dimension.
+	// operational cost that §6 argues is logarithmic per dimension. It is
+	// updated once per query under the internal lock; read it only while no
+	// query is in flight.
 	CellsRead int
 
-	met   *obs.RangeMetrics
-	trace *obs.Trace
+	met *obs.RangeMetrics
 }
 
 // NewQuerier returns a range querier over the space, fetching intermediate
@@ -128,58 +145,78 @@ func (q *Querier) SetMetrics(m *obs.RangeMetrics) {
 	q.met = m
 }
 
-// SetTrace attaches (or with nil detaches) a per-query trace. While one is
-// attached, RangeSum records a "range_sum" span and every intermediate
-// element fetched into the pyramid cache records an "element" span.
-func (q *Querier) SetTrace(t *obs.Trace) { q.trace = t }
-
 // Reset drops every cached element. Call it after the underlying data
 // changes (e.g. incremental cube updates) so subsequent range queries
 // re-fetch fresh elements.
 func (q *Querier) Reset() {
+	q.mu.Lock()
 	q.cache = make(map[freq.Key]*ndarray.Array)
+	q.mu.Unlock()
 }
 
 // element returns the intermediate view element whose per-dimension
-// all-partial depth is levels[m] (the Gaussian-pyramid member P_k).
-func (q *Querier) element(depths []int) (*ndarray.Array, error) {
+// all-partial depth is levels[m] (the Gaussian-pyramid member P_k). Cached
+// elements are shared read-only between concurrent queries; a miss fetches
+// outside the lock (two racing fetchers are harmless — both produce the
+// same element, and one wins the cache slot).
+func (q *Querier) element(x *obs.ExecCtx, depths []int) (*ndarray.Array, error) {
 	r := make(freq.Rect, len(depths))
 	for m, k := range depths {
 		r[m] = freq.Node(1 << uint(k))
 	}
 	key := r.Key()
-	if a, ok := q.cache[key]; ok {
+	q.mu.Lock()
+	a, ok := q.cache[key]
+	q.mu.Unlock()
+	if ok {
 		return a, nil
 	}
-	var sp *obs.Span
-	if q.trace != nil {
-		sp = q.trace.Start("element " + r.String())
-		defer sp.End()
-	}
-	a, err := q.src.Element(r)
+	sp := x.Start("element " + r.String())
+	defer sp.End()
+	a, err := q.fetch(x, r)
 	if err != nil {
 		return nil, err
 	}
 	q.met.ElementMiss.Inc()
 	sp.SetAttr("cells", int64(a.Size()))
-	q.cache[key] = a
+	q.mu.Lock()
+	if prior, ok := q.cache[key]; ok {
+		a = prior // lost the race; keep the already-shared copy
+	} else {
+		q.cache[key] = a
+	}
+	q.mu.Unlock()
 	return a, nil
 }
 
+// fetch produces one element from the source, forwarding the execution
+// context to sources that can trace their work (CtxElementSource).
+func (q *Querier) fetch(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error) {
+	if cs, ok := q.src.(CtxElementSource); ok {
+		return cs.ElementCtx(x, r)
+	}
+	return q.src.Element(r)
+}
+
 // RangeSum computes the SUM over the box via the dyadic decomposition: one
-// element-cell read per product of per-dimension blocks.
+// element-cell read per product of per-dimension blocks. It is the untraced
+// form of RangeSumCtx.
 func (q *Querier) RangeSum(box Box) (float64, error) {
+	return q.RangeSumCtx(nil, box)
+}
+
+// RangeSumCtx is RangeSum with an explicit per-query execution context: a
+// non-nil x records a "range_sum" span plus one "element" span per pyramid
+// miss. A nil x means untraced.
+func (q *Querier) RangeSumCtx(x *obs.ExecCtx, box Box) (float64, error) {
 	shape := q.space.Shape()
 	if err := box.Validate(shape); err != nil {
 		return 0, err
 	}
 	q.met.RangeQueries.Inc()
-	var sp *obs.Span
-	if q.trace != nil {
-		sp = q.trace.Start("range_sum")
-		sp.SetAttr("box_cells", int64(box.Cells()))
-		defer sp.End()
-	}
+	sp := x.Start("range_sum")
+	sp.SetAttr("box_cells", int64(box.Cells()))
+	defer sp.End()
 	d := len(shape)
 	blocks := make([][]Block, d)
 	for m := 0; m < d; m++ {
@@ -201,12 +238,11 @@ func (q *Querier) RangeSum(box Box) (float64, error) {
 			depths[m] = b.Level
 			cell[m] = b.Start >> uint(b.Level)
 		}
-		el, err := q.element(depths)
+		el, err := q.element(x, depths)
 		if err != nil {
 			return 0, err
 		}
 		sum += el.At(cell...)
-		q.CellsRead++
 		read++
 		// Advance the product iterator.
 		m := d - 1
@@ -222,6 +258,9 @@ func (q *Querier) RangeSum(box Box) (float64, error) {
 		}
 	}
 	q.met.CellsRead.Add(uint64(read))
+	q.mu.Lock()
+	q.CellsRead += read
+	q.mu.Unlock()
 	sp.SetAttr("cells_read", int64(read))
 	return sum, nil
 }

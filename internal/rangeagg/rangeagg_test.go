@@ -152,7 +152,7 @@ func TestRangeSumFromAssembledElements(t *testing.T) {
 
 type engineSource struct{ eng *assembly.Engine }
 
-func (e engineSource) Element(r freq.Rect) (*ndarray.Array, error) { return e.eng.Answer(r) }
+func (e engineSource) Element(r freq.Rect) (*ndarray.Array, error) { return e.eng.Answer(nil, r) }
 
 func TestRangeSumValidation(t *testing.T) {
 	s := velement.MustSpace(4, 4)

@@ -12,10 +12,11 @@
 //	GET  /debug/pprof/*    (only with WithPprof)
 //	POST /optimize {"views": [{"keep": ["product"], "freq": 0.7}, ...]}
 //
-// The handler serialises engine access through a SafeEngine, so one server
-// can serve concurrent clients. Every request is logged through slog with
-// its method, path, status and latency, and counted in the engine's metrics
-// registry.
+// The handler shares the engine through a SafeEngine, so one server serves
+// concurrent clients with overlapping reads: queries run under the read
+// lock, while updates, optimisation and automatic reselection serialise on
+// the write lock. Every request is logged through slog with its method,
+// path, status and latency, and counted in the engine's metrics registry.
 package server
 
 import (

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
@@ -188,22 +190,29 @@ func parseFileName(name string) (freq.Rect, bool) {
 }
 
 // FileStore is a directory of element files with an LRU read cache bounded
-// by a cell budget. It implements assembly.Store. FileStore is not safe for
-// concurrent use.
+// by a cell budget. It implements assembly.Store (and assembly.CtxStore for
+// traced reads).
+//
+// Gets are safe for concurrent callers: the index, LRU list and cache maps
+// are guarded by an internal mutex and the hit/miss/eviction counters are
+// atomics, so the incidental bookkeeping a read performs never races.
+// Mutations (Put, Delete) still require external serialisation against
+// each other — concurrent readers during a mutation are only safe when the
+// caller enforces a read/write discipline (e.g. viewcube.SafeEngine's
+// write lock).
 type FileStore struct {
-	dir   string
-	index map[freq.Key]bool
+	dir string
 
+	mu          sync.Mutex // guards index, lru, cache, cacheCells
+	index       map[freq.Key]bool
 	cacheBudget int // max cached cells; 0 disables caching
 	cacheCells  int
 	lru         *list.List // front = most recent; values are *cacheEntry
 	cache       map[freq.Key]*list.Element
 
-	// Hits, Misses and Evictions count cache performance for observability.
-	Hits, Misses, Evictions int
+	hits, misses, evictions atomic.Int64
 
-	met   *obs.StoreMetrics
-	trace *obs.Trace
+	met *obs.StoreMetrics
 }
 
 type cacheEntry struct {
@@ -251,34 +260,57 @@ func (fs *FileStore) SetMetrics(m *obs.StoreMetrics) {
 	fs.met = m
 }
 
-// SetTrace attaches (or with nil detaches) a per-query trace; element reads
-// record "store.get" spans with their cache outcome while one is attached.
-func (fs *FileStore) SetTrace(t *obs.Trace) { fs.trace = t }
-
 // Len returns the number of stored elements.
-func (fs *FileStore) Len() int { return len(fs.index) }
+func (fs *FileStore) Len() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.index)
+}
+
+// Hits returns the number of cache hits served so far.
+func (fs *FileStore) Hits() int { return int(fs.hits.Load()) }
+
+// Misses returns the number of cache misses (reads that fell to disk).
+func (fs *FileStore) Misses() int { return int(fs.misses.Load()) }
+
+// Evictions returns the number of cache evictions performed.
+func (fs *FileStore) Evictions() int { return int(fs.evictions.Load()) }
 
 // Get implements assembly.Store: cache first, then disk.
 func (fs *FileStore) Get(r freq.Rect) (*ndarray.Array, bool) {
+	return fs.GetCtx(nil, r)
+}
+
+// GetCtx is Get with per-query tracing (assembly.CtxStore): while x carries
+// a trace, the read records a "store.get" span with its cache outcome.
+//
+// The returned array is always a private copy: the cached arrays are shared
+// across every concurrent reader, so handing out an aliased slice would let
+// one caller's mutation corrupt every later read of the same element.
+func (fs *FileStore) GetCtx(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, bool) {
 	k := r.Key()
+	fs.mu.Lock()
 	if !fs.index[k] {
+		fs.mu.Unlock()
 		return nil, false
 	}
-	var sp *obs.Span
-	if fs.trace != nil {
-		sp = fs.trace.Start("store.get " + r.String())
-		defer sp.End()
-	}
+	var cached *ndarray.Array
 	if el, ok := fs.cache[k]; ok {
 		fs.lru.MoveToFront(el)
-		fs.Hits++
-		fs.met.CacheHits.Inc()
-		a := el.Value.(*cacheEntry).arr
-		sp.SetAttr("cache_hit", 1)
-		sp.SetAttr("cells", int64(a.Size()))
-		return a, true
+		cached = el.Value.(*cacheEntry).arr
 	}
-	fs.Misses++
+	fs.mu.Unlock()
+
+	sp := x.Start("store.get " + r.String())
+	defer sp.End()
+	if cached != nil {
+		fs.hits.Add(1)
+		fs.met.CacheHits.Inc()
+		sp.SetAttr("cache_hit", 1)
+		sp.SetAttr("cells", int64(cached.Size()))
+		return cached.Clone(), true
+	}
+	fs.misses.Add(1)
 	fs.met.CacheMisses.Inc()
 	sp.SetAttr("cache_hit", 0)
 	f, err := os.Open(filepath.Join(fs.dir, fileName(r)))
@@ -292,13 +324,22 @@ func (fs *FileStore) Get(r freq.Rect) (*ndarray.Array, bool) {
 	}
 	fs.met.DiskReads.Inc()
 	sp.SetAttr("cells", int64(a.Size()))
-	fs.admit(k, a)
+	fs.mu.Lock()
+	admitted := fs.admitLocked(k, a)
+	fs.mu.Unlock()
+	if admitted {
+		// The cache now owns a; give the caller its own copy.
+		return a.Clone(), true
+	}
 	return a, true
 }
 
-func (fs *FileStore) admit(k freq.Key, a *ndarray.Array) {
+// admitLocked inserts a into the cache, evicting from the LRU tail to stay
+// within budget, and reports whether a is now cache-owned. fs.mu must be
+// held.
+func (fs *FileStore) admitLocked(k freq.Key, a *ndarray.Array) bool {
 	if fs.cacheBudget <= 0 || a.Size() > fs.cacheBudget {
-		return
+		return false
 	}
 	if el, ok := fs.cache[k]; ok {
 		fs.cacheCells -= el.Value.(*cacheEntry).arr.Size()
@@ -314,15 +355,18 @@ func (fs *FileStore) admit(k freq.Key, a *ndarray.Array) {
 		fs.cacheCells -= ent.arr.Size()
 		fs.lru.Remove(back)
 		delete(fs.cache, ent.key)
-		fs.Evictions++
+		fs.evictions.Add(1)
 		fs.met.Evictions.Inc()
 	}
 	fs.cache[k] = fs.lru.PushFront(&cacheEntry{key: k, arr: a})
 	fs.cacheCells += a.Size()
 	fs.met.CachedCells.Set(int64(fs.cacheCells))
+	return true
 }
 
-// Put implements assembly.Store: write-through to disk.
+// Put implements assembly.Store: write-through to disk. The store takes
+// ownership of a (it may be retained in the cache); callers must not
+// mutate it afterwards.
 func (fs *FileStore) Put(r freq.Rect, a *ndarray.Array) error {
 	path := filepath.Join(fs.dir, fileName(r))
 	tmp := path + ".tmp"
@@ -344,16 +388,20 @@ func (fs *FileStore) Put(r freq.Rect, a *ndarray.Array) error {
 		return fmt.Errorf("store: committing %s: %w", path, err)
 	}
 	k := r.Key()
+	fs.mu.Lock()
 	fs.index[k] = true
+	fs.admitLocked(k, a)
+	fs.mu.Unlock()
 	fs.met.DiskWrites.Inc()
-	fs.admit(k, a)
 	return nil
 }
 
 // Delete implements assembly.Store.
 func (fs *FileStore) Delete(r freq.Rect) error {
 	k := r.Key()
+	fs.mu.Lock()
 	if !fs.index[k] {
+		fs.mu.Unlock()
 		return nil
 	}
 	delete(fs.index, k)
@@ -363,6 +411,7 @@ func (fs *FileStore) Delete(r freq.Rect) error {
 		delete(fs.cache, k)
 		fs.met.CachedCells.Set(int64(fs.cacheCells))
 	}
+	fs.mu.Unlock()
 	if err := os.Remove(filepath.Join(fs.dir, fileName(r))); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: deleting %v: %w", r, err)
 	}
@@ -372,10 +421,12 @@ func (fs *FileStore) Delete(r freq.Rect) error {
 // Elements implements assembly.Store, returning stored identities in a
 // deterministic order.
 func (fs *FileStore) Elements() []freq.Rect {
+	fs.mu.Lock()
 	out := make([]freq.Rect, 0, len(fs.index))
 	for k := range fs.index {
 		out = append(out, k.Rect())
 	}
+	fs.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for m := range a {
@@ -389,4 +440,8 @@ func (fs *FileStore) Elements() []freq.Rect {
 }
 
 // CachedCells returns the number of cells currently held in memory.
-func (fs *FileStore) CachedCells() int { return fs.cacheCells }
+func (fs *FileStore) CachedCells() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cacheCells
+}

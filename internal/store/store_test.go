@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"viewcube/internal/assembly"
@@ -242,13 +243,13 @@ func TestLRUCacheEviction(t *testing.T) {
 		t.Fatalf("cache %d cells exceeds budget 20", fs.CachedCells())
 	}
 	// Rects[0] was evicted (LRU): getting it is a miss; rects[2] is a hit.
-	h, m := fs.Hits, fs.Misses
+	h, m := fs.Hits(), fs.Misses()
 	fs.Get(rects[2])
-	if fs.Hits != h+1 {
+	if fs.Hits() != h+1 {
 		t.Fatal("most recent element should hit the cache")
 	}
 	fs.Get(rects[0])
-	if fs.Misses != m+1 {
+	if fs.Misses() != m+1 {
 		t.Fatal("evicted element should miss the cache")
 	}
 	// Oversized elements bypass the cache entirely.
@@ -281,7 +282,7 @@ func TestFileStoreDrivesEngine(t *testing.T) {
 	}
 	eng := assembly.NewEngine(s, fs)
 	for _, v := range s.AggregatedViews() {
-		got, err := eng.Answer(v)
+		got, err := eng.Answer(nil, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -320,5 +321,105 @@ func TestOpenOnFilePathFails(t *testing.T) {
 	}
 	if _, err := Open(path, 0); err == nil {
 		t.Fatal("want error when the store path is a file")
+	}
+}
+
+// TestGetReturnsUnaliasedCopy is the regression test for the cache-aliasing
+// hazard: an array handed out by Get must be the caller's own copy, so
+// mutating it cannot corrupt what subsequent readers see. Both the
+// cache-hit and the cold disk-read path are exercised.
+func TestGetReturnsUnaliasedCopy(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	rect := freq.Rect{2, 1}
+	orig := randomArray(rng, 4, 8)
+	want := orig.Clone()
+	if err := fs.Put(rect, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Warm (write-admitted) cache hit.
+	got, ok := fs.Get(rect)
+	if !ok {
+		t.Fatal("element missing")
+	}
+	got.Data()[0] += 1e6 // caller scribbles on its copy
+	again, ok := fs.Get(rect)
+	if !ok {
+		t.Fatal("element missing on re-read")
+	}
+	if !again.Equal(want, 0) {
+		t.Fatal("mutating a Get result corrupted the cached element")
+	}
+	// Cold path: a reopened store reads from disk, then admits; the admitted
+	// copy must be private too.
+	fs2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, ok := fs2.Get(rect)
+	if !ok {
+		t.Fatal("element missing from reopened store")
+	}
+	cold.Data()[0] -= 42
+	warm, ok := fs2.Get(rect)
+	if !ok {
+		t.Fatal("element missing on warm re-read")
+	}
+	if !warm.Equal(want, 0) {
+		t.Fatal("mutating a cold Get result corrupted the admitted element")
+	}
+}
+
+// TestConcurrentGets hammers one store from many goroutines (run under
+// -race): concurrent reads share the LRU bookkeeping and counters, which
+// must be internally synchronised.
+func TestConcurrentGets(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir, 64) // small budget so evictions happen concurrently
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	rects := []freq.Rect{{2, 1}, {3, 1}, {1, 2}, {1, 3}}
+	want := make([]*ndarray.Array, len(rects))
+	for i, r := range rects {
+		a := randomArray(rng, 4, 8)
+		want[i] = a.Clone()
+		if err := fs.Put(r, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j := (g + i) % len(rects)
+				a, ok := fs.Get(rects[j])
+				if !ok {
+					errs <- errors.New("element went missing under concurrent reads")
+					return
+				}
+				if !a.Equal(want[j], 0) {
+					errs <- errors.New("concurrent read returned corrupted data")
+					return
+				}
+				a.Data()[0] = -1 // private copy: scribbling must be harmless
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if fs.Hits()+fs.Misses() < 8*50 {
+		t.Fatalf("counters lost updates: hits=%d misses=%d", fs.Hits(), fs.Misses())
 	}
 }

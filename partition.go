@@ -50,11 +50,16 @@ func PartitionTable(t *Table, dim string, shards int) ([]*Table, error) {
 }
 
 // PartitionedEngine answers aggregation queries over a sharded relation by
-// fanning out to one Engine per shard (in parallel) and merging the
+// fanning out to one engine per shard (in parallel) and merging the
 // distributive results. Shards whose table is empty are skipped.
+//
+// Each shard engine is wrapped in a SafeEngine, so any number of
+// PartitionedEngine queries may run concurrently: a shard serves the
+// overlapping fan-out legs through its concurrent read path, and per-shard
+// adaptation serialises against them on the shard's own lock.
 type PartitionedEngine struct {
 	dims    []string
-	engines []*Engine
+	engines []*SafeEngine
 	cubes   []*Cube
 }
 
@@ -90,7 +95,7 @@ func NewPartitionedEngine(tables []*Table, opts EngineOptions) (*PartitionedEngi
 			return nil, err
 		}
 		p.cubes = append(p.cubes, cube)
-		p.engines = append(p.engines, eng)
+		p.engines = append(p.engines, eng.Safe())
 	}
 	if len(p.engines) == 0 {
 		return nil, fmt.Errorf("viewcube: all shards are empty")
@@ -101,10 +106,13 @@ func NewPartitionedEngine(tables []*Table, opts EngineOptions) (*PartitionedEngi
 // Shards returns the number of live (non-empty) shards.
 func (p *PartitionedEngine) Shards() int { return len(p.engines) }
 
+// Shard returns shard i's engine, e.g. for per-shard statistics or timing.
+func (p *PartitionedEngine) Shard(i int) *SafeEngine { return p.engines[i] }
+
 // fanOut runs fn on every shard concurrently and returns the first error.
-// Each shard's Engine is confined to its goroutine, so no locking is
-// needed beyond the merge.
-func (p *PartitionedEngine) fanOut(fn func(i int, eng *Engine) error) error {
+// Shard engines are SafeEngines, so fan-out legs from overlapping
+// PartitionedEngine calls may hit the same shard simultaneously.
+func (p *PartitionedEngine) fanOut(fn func(i int, eng *SafeEngine) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(p.engines))
 	for i := range p.engines {
@@ -127,7 +135,7 @@ func (p *PartitionedEngine) fanOut(fn func(i int, eng *Engine) error) error {
 // addition per group key is exact).
 func (p *PartitionedEngine) GroupBy(keep ...string) (map[string]float64, error) {
 	partial := make([]map[string]float64, len(p.engines))
-	err := p.fanOut(func(i int, eng *Engine) error {
+	err := p.fanOut(func(i int, eng *SafeEngine) error {
 		v, err := eng.GroupBy(keep...)
 		if err != nil {
 			return err
@@ -154,7 +162,7 @@ func (p *PartitionedEngine) GroupBy(keep ...string) (map[string]float64, error) 
 // Total sums the shard totals.
 func (p *PartitionedEngine) Total() (float64, error) {
 	totals := make([]float64, len(p.engines))
-	err := p.fanOut(func(i int, eng *Engine) error {
+	err := p.fanOut(func(i int, eng *SafeEngine) error {
 		t, err := eng.Total()
 		if err != nil {
 			return err
@@ -190,22 +198,23 @@ func (p *PartitionedEngine) RangeSum(ranges map[string]ValueRange) (float64, err
 		}
 	}
 	sums := make([]float64, len(p.engines))
-	err := p.fanOut(func(i int, eng *Engine) error {
-		shape := eng.cube.Shape()
+	err := p.fanOut(func(i int, eng *SafeEngine) error {
+		cube := p.cubes[i]
+		shape := cube.Shape()
 		lo := make([]int, len(shape))
 		ext := make([]int, len(shape))
 		for m := range shape {
-			ext[m] = eng.cube.enc.Dicts[m].Len()
+			ext[m] = cube.enc.Dicts[m].Len()
 			if ext[m] == 0 {
 				return nil // empty dictionary: shard contributes nothing
 			}
 		}
 		for name, vr := range ranges {
-			m, err := eng.cube.DimIndex(name)
+			m, err := cube.DimIndex(name)
 			if err != nil {
 				return err
 			}
-			loCode, hiCode, ok, err := eng.cube.enc.Dicts[m].BoundsWithin(vr.Lo, vr.Hi)
+			loCode, hiCode, ok, err := cube.enc.Dicts[m].BoundsWithin(vr.Lo, vr.Hi)
 			if err != nil {
 				return err
 			}
@@ -237,7 +246,7 @@ func (p *PartitionedEngine) Optimize(hotViews [][]string, freqs []float64) error
 	if len(hotViews) != len(freqs) {
 		return fmt.Errorf("viewcube: %d hot views but %d frequencies", len(hotViews), len(freqs))
 	}
-	return p.fanOut(func(i int, eng *Engine) error {
+	return p.fanOut(func(i int, eng *SafeEngine) error {
 		w := p.cubes[i].NewWorkload()
 		for j, keep := range hotViews {
 			if err := w.AddViewKeeping(freqs[j], keep...); err != nil {

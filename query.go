@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"viewcube/internal/obs"
 	"viewcube/internal/query"
 )
 
@@ -31,13 +32,26 @@ type QueryResult struct {
 // Only SUM aggregates are supported on a plain Engine; use AvgEngine.Query
 // for COUNT and AVG. Grouped dimensions cannot also be filtered.
 func (e *Engine) Query(sql string) (*QueryResult, error) {
+	res, err := e.queryObserved(nil, sql)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// queryObserved is the timed-and-counted read path: it never reselects, so
+// SafeEngine may call it under a read lock.
+func (e *Engine) queryObserved(x *obs.ExecCtx, sql string) (*QueryResult, error) {
 	start := time.Now()
-	res, err := e.queryInner(sql)
+	res, err := e.queryInner(x, sql)
 	e.met.observe("sql", start, err)
 	return res, err
 }
 
-func (e *Engine) queryInner(sql string) (*QueryResult, error) {
+func (e *Engine) queryInner(x *obs.ExecCtx, sql string) (*QueryResult, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -45,7 +59,7 @@ func (e *Engine) queryInner(sql string) (*QueryResult, error) {
 	if q.NeedsCount() {
 		return nil, fmt.Errorf("viewcube: COUNT/AVG need an AvgEngine (this engine has only the SUM cube)")
 	}
-	return executeQuery(q, e, nil)
+	return executeQuery(x, q, e, nil)
 }
 
 // Query parses and executes a SQL-like statement supporting SUM, COUNT(*)
@@ -57,14 +71,22 @@ func (a *AvgEngine) Query(sql string) (*QueryResult, error) {
 		a.Sum.met.observe("sql", start, err)
 		return nil, err
 	}
-	res, err := executeQuery(q, a.Sum, a.Count)
+	res, err := executeQuery(nil, q, a.Sum, a.Count)
 	a.Sum.met.observe("sql", start, err)
-	return res, err
+	if err == nil {
+		if err = a.Sum.maybeReselect(); err == nil {
+			err = a.Count.maybeReselect()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // executeQuery runs the parsed query against the SUM engine and, when
 // needed, the COUNT engine.
-func executeQuery(q *query.Query, sumEng, countEng *Engine) (*QueryResult, error) {
+func executeQuery(x *obs.ExecCtx, q *query.Query, sumEng, countEng *Engine) (*QueryResult, error) {
 	cube := sumEng.cube
 	if cube.enc == nil && len(q.Where) > 0 {
 		return nil, fmt.Errorf("viewcube: WHERE needs a dictionary-encoded cube")
@@ -90,7 +112,7 @@ func executeQuery(q *query.Query, sumEng, countEng *Engine) (*QueryResult, error
 	// entry point records one "sql" observation, not one per sub-query.
 	groupsOf := func(eng *Engine) (map[string]float64, error) {
 		if len(ranges) == 0 {
-			v, err := eng.groupByInner(q.GroupBy...)
+			v, err := eng.groupByInner(x, q.GroupBy...)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +129,7 @@ func executeQuery(q *query.Query, sumEng, countEng *Engine) (*QueryResult, error
 			}
 			return v.Groups()
 		}
-		v, err := eng.groupByWhereInner(q.GroupBy, ranges)
+		v, err := eng.groupByWhereInner(x, q.GroupBy, ranges)
 		if err != nil {
 			return nil, err
 		}

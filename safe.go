@@ -5,12 +5,20 @@ import (
 	"sync"
 )
 
-// SafeEngine wraps an Engine with a mutex so it can be shared across
-// goroutines (e.g. a query server). All operations serialise: the
-// underlying engine mutates shared state (plans, caches, adaptation
-// counters) even on reads, so a plain RWMutex split is not sound.
+// SafeEngine shares an Engine across goroutines with a read/write split:
+// queries are semantically pure reads of the materialised set (Procedure 3
+// planning plus Haar synthesis allocate only per-query state), so any
+// number of them overlap under the read lock; only operations that rewrite
+// the materialised set — Optimize, Update, Reconfigure, and automatic
+// reselection — take the write lock.
+//
+// Reads route through the engine's reselect-free read path, so a query
+// never mutates shared state; when a query pushes the adaptive recorder
+// past its reselection threshold, the due flag is drained afterwards under
+// the write lock (see reselectIfDue). Traced queries carry their own
+// execution context, so concurrent traces never observe each other.
 type SafeEngine struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	eng *Engine
 }
 
@@ -18,94 +26,165 @@ type SafeEngine struct {
 // used directly afterwards.
 func (e *Engine) Safe() *SafeEngine { return &SafeEngine{eng: e} }
 
-// GroupBy is Engine.GroupBy under the lock.
+// reselectIfDue performs a pending automatic reselection under the write
+// lock. The unlocked fast path keeps the query path lock-free when nothing
+// is due; the double-check under the lock makes racing drainers idempotent
+// (Reconfigure clears the flag before reselecting).
+func (s *SafeEngine) reselectIfDue() error {
+	if !s.eng.inner.ReselectDue() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.eng.inner.ReselectDue() {
+		return nil
+	}
+	_, err := s.eng.inner.AutoReconfigure(nil)
+	return err
+}
+
+// GroupBy is Engine.GroupBy under the read lock.
 func (s *SafeEngine) GroupBy(keep ...string) (*View, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.GroupBy(keep...)
+	s.mu.RLock()
+	v, err := s.eng.groupByObserved(nil, keep...)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
-// GroupByWhere is Engine.GroupByWhere under the lock.
+// GroupByWhere is Engine.GroupByWhere under the read lock.
 func (s *SafeEngine) GroupByWhere(keep []string, ranges map[string]ValueRange) (*View, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.GroupByWhere(keep, ranges)
+	s.mu.RLock()
+	v, err := s.eng.groupByWhereObserved(nil, keep, ranges)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
-// View is Engine.View under the lock.
+// View is Engine.View under the read lock.
 func (s *SafeEngine) View(el Element) (*View, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.View(el)
+	s.mu.RLock()
+	v, err := s.eng.viewObserved(nil, el)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
-// Total is Engine.Total under the lock.
+// Total is Engine.Total under the read lock.
 func (s *SafeEngine) Total() (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Total()
+	s.mu.RLock()
+	total, err := s.eng.totalObserved(nil)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	return total, err
 }
 
-// RangeSum is Engine.RangeSum under the lock.
+// RangeSum is Engine.RangeSum under the read lock.
 func (s *SafeEngine) RangeSum(ranges map[string]ValueRange) (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.RangeSum(ranges)
+	s.mu.RLock()
+	sum, err := s.eng.rangeSumObserved(nil, ranges)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	return sum, err
 }
 
-// Query is Engine.Query under the lock.
+// RangeSumIndex is Engine.RangeSumIndex under the read lock.
+func (s *SafeEngine) RangeSumIndex(lo, ext []int) (float64, error) {
+	s.mu.RLock()
+	sum, err := s.eng.rangeSumIndexObserved(nil, lo, ext)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	return sum, err
+}
+
+// Query is Engine.Query under the read lock.
 func (s *SafeEngine) Query(sql string) (*QueryResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Query(sql)
+	s.mu.RLock()
+	res, err := s.eng.queryObserved(nil, sql)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
-// Optimize is Engine.Optimize under the lock.
+// Optimize is Engine.Optimize under the write lock.
 func (s *SafeEngine) Optimize(w *Workload) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.eng.Optimize(w)
 }
 
-// Update is Engine.Update under the lock.
+// Reconfigure is Engine.Reconfigure under the write lock.
+func (s *SafeEngine) Reconfigure() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Reconfigure()
+}
+
+// Update is Engine.Update under the write lock.
 func (s *SafeEngine) Update(delta float64, idx ...int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.eng.Update(delta, idx...)
 }
 
-// UpdateValue is Engine.UpdateValue under the lock.
+// UpdateValue is Engine.UpdateValue under the write lock.
 func (s *SafeEngine) UpdateValue(delta float64, values map[string]string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.eng.UpdateValue(delta, values)
 }
 
-// Stats is Engine.Stats under the lock.
+// Stats is Engine.Stats under the read lock.
 func (s *SafeEngine) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.eng.Stats()
 }
 
-// StoreStats is Engine.StoreStats under the lock.
+// StoreStats is Engine.StoreStats under the read lock.
 func (s *SafeEngine) StoreStats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.eng.StoreStats()
 }
 
-// MaterializedElements is Engine.MaterializedElements under the lock.
+// MaterializedElements is Engine.MaterializedElements under the read lock.
 func (s *SafeEngine) MaterializedElements() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.eng.MaterializedElements()
 }
 
-// StorageCells is Engine.StorageCells under the lock.
+// StorageCells is Engine.StorageCells under the read lock.
 func (s *SafeEngine) StorageCells() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.eng.StorageCells()
 }
 
@@ -115,32 +194,53 @@ func (s *SafeEngine) Metrics() *Metrics {
 	return s.eng.Metrics()
 }
 
-// TraceQuery is Engine.TraceQuery under the lock. Holding the lock for the
-// whole traced execution keeps the attached trace from observing another
-// client's query.
+// TraceQuery is Engine.TraceQuery under the read lock: each traced query
+// owns its execution context, so traced and untraced queries overlap
+// freely.
 func (s *SafeEngine) TraceQuery(sql string) (*QueryResult, *QueryTrace, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.TraceQuery(sql)
+	s.mu.RLock()
+	res, tr, err := s.eng.traceQuery(sql)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
 }
 
-// TraceGroupBy is Engine.TraceGroupBy under the lock.
+// TraceGroupBy is Engine.TraceGroupBy under the read lock.
 func (s *SafeEngine) TraceGroupBy(keep ...string) (*View, *QueryTrace, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.TraceGroupBy(keep...)
+	s.mu.RLock()
+	v, tr, err := s.eng.traceGroupBy(keep...)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, tr, nil
 }
 
-// TraceRangeSum is Engine.TraceRangeSum under the lock.
+// TraceRangeSum is Engine.TraceRangeSum under the read lock.
 func (s *SafeEngine) TraceRangeSum(ranges map[string]ValueRange) (float64, *QueryTrace, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.TraceRangeSum(ranges)
+	s.mu.RLock()
+	sum, tr, err := s.eng.traceRangeSum(ranges)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return sum, tr, nil
 }
 
-// SaveState is Engine.SaveState under the lock.
+// SaveState is Engine.SaveState under the read lock.
 func (s *SafeEngine) SaveState(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.eng.SaveState(w)
 }

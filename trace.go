@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"viewcube/internal/obs"
-	"viewcube/internal/store"
 )
 
 // QueryTrace is the recorded execution of one traced query: a tree of timed
@@ -44,24 +43,13 @@ func (qt *QueryTrace) Ops() int64 { return qt.Tree().SumAttr("ops") }
 // CellsRead totals the stored-element cells fetched during execution.
 func (qt *QueryTrace) CellsRead() int64 { return qt.Tree().SumAttr("cells") }
 
-// setTrace attaches (or with nil detaches) a trace to every traced
-// component of the engine.
-func (e *Engine) setTrace(t *obs.Trace) {
-	e.inner.SetTrace(t)
-	e.rq.SetTrace(t)
-	if fs, ok := e.st.(*store.FileStore); ok {
-		fs.SetTrace(t)
-	}
-}
-
-// withTrace runs fn with a fresh trace attached and returns the finished
-// trace. The engine is single-threaded per query (serialise with
-// SafeEngine), so the trace attachment cannot leak across queries.
-func (e *Engine) withTrace(name string, fn func() error) (*QueryTrace, error) {
+// withTrace runs fn with a fresh per-query execution context and returns
+// the finished trace. Nothing is attached to the engine: the context is
+// threaded explicitly through the read path, so concurrent queries (traced
+// or not) never observe each other's spans.
+func (e *Engine) withTrace(name string, fn func(x *obs.ExecCtx) error) (*QueryTrace, error) {
 	t := obs.NewTrace(name)
-	e.setTrace(t)
-	err := fn()
-	e.setTrace(nil)
+	err := fn(obs.Traced(t))
 	t.Finish()
 	return &QueryTrace{t: t}, err
 }
@@ -70,9 +58,22 @@ func (e *Engine) withTrace(name string, fn func() error) (*QueryTrace, error) {
 // statement and returns the span tree of its execution alongside the
 // result.
 func (e *Engine) TraceQuery(sql string) (*QueryResult, *QueryTrace, error) {
+	res, tr, err := e.traceQuery(sql)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// traceQuery is the reselect-free traced read path (SafeEngine calls it
+// under a read lock).
+func (e *Engine) traceQuery(sql string) (*QueryResult, *QueryTrace, error) {
 	var res *QueryResult
-	tr, err := e.withTrace("query", func() (err error) {
-		res, err = e.Query(sql)
+	tr, err := e.withTrace("query", func(x *obs.ExecCtx) (err error) {
+		res, err = e.queryObserved(x, sql)
 		return err
 	})
 	if err != nil {
@@ -83,9 +84,20 @@ func (e *Engine) TraceQuery(sql string) (*QueryResult, *QueryTrace, error) {
 
 // TraceGroupBy is GroupBy with per-span tracing.
 func (e *Engine) TraceGroupBy(keep ...string) (*View, *QueryTrace, error) {
+	v, tr, err := e.traceGroupBy(keep...)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, tr, nil
+}
+
+func (e *Engine) traceGroupBy(keep ...string) (*View, *QueryTrace, error) {
 	var v *View
-	tr, err := e.withTrace("groupby "+strings.Join(keep, ","), func() (err error) {
-		v, err = e.GroupBy(keep...)
+	tr, err := e.withTrace("groupby "+strings.Join(keep, ","), func(x *obs.ExecCtx) (err error) {
+		v, err = e.groupByObserved(x, keep...)
 		return err
 	})
 	if err != nil {
@@ -96,9 +108,20 @@ func (e *Engine) TraceGroupBy(keep ...string) (*View, *QueryTrace, error) {
 
 // TraceRangeSum is RangeSum with per-span tracing.
 func (e *Engine) TraceRangeSum(ranges map[string]ValueRange) (float64, *QueryTrace, error) {
+	sum, tr, err := e.traceRangeSum(ranges)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return sum, tr, nil
+}
+
+func (e *Engine) traceRangeSum(ranges map[string]ValueRange) (float64, *QueryTrace, error) {
 	var sum float64
-	tr, err := e.withTrace("range", func() (err error) {
-		sum, err = e.RangeSum(ranges)
+	tr, err := e.withTrace("range", func(x *obs.ExecCtx) (err error) {
+		sum, err = e.rangeSumObserved(x, ranges)
 		return err
 	})
 	if err != nil {
