@@ -16,7 +16,9 @@ import (
 	"viewcube/internal/assembly"
 	"viewcube/internal/core"
 	"viewcube/internal/experiments"
+	"viewcube/internal/freq"
 	"viewcube/internal/haar"
+	"viewcube/internal/plan"
 	"viewcube/internal/rangeagg"
 	"viewcube/internal/store"
 	"viewcube/internal/velement"
@@ -190,6 +192,76 @@ func BenchmarkAssembleViewFromBasis(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// planBenchFixture builds a materialised engine plus its cached planner and
+// picks a non-trivial aggregated view as the plan target.
+func planBenchFixture(b *testing.B) (*plan.Planner, freq.Rect) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s := velement.MustSpace(32, 32, 32)
+	cube := workload.RandomCube(rng, 100, 32, 32, 32)
+	st, err := assembly.MaterializeSet(s, cube, velement.WaveletBasis(s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := assembly.NewEngine(s, st)
+	views := s.AggregatedViews()
+	return plan.NewPlanner(eng), views[len(views)/2]
+}
+
+// BenchmarkPlanCacheMiss measures a full Procedure 3 compile per iteration:
+// each lookup lands at a fresh epoch, so nothing is ever served from cache.
+func BenchmarkPlanCacheMiss(b *testing.B) {
+	p, target := planBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Invalidate()
+		if _, err := p.Element(nil, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheHit measures the steady-state cached lookup; it must
+// beat BenchmarkPlanCacheMiss by skipping the DP entirely.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	p, target := planBenchFixture(b)
+	if _, err := p.Element(nil, target); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ph, err := p.Element(nil, target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ph.CacheHit {
+			b.Fatal("warm lookup missed")
+		}
+	}
+}
+
+// BenchmarkPlanCacheHitParallel measures cached lookups racing from
+// GOMAXPROCS goroutines: the read path is an RLock plus a map probe, so this
+// should scale rather than serialise (use -cpu 1,2,4 to see the curve).
+func BenchmarkPlanCacheHitParallel(b *testing.B) {
+	p, target := planBenchFixture(b)
+	if _, err := p.Element(nil, target); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ph, err := p.Element(nil, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ph.CacheHit {
+				b.Fatal("warm lookup missed")
+			}
+		}
+	})
 }
 
 // BenchmarkRangeSumViaElements vs BenchmarkRangeSumScan vs

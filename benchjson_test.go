@@ -52,6 +52,9 @@ func TestBenchJSON(t *testing.T) {
 		{"EngineGroupBy", BenchmarkEngineGroupBy},
 		{"ParallelGroupBy", BenchmarkParallelGroupBy},
 		{"AssembleViewFromBasis", BenchmarkAssembleViewFromBasis},
+		{"PlanCacheMiss", BenchmarkPlanCacheMiss},
+		{"PlanCacheHit", BenchmarkPlanCacheHit},
+		{"PlanCacheHitParallel", BenchmarkPlanCacheHitParallel},
 		{"RangeSumViaElements", BenchmarkRangeSumViaElements},
 		{"RangeAggregation", BenchmarkRangeAggregation},
 		{"FileStoreRoundTrip", BenchmarkFileStoreRoundTrip},

@@ -10,7 +10,12 @@
 //	cubectl -csv sales.csv -measure sales range day=d1:d3 product=ale:ale
 //	cubectl -csv sales.csv -measure sales -hot product -hot region,day groupby product
 //	cubectl -csv sales.csv -measure sales query "SELECT SUM(sales) GROUP BY product WHERE day BETWEEN 'd1' AND 'd5'"
+//	cubectl -csv sales.csv -measure sales explain product,region
 //	cubectl -gen 5000 info            (synthetic sales data, no CSV needed)
+//
+// explain prints the engine's plan IR for the view — per-node costs, the
+// plan-cache epoch and whether the plan came from the cache — without
+// executing a query.
 //
 // Repeated -hot flags declare anticipated hot views (comma-separated kept
 // dimensions); the engine materialises the optimal element set for them
@@ -115,11 +120,17 @@ func run() error {
 		if len(args) != 1 {
 			return fmt.Errorf("usage: explain dim1,dim2,...")
 		}
-		plan, err := eng.ExplainGroupBy(splitList(args[0])...)
+		// The text comes from the engine's own planner, so it is the exact
+		// plan IR (with per-node costs) a groupby over the same dimensions
+		// would execute — and the header reports epoch and cache status.
+		text, err := eng.ExplainGroupBy(splitList(args[0])...)
 		if err != nil {
 			return err
 		}
-		fmt.Print(plan)
+		fmt.Print(text)
+		pc := eng.PlanCacheStats()
+		fmt.Printf("plan cache: %d hits, %d misses, %d invalidations (epoch %d, %d cached plans)\n",
+			pc.Hits, pc.Misses, pc.Invalidations, pc.Epoch, pc.Entries)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

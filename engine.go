@@ -143,6 +143,7 @@ func (c *Cube) NewEngine(opts EngineOptions) (*Engine, error) {
 	}
 	inner.SetMetrics(met.adaptive)
 	inner.Assembler().SetMetrics(met.assembly)
+	inner.Planner().SetMetrics(met.plans)
 	e.rq.SetMetrics(met.ranges)
 	return e, nil
 }
@@ -455,13 +456,15 @@ func (e *Engine) resolveRange(m int, vr ValueRange) (lo, ext int, err error) {
 // Update applies a delta to one cube cell and incrementally maintains every
 // materialised element (each stored element changes in exactly one cell, by
 // ±delta — O(elements · rank), independent of element volumes). Cached
-// range-query elements are invalidated.
+// range-query elements are invalidated, and the plan-cache epoch is bumped
+// so no query serves a plan derived from pre-update state.
 func (e *Engine) Update(delta float64, idx ...int) error {
 	if err := assembly.UpdateCell(e.cube.space, e.st, delta, idx); err != nil {
 		return err
 	}
 	e.cube.data.Add(delta, idx...)
 	e.rq.Reset()
+	e.inner.InvalidatePlans()
 	e.met.updates.Inc()
 	return nil
 }
@@ -526,6 +529,28 @@ func (e *Engine) StoreStats() StoreStats {
 		}
 	}
 	return StoreStats{}
+}
+
+// PlanCacheStats reports the plan cache's behaviour: hit/miss counters, the
+// epoch-bump count, and the current epoch.
+type PlanCacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Epoch         uint64 `json:"epoch"`
+	Entries       int    `json:"entries"`
+}
+
+// PlanCacheStats snapshots the engine's plan-cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	s := e.inner.Planner().Stats()
+	return PlanCacheStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Invalidations: s.Invalidations,
+		Epoch:         s.Epoch,
+		Entries:       s.Entries,
+	}
 }
 
 // MaterializedElements returns how many view elements are currently

@@ -4,28 +4,31 @@ import (
 	"fmt"
 	"strings"
 
-	"viewcube/internal/assembly"
 	"viewcube/internal/freq"
+	"viewcube/internal/plan"
 )
 
 // Explain returns the engine's current execution plan for a view element as
 // a human-readable tree, without executing it: which stored elements it
 // reads, what it aggregates down, what it synthesises, and the modelled
-// add/subtract cost of every step. The plan reflects the materialised set
-// at call time; after Optimize or adaptation it may change.
+// add/subtract cost of every step, plus the plan-cache epoch and whether
+// the plan came from the cache. The plan reflects the materialised set at
+// call time; after Optimize or adaptation it may change.
+//
+// Explain goes through the engine's own planner — the very plan it renders
+// is the one a query for the same element executes (and explaining warms
+// the shared plan cache). Planning through the planner never records an
+// access for adaptation; only executed queries do.
 func (e *Engine) Explain(el Element) (string, error) {
 	if !e.cube.Valid(el) {
 		return "", fmt.Errorf("viewcube: invalid element %v", el)
 	}
-	// Plan through the assembly engine directly so explaining a query does
-	// not count as an access for adaptation.
-	plan, err := assembly.NewEngine(e.cube.space, e.st).Plan(nil, el.rect)
+	ph, err := e.inner.Planner().Element(nil, el.rect)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan for %s (total cost %d ops)\n", el, assembly.PlanCost(plan))
-	renderPlan(&b, e.cube, plan, 0)
+	plan.Render(&b, el.String(), ph, e.describer())
 	return b.String(), nil
 }
 
@@ -38,21 +41,12 @@ func (e *Engine) ExplainGroupBy(keep ...string) (string, error) {
 	return e.Explain(el)
 }
 
-func renderPlan(b *strings.Builder, c *Cube, p *assembly.Plan, depth int) {
-	indent := strings.Repeat("  ", depth)
-	switch p.Kind {
-	case assembly.PlanStored:
-		fmt.Fprintf(b, "%sread stored %s\n", indent, describeRect(c, p.Rect))
-	case assembly.PlanAggregate:
-		fmt.Fprintf(b, "%saggregate %s from stored %s (%d ops)\n",
-			indent, describeRect(c, p.Rect), describeRect(c, p.Source), p.Ops)
-	case assembly.PlanSynthesize:
-		fmt.Fprintf(b, "%ssynthesize %s on dimension %q (%d ops total)\n",
-			indent, describeRect(c, p.Rect), c.dims[p.Dim], p.Ops)
-		renderPlan(b, c, p.Partial, depth+1)
-		renderPlan(b, c, p.Residual, depth+1)
-	default:
-		fmt.Fprintf(b, "%sunknown step\n", indent)
+// describer maps frequency-plane geometry back to the cube's dimension
+// names for plan rendering.
+func (e *Engine) describer() plan.Describer {
+	return plan.Describer{
+		Rect: func(r freq.Rect) string { return describeRect(e.cube, r) },
+		Dim:  func(m int) string { return e.cube.dims[m] },
 	}
 }
 

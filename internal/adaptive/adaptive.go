@@ -22,6 +22,7 @@ import (
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
 	"viewcube/internal/obs"
+	"viewcube/internal/plan"
 	"viewcube/internal/velement"
 )
 
@@ -80,6 +81,7 @@ type Engine struct {
 	space *velement.Space
 	store assembly.Store
 	inner *assembly.Engine
+	pl    *plan.Planner
 	opts  Options
 
 	rec recorder
@@ -105,6 +107,7 @@ func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error
 		opts:  opts,
 		met:   obs.NewAdaptiveMetrics(nil),
 	}
+	e.pl = plan.NewPlanner(e.inner)
 	e.rec.counts = make(map[freq.Key]float64)
 	e.rec.stats.StorageCells = space.SetVolume(els)
 	e.rec.stats.CurrentElements = len(els)
@@ -114,6 +117,17 @@ func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error
 // Assembler returns the inner assembly engine, so callers can attach
 // observability instruments to the plan/execute hot path.
 func (e *Engine) Assembler() *assembly.Engine { return e.inner }
+
+// Planner returns the engine's cached planner — the single planning entry
+// point queries, Explain and traces share.
+func (e *Engine) Planner() *plan.Planner { return e.pl }
+
+// InvalidatePlans bumps the plan-cache epoch, discarding every cached
+// plan. The root engine calls it whenever stored cell values change
+// (incremental updates); Reconfigure calls it itself when the materialised
+// set changes. Callers serialise it against queries exactly like the
+// mutation that motivated it (SafeEngine's write lock).
+func (e *Engine) InvalidatePlans() { e.pl.Invalidate() }
 
 // SetMetrics attaches registered instruments; nil restores the no-op set.
 // The materialised-set gauges are initialised from the current state. Call
@@ -133,15 +147,15 @@ func (e *Engine) SetMetrics(m *obs.AdaptiveMetrics) {
 // it raises the due flag, and the caller decides when to run
 // AutoReconfigure with exclusive access.
 func (e *Engine) Query(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error) {
-	plan, err := e.inner.Plan(x, r)
+	ph, err := e.pl.Element(x, r)
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.inner.Execute(x, plan)
+	out, err := e.inner.Execute(x, ph.Assembly)
 	if err != nil {
 		return nil, err
 	}
-	e.observeQuery(r, assembly.PlanCost(plan))
+	e.observeQuery(r, ph.Cost)
 	return out, nil
 }
 
@@ -354,6 +368,14 @@ func (e *Engine) Reconfigure(x *obs.ExecCtx) (bool, error) {
 	}
 
 	changed := false
+	// Any store mutation invalidates cached plans — deferred so error
+	// returns after a partially-applied migration invalidate too. Unchanged
+	// reconfigurations leave the epoch (and every cached plan) intact.
+	defer func() {
+		if changed {
+			e.pl.Invalidate()
+		}
+	}()
 	// Phase 1: materialise every missing element from the current set.
 	for _, r := range target {
 		if have[r.Key()] {

@@ -97,22 +97,37 @@ func (e *Engine) Store() Store { return e.store }
 // Plan returns the minimum-cost operator tree producing element r from the
 // stored set, or an error if the stored set cannot generate r. While x
 // carries a trace, a "plan" span is recorded; a nil x means untraced.
+//
+// Plan always runs the Procedure 3 DP. The engine stack's hot path instead
+// goes through plan.Planner, which caches ComputePlan results per
+// materialised-set epoch.
 func (e *Engine) Plan(x *obs.ExecCtx, r freq.Rect) (*Plan, error) {
+	sp := x.Start("plan " + r.String())
+	defer sp.End()
+	plan, err := e.ComputePlan(r)
+	if err != nil {
+		return nil, err
+	}
+	// "plan_ops", not "ops": the execute spans below account the same work
+	// node by node, and summing "ops" over the tree must count it once.
+	sp.SetAttr("plan_ops", int64(plan.Ops))
+	return plan, nil
+}
+
+// ComputePlan runs the Procedure 3 cost recursion for element r with no
+// span bookkeeping — the raw planning primitive the cached planner wraps.
+// The returned tree is freshly built, immutable under execution, and safe
+// to share between concurrent executors.
+func (e *Engine) ComputePlan(r freq.Rect) (*Plan, error) {
 	if !e.space.Valid(r) {
 		return nil, fmt.Errorf("assembly: %v is not a view element of the space", r)
 	}
-	sp := x.Start("plan " + r.String())
-	defer sp.End()
 	e.met.Plans.Inc()
 	pl := e.planner()
 	plan, cost := pl.plan(r)
 	if math.IsInf(cost, 1) {
 		return nil, fmt.Errorf("assembly: stored set cannot generate %v (incomplete)", r)
 	}
-	// "plan_ops", not "ops": the execute spans below account the same work
-	// node by node, and summing "ops" over the tree must count it once.
-	sp.SetAttr("plan_ops", int64(plan.Ops))
-	sp.SetAttr("stored_elements", int64(len(pl.stored)))
 	return plan, nil
 }
 

@@ -94,6 +94,24 @@ func NewAdaptiveMetrics(r *Registry) *AdaptiveMetrics {
 	}
 }
 
+// PlanMetrics instruments the epoch-keyed plan cache: steady-state query
+// populations should converge to hits; invalidations count materialised-set
+// epochs (Optimize/Reconfigure/Update).
+type PlanMetrics struct {
+	Hits          *Counter
+	Misses        *Counter
+	Invalidations *Counter
+}
+
+// NewPlanMetrics registers the plan-cache instrument set.
+func NewPlanMetrics(r *Registry) *PlanMetrics {
+	return &PlanMetrics{
+		Hits:          r.Counter("viewcube_plan_cache_hits_total", "Plan-cache lookups that skipped the Procedure 3 DP (cached or coalesced)."),
+		Misses:        r.Counter("viewcube_plan_cache_misses_total", "Plan-cache lookups that found no current-epoch plan."),
+		Invalidations: r.Counter("viewcube_plan_cache_invalidations_total", "Plan-cache epoch bumps (materialised set or cell values changed)."),
+	}
+}
+
 // RangeMetrics instruments §6 range aggregation.
 type RangeMetrics struct {
 	RangeQueries *Counter

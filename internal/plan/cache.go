@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/obs"
+)
+
+// Cache is an epoch-keyed, concurrency-safe cache of per-rectangle values:
+// compiled assembly plans for the planner, materialised intermediate
+// elements for the range querier. A cached value is valid exactly while the
+// materialised set it was derived from is current; Invalidate bumps the
+// epoch (under the owner's write lock — SafeEngine's Optimize / Reconfigure
+// / Update path) and entries tagged with an older epoch are never returned.
+//
+// Reads take only the RWMutex read lock plus one atomic epoch load, so the
+// steady-state hit path scales across goroutines. Misses for the same key
+// are deduplicated singleflight-style: one caller computes, racing callers
+// wait on the in-flight computation and share its result, so concurrent
+// identical queries never duplicate the Procedure 3 DP or Haar work.
+type Cache[V any] struct {
+	epoch atomic.Uint64
+
+	mu      sync.RWMutex
+	entries map[freq.Key]entry[V]
+
+	fmu      sync.Mutex
+	inflight map[flightKey]*flight[V]
+
+	met *obs.PlanMetrics
+}
+
+type entry[V any] struct {
+	epoch uint64
+	val   V
+}
+
+// flightKey includes the epoch so a computation started before an
+// invalidation is never joined by callers from the new epoch.
+type flightKey struct {
+	epoch uint64
+	key   freq.Key
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache returns an empty cache at epoch 0 with no-op metrics.
+func NewCache[V any]() *Cache[V] {
+	return &Cache[V]{
+		entries:  make(map[freq.Key]entry[V]),
+		inflight: make(map[flightKey]*flight[V]),
+		met:      obs.NewPlanMetrics(nil),
+	}
+}
+
+// SetMetrics attaches registered instruments; nil restores the no-op set.
+// Call during wiring, before the cache is shared across goroutines.
+func (c *Cache[V]) SetMetrics(m *obs.PlanMetrics) {
+	if m == nil {
+		m = obs.NewPlanMetrics(nil)
+	}
+	c.met = m
+}
+
+// Epoch returns the current materialised-set epoch.
+func (c *Cache[V]) Epoch() uint64 { return c.epoch.Load() }
+
+// Len returns the number of live entries (stale-epoch leftovers included;
+// they are unreachable and overwritten on the next store).
+func (c *Cache[V]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Invalidate bumps the epoch and drops every entry. Call it whenever the
+// state the cached values were derived from changes (reselection rewrote
+// the materialised set, an update mutated stored cells). It returns the new
+// epoch. Safe to call concurrently with readers: in-flight computations
+// from the old epoch finish but their results are tagged stale and never
+// served.
+func (c *Cache[V]) Invalidate() uint64 {
+	c.mu.Lock()
+	n := c.epoch.Add(1)
+	c.entries = make(map[freq.Key]entry[V])
+	c.mu.Unlock()
+	c.met.Invalidations.Inc()
+	return n
+}
+
+// get returns the entry for key if it exists at the given epoch.
+func (c *Cache[V]) get(epoch uint64, key freq.Key) (V, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok && e.epoch == epoch {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrCompute returns the cached value for key at the current epoch,
+// computing and caching it on a miss. hit reports whether compute was
+// skipped entirely (a cache hit or a coalesced wait on another caller's
+// in-flight computation — either way the caller did no work). Errors are
+// propagated to every coalesced caller and nothing is cached.
+func (c *Cache[V]) GetOrCompute(key freq.Key, compute func() (V, error)) (val V, hit bool, err error) {
+	epoch := c.epoch.Load()
+	if v, ok := c.get(epoch, key); ok {
+		c.met.Hits.Inc()
+		return v, true, nil
+	}
+	c.met.Misses.Inc()
+	fk := flightKey{epoch: epoch, key: key}
+	c.fmu.Lock()
+	if f, ok := c.inflight[fk]; ok {
+		c.fmu.Unlock()
+		<-f.done
+		return f.val, f.err == nil, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.inflight[fk] = f
+	c.fmu.Unlock()
+
+	f.val, f.err = compute()
+	if f.err == nil {
+		c.mu.Lock()
+		// Tag with the compute-time epoch: if an invalidation raced us the
+		// entry is already stale and get() will never serve it.
+		c.entries[key] = entry[V]{epoch: epoch, val: f.val}
+		c.mu.Unlock()
+	}
+	close(f.done)
+	c.fmu.Lock()
+	delete(c.inflight, fk)
+	c.fmu.Unlock()
+	return f.val, false, f.err
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Epoch         uint64 `json:"epoch"`
+	Entries       int    `json:"entries"`
+}
+
+// Stats snapshots the cache counters and epoch.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:          c.met.Hits.Value(),
+		Misses:        c.met.Misses.Value(),
+		Invalidations: c.met.Invalidations.Value(),
+		Epoch:         c.Epoch(),
+		Entries:       c.Len(),
+	}
+}

@@ -1,0 +1,100 @@
+package plan
+
+import (
+	"fmt"
+
+	"viewcube/internal/assembly"
+	"viewcube/internal/freq"
+	"viewcube/internal/obs"
+)
+
+// Planner compiles logical plans into physical plans against one assembly
+// engine, caching compiled element plans in an epoch-keyed Cache. It is the
+// single planning entry point of the engine stack: queries, Explain and
+// traced queries all go through the same Planner, so they see (and warm)
+// the same cache and render the same IR.
+//
+// A Planner is safe for concurrent use; the owner must call Invalidate
+// whenever the materialised set or stored cell values change (the root
+// engine does this on Optimize/Reconfigure/Update, under SafeEngine's
+// write lock when shared).
+type Planner struct {
+	eng   *assembly.Engine
+	cache *Cache[*assembly.Plan]
+}
+
+// NewPlanner returns a planner over the assembly engine with a fresh cache.
+func NewPlanner(eng *assembly.Engine) *Planner {
+	return &Planner{eng: eng, cache: NewCache[*assembly.Plan]()}
+}
+
+// SetMetrics attaches plan-cache instruments; nil restores the no-op set.
+func (p *Planner) SetMetrics(m *obs.PlanMetrics) { p.cache.SetMetrics(m) }
+
+// Cache exposes the underlying plan cache (epoch reads, stats).
+func (p *Planner) Cache() *Cache[*assembly.Plan] { return p.cache }
+
+// Epoch returns the current materialised-set epoch.
+func (p *Planner) Epoch() uint64 { return p.cache.Epoch() }
+
+// Invalidate bumps the epoch, discarding every cached plan. It returns the
+// new epoch.
+func (p *Planner) Invalidate() uint64 { return p.cache.Invalidate() }
+
+// Stats snapshots the plan-cache counters.
+func (p *Planner) Stats() Stats { return p.cache.Stats() }
+
+// Element returns the physical plan producing view element r, serving it
+// from the plan cache when the materialised set has not changed since the
+// plan was compiled — the cache-hit path skips the Procedure 3 DP
+// entirely. While x carries a trace, a "plan" span is recorded with a
+// cache_hit attribute; a nil x means untraced.
+func (p *Planner) Element(x *obs.ExecCtx, r freq.Rect) (*Physical, error) {
+	sp := x.Start("plan " + r.String())
+	defer sp.End()
+	epoch := p.cache.Epoch()
+	pl, hit, err := p.cache.GetOrCompute(r.Key(), func() (*assembly.Plan, error) {
+		return p.eng.ComputePlan(r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		sp.SetAttr("cache_hit", 1)
+	} else {
+		sp.SetAttr("cache_hit", 0)
+	}
+	sp.SetAttr("plan_ops", int64(pl.Ops))
+	return &Physical{
+		Logical:  Element(r),
+		Epoch:    epoch,
+		CacheHit: hit,
+		Assembly: pl,
+		Cost:     assembly.PlanCost(pl),
+	}, nil
+}
+
+// Lower compiles any logical node to its physical plan: element kinds go
+// through the cache-aware Procedure 3 path, range kinds are lowered by pure
+// geometry and stamped with the current epoch (their per-element assembly
+// work flows through the same cache when executed).
+func (p *Planner) Lower(x *obs.ExecCtx, lg *Logical) (*Physical, error) {
+	switch lg.Kind {
+	case KindElement:
+		ph, err := p.Element(x, lg.Rect)
+		if err != nil {
+			return nil, err
+		}
+		ph.Logical = lg
+		return ph, nil
+	case KindRangeSum, KindGroupedRange:
+		ph, err := lg.LowerRange()
+		if err != nil {
+			return nil, err
+		}
+		ph.Epoch = p.cache.Epoch()
+		return ph, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown logical kind %v", lg.Kind)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"viewcube/internal/ndarray"
 	"viewcube/internal/obs"
+	"viewcube/internal/plan"
 )
 
 // GroupedRangeSum answers the classic OLAP "dice" query — SUM grouped by
@@ -35,19 +36,19 @@ func (q *Querier) GroupedRangeSumCtx(x *obs.ExecCtx, box Box, keep []bool) (*nda
 	}
 	d := len(shape)
 	outShape := make([]int, d)
-	blocks := make([][]Block, d)
 	for m := 0; m < d; m++ {
 		if keep[m] {
 			if box.Lo[m] != 0 || box.Ext[m] != shape[m] {
 				return nil, fmt.Errorf("rangeagg: kept dimension %d must be unfiltered (box %v)", m, box)
 			}
 			outShape[m] = shape[m]
-			blocks[m] = []Block{{Start: 0, Level: 0}} // placeholder; kept dims read whole slabs
 			continue
 		}
 		outShape[m] = 1
-		blocks[m] = DyadicBlocks(box.Lo[m], box.Ext[m])
 	}
+	// Lower through the shared plan IR: kept dimensions become whole-slab
+	// legs, filtered dimensions dyadic block legs.
+	legs := plan.DecomposeBox(box.Lo, box.Ext, keep)
 	out := ndarray.New(outShape...)
 	read := 0
 
@@ -63,7 +64,7 @@ func (q *Querier) GroupedRangeSumCtx(x *obs.ExecCtx, box Box, keep []bool) (*nda
 				ext[m] = shape[m]
 				continue
 			}
-			b := blocks[m][idx[m]]
+			b := legs[m].Blocks[idx[m]]
 			depths[m] = b.Level
 			lo[m] = b.Start >> uint(b.Level)
 			ext[m] = 1
@@ -90,7 +91,7 @@ func (q *Querier) GroupedRangeSumCtx(x *obs.ExecCtx, box Box, keep []bool) (*nda
 				continue
 			}
 			idx[m]++
-			if idx[m] < len(blocks[m]) {
+			if idx[m] < len(legs[m].Blocks) {
 				break
 			}
 			idx[m] = 0

@@ -17,12 +17,12 @@ package rangeagg
 
 import (
 	"fmt"
-	"math/bits"
 	"sync"
 
 	"viewcube/internal/freq"
 	"viewcube/internal/ndarray"
 	"viewcube/internal/obs"
+	"viewcube/internal/plan"
 	"viewcube/internal/velement"
 )
 
@@ -56,38 +56,14 @@ func (b Box) Cells() int {
 }
 
 // Block is one maximal aligned dyadic block [Start, Start+2^Level) on a
-// single dimension: Start is a multiple of 2^Level.
-type Block struct {
-	Start int
-	Level int
-}
-
-// Size returns the block length 2^Level.
-func (b Block) Size() int { return 1 << b.Level }
+// single dimension. It now lives in the shared plan IR; the alias keeps the
+// historical rangeagg API intact.
+type Block = plan.Block
 
 // DyadicBlocks decomposes the 1-D interval [lo, lo+ext) into the canonical
-// minimal sequence of maximal aligned dyadic blocks. For an interval inside
-// a domain of size n it produces at most 2·log2(n) blocks.
-func DyadicBlocks(lo, ext int) []Block {
-	if ext <= 0 || lo < 0 {
-		return nil
-	}
-	var out []Block
-	cur, end := lo, lo+ext
-	for cur < end {
-		// Largest power of two that both aligns with cur and fits.
-		k := bits.TrailingZeros(uint(cur))
-		if cur == 0 {
-			k = bits.Len(uint(end)) // unconstrained by alignment
-		}
-		for (1 << k) > end-cur {
-			k--
-		}
-		out = append(out, Block{Start: cur, Level: k})
-		cur += 1 << k
-	}
-	return out
-}
+// minimal sequence of maximal aligned dyadic blocks. It delegates to the
+// shared plan IR (plan.DyadicBlocks); kept here for API compatibility.
+func DyadicBlocks(lo, ext int) []Block { return plan.DyadicBlocks(lo, ext) }
 
 // ElementSource supplies materialised view elements. Both
 // assembly.Materializer (compute from the cube) and an adapter around
@@ -106,17 +82,20 @@ type CtxElementSource interface {
 }
 
 // Querier answers range-SUM queries from intermediate view elements,
-// caching each element it touches. Queries may run concurrently: the
-// pyramid cache and the CellsRead tally are guarded by an internal mutex,
-// and cached arrays are only ever read after insertion. (Concurrent safety
-// additionally requires an element source that is safe for concurrent
-// calls, such as an assembly engine over a concurrent-read store.)
+// caching each element it touches in an epoch-keyed plan.Cache. Queries may
+// run concurrently: the pyramid cache is concurrency-safe with singleflight
+// miss coalescing (racing queries for the same intermediate element wait on
+// one fetch instead of duplicating it), and cached arrays are only ever
+// read after insertion. (Concurrent safety additionally requires an element
+// source that is safe for concurrent calls, such as an assembly engine over
+// a concurrent-read store.)
 type Querier struct {
 	space *velement.Space
 	src   ElementSource
 
-	mu    sync.Mutex // guards cache and CellsRead
-	cache map[freq.Key]*ndarray.Array
+	cache *plan.Cache[*ndarray.Array]
+
+	mu sync.Mutex // guards CellsRead
 
 	// CellsRead counts element cells fetched across all queries — the
 	// operational cost that §6 argues is logarithmic per dimension. It is
@@ -132,10 +111,21 @@ type Querier struct {
 func NewQuerier(space *velement.Space, src ElementSource) *Querier {
 	return &Querier{
 		space: space, src: src,
-		cache: make(map[freq.Key]*ndarray.Array),
+		cache: NewCache(),
 		met:   obs.NewRangeMetrics(nil),
 	}
 }
+
+// NewCache returns the element-cache type the querier uses — the same
+// epoch-keyed cache the planner caches assembly plans in. Exposed so engine
+// shards (PartitionedEngine) and the root engine can share the type.
+func NewCache() *plan.Cache[*ndarray.Array] {
+	return plan.NewCache[*ndarray.Array]()
+}
+
+// Cache exposes the querier's element cache so the owner can invalidate it
+// together with the plan cache (one epoch protocol for the whole read path).
+func (q *Querier) Cache() *plan.Cache[*ndarray.Array] { return q.cache }
 
 // SetMetrics attaches registered instruments; nil restores the no-op set.
 func (q *Querier) SetMetrics(m *obs.RangeMetrics) {
@@ -145,48 +135,33 @@ func (q *Querier) SetMetrics(m *obs.RangeMetrics) {
 	q.met = m
 }
 
-// Reset drops every cached element. Call it after the underlying data
-// changes (e.g. incremental cube updates) so subsequent range queries
-// re-fetch fresh elements.
-func (q *Querier) Reset() {
-	q.mu.Lock()
-	q.cache = make(map[freq.Key]*ndarray.Array)
-	q.mu.Unlock()
-}
+// Reset bumps the cache epoch, dropping every cached element. Call it after
+// the underlying data changes (e.g. incremental cube updates) so subsequent
+// range queries re-fetch fresh elements.
+func (q *Querier) Reset() { q.cache.Invalidate() }
 
 // element returns the intermediate view element whose per-dimension
 // all-partial depth is levels[m] (the Gaussian-pyramid member P_k). Cached
-// elements are shared read-only between concurrent queries; a miss fetches
-// outside the lock (two racing fetchers are harmless — both produce the
-// same element, and one wins the cache slot).
+// elements are shared read-only between concurrent queries; racing misses
+// for the same element are coalesced onto one fetch, and only the fetching
+// goroutine records the "element" span (waiters did no work).
 func (q *Querier) element(x *obs.ExecCtx, depths []int) (*ndarray.Array, error) {
 	r := make(freq.Rect, len(depths))
 	for m, k := range depths {
 		r[m] = freq.Node(1 << uint(k))
 	}
-	key := r.Key()
-	q.mu.Lock()
-	a, ok := q.cache[key]
-	q.mu.Unlock()
-	if ok {
+	a, _, err := q.cache.GetOrCompute(r.Key(), func() (*ndarray.Array, error) {
+		sp := x.Start("element " + r.String())
+		defer sp.End()
+		a, err := q.fetch(x, r)
+		if err != nil {
+			return nil, err
+		}
+		q.met.ElementMiss.Inc()
+		sp.SetAttr("cells", int64(a.Size()))
 		return a, nil
-	}
-	sp := x.Start("element " + r.String())
-	defer sp.End()
-	a, err := q.fetch(x, r)
-	if err != nil {
-		return nil, err
-	}
-	q.met.ElementMiss.Inc()
-	sp.SetAttr("cells", int64(a.Size()))
-	q.mu.Lock()
-	if prior, ok := q.cache[key]; ok {
-		a = prior // lost the race; keep the already-shared copy
-	} else {
-		q.cache[key] = a
-	}
-	q.mu.Unlock()
-	return a, nil
+	})
+	return a, err
 }
 
 // fetch produces one element from the source, forwarding the execution
@@ -218,10 +193,9 @@ func (q *Querier) RangeSumCtx(x *obs.ExecCtx, box Box) (float64, error) {
 	sp.SetAttr("box_cells", int64(box.Cells()))
 	defer sp.End()
 	d := len(shape)
-	blocks := make([][]Block, d)
-	for m := 0; m < d; m++ {
-		blocks[m] = DyadicBlocks(box.Lo[m], box.Ext[m])
-	}
+	// Lower through the shared plan IR: one leg of dyadic blocks per
+	// dimension (§6 decomposition).
+	legs := plan.DecomposeBox(box.Lo, box.Ext, nil)
 	// Iterate over the cartesian product of per-dimension blocks. The
 	// element is chosen by the block levels; the cell by the block starts.
 	idx := make([]int, d)
@@ -231,7 +205,7 @@ func (q *Querier) RangeSumCtx(x *obs.ExecCtx, box Box) (float64, error) {
 	read := 0
 	for {
 		for m := 0; m < d; m++ {
-			b := blocks[m][idx[m]]
+			b := legs[m].Blocks[idx[m]]
 			// P_k sums aligned runs of 2^k cells, so a block of size
 			// 2^Level is one cell — at index Start >> Level — of the
 			// intermediate element at partial-path depth Level.
@@ -248,7 +222,7 @@ func (q *Querier) RangeSumCtx(x *obs.ExecCtx, box Box) (float64, error) {
 		m := d - 1
 		for ; m >= 0; m-- {
 			idx[m]++
-			if idx[m] < len(blocks[m]) {
+			if idx[m] < len(legs[m].Blocks) {
 				break
 			}
 			idx[m] = 0

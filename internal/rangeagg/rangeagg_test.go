@@ -26,13 +26,13 @@ func TestDyadicBlocks(t *testing.T) {
 		lo, ext int
 		want    []Block
 	}{
-		{0, 8, []Block{{0, 3}}},
-		{0, 5, []Block{{0, 2}, {4, 0}}},
-		{1, 7, []Block{{1, 0}, {2, 1}, {4, 2}}},
-		{3, 3, []Block{{3, 0}, {4, 1}}},
-		{6, 2, []Block{{6, 1}}},
-		{5, 1, []Block{{5, 0}}},
-		{2, 6, []Block{{2, 1}, {4, 2}}},
+		{0, 8, []Block{{Start: 0, Level: 3}}},
+		{0, 5, []Block{{Start: 0, Level: 2}, {Start: 4, Level: 0}}},
+		{1, 7, []Block{{Start: 1, Level: 0}, {Start: 2, Level: 1}, {Start: 4, Level: 2}}},
+		{3, 3, []Block{{Start: 3, Level: 0}, {Start: 4, Level: 1}}},
+		{6, 2, []Block{{Start: 6, Level: 1}}},
+		{5, 1, []Block{{Start: 5, Level: 0}}},
+		{2, 6, []Block{{Start: 2, Level: 1}, {Start: 4, Level: 2}}},
 	}
 	for _, c := range cases {
 		got := DyadicBlocks(c.lo, c.ext)
@@ -180,7 +180,7 @@ func TestQuerierCachesElements(t *testing.T) {
 	if q.CellsRead != 2*first {
 		t.Fatalf("cells read %d, want %d (same per query)", q.CellsRead, 2*first)
 	}
-	if len(q.cache) == 0 {
+	if q.cache.Len() == 0 {
 		t.Fatal("querier should have cached elements")
 	}
 }

@@ -146,12 +146,22 @@ func TestExplainEndpoint(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/explain?keep=product", &out); resp.StatusCode != http.StatusOK {
 		t.Fatalf("explain status %d", resp.StatusCode)
 	}
-	if _, ok := out["trace"].(map[string]any); !ok {
-		t.Fatalf("explain missing trace: %v", out)
-	}
 	text, ok := out["text"].(string)
-	if !ok || !strings.Contains(text, "groupby product") {
+	if !ok || !strings.Contains(text, "total cost") || !strings.Contains(text, "plan cache") {
 		t.Fatalf("explain text %q", text)
+	}
+	pc, ok := out["plan_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("explain missing plan_cache: %v", out)
+	}
+	if pc["hits"].(float64)+pc["misses"].(float64) < 1 {
+		t.Fatalf("explain did not touch the plan cache: %v", pc)
+	}
+	// Explaining twice must hit the shared plan cache the second time.
+	out = nil
+	getJSON(t, ts.URL+"/explain?keep=product", &out)
+	if text := out["text"].(string); !strings.Contains(text, "plan cache hit") {
+		t.Fatalf("second explain not a cache hit: %q", text)
 	}
 }
 

@@ -322,15 +322,18 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	// Explain needs the raw engine's plan view; SafeEngine does not proxy
-	// it, so answer from the trace of a real (traced) groupby instead:
-	// the span tree is the executed plan.
-	_, tr, err := s.eng.TraceGroupBy(parseKeep(r)...)
+	// SafeEngine proxies Explain through the engine's shared planner, so
+	// the rendered text is exactly the plan IR a query for the same view
+	// executes — no query is run, and the shared plan cache is warmed.
+	text, err := s.eng.ExplainGroupBy(parseKeep(r)...)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"trace": tr, "text": tr.String()})
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"text":       text,
+		"plan_cache": s.eng.PlanCacheStats(),
+	})
 }
 
 // fullStats embeds the adaptive engine counters (flattened into the

@@ -29,6 +29,7 @@ type Metrics struct {
 	assembly *obs.AssemblyMetrics
 	adaptive *obs.AdaptiveMetrics
 	ranges   *obs.RangeMetrics
+	plans    *obs.PlanMetrics
 }
 
 // NewMetrics returns a fresh metrics registry with every engine instrument
@@ -52,6 +53,7 @@ func NewMetrics() *Metrics {
 	m.assembly = obs.NewAssemblyMetrics(reg)
 	m.adaptive = obs.NewAdaptiveMetrics(reg)
 	m.ranges = obs.NewRangeMetrics(reg)
+	m.plans = obs.NewPlanMetrics(reg)
 	return m
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"viewcube"
+	"viewcube/internal/obs"
 )
 
 var explainCostRe = regexp.MustCompile(`total cost (\d+) ops`)
@@ -34,10 +35,29 @@ func explainCost(t *testing.T, eng *viewcube.Engine, keep ...string) int64 {
 	return n
 }
 
+// findSpan returns the first span in the tree whose name starts with the
+// prefix, or nil.
+func findSpan(n *obs.SpanNode, prefix string) *obs.SpanNode {
+	if n == nil {
+		return nil
+	}
+	if strings.HasPrefix(n.Name, prefix) {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := findSpan(c, prefix); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
 // TestTraceOpsMatchExplain is the acceptance check for the span tree: the
 // "ops" attributes summed over a traced group-by must reproduce exactly the
 // total cost Explain reports for the same view under the same materialised
-// set. The trace is the executed plan; Explain is the predicted one.
+// set — on the cold (plan-compiling) run AND on the warm (plan-cached) run.
+// The trace is the executed plan; Explain is the predicted one; the plan
+// cache must never let them diverge.
 func TestTraceOpsMatchExplain(t *testing.T) {
 	cube := loadSales(t)
 	eng, err := cube.NewEngine(viewcube.EngineOptions{})
@@ -46,19 +66,46 @@ func TestTraceOpsMatchExplain(t *testing.T) {
 	}
 	var nonZero bool
 	for _, keep := range [][]string{{"product"}, {"region"}, {"product", "day"}, {}} {
-		want := explainCost(t, eng, keep...)
-		_, tr, err := eng.TraceGroupBy(keep...)
+		// Cold run: nothing has planned this view yet, so the plan span
+		// must record a cache miss.
+		_, cold, err := eng.TraceGroupBy(keep...)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := tr.Ops(); got != want {
-			t.Fatalf("keep=%v: trace ops %d != explain cost %d\ntrace:\n%s",
-				keep, got, want, tr)
+		coldPlan := findSpan(cold.Tree(), "plan ")
+		if coldPlan == nil {
+			t.Fatalf("keep=%v: no plan span\n%s", keep, cold)
+		}
+		if hit, ok := coldPlan.Attrs["cache_hit"]; !ok || hit != 0 {
+			t.Fatalf("keep=%v: cold plan span cache_hit=%d (present=%v), want 0", keep, hit, ok)
+		}
+		// Explain renders the plan the trace just compiled and cached.
+		want := explainCost(t, eng, keep...)
+		if got := cold.Ops(); got != want {
+			t.Fatalf("keep=%v: cold trace ops %d != explain cost %d\ntrace:\n%s",
+				keep, got, want, cold)
+		}
+		// Warm run: the plan comes from the cache, and the executed ops
+		// must still agree with Explain exactly.
+		_, warm, err := eng.TraceGroupBy(keep...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmPlan := findSpan(warm.Tree(), "plan ")
+		if warmPlan == nil {
+			t.Fatalf("keep=%v: no plan span in warm trace\n%s", keep, warm)
+		}
+		if hit := warmPlan.Attrs["cache_hit"]; hit != 1 {
+			t.Fatalf("keep=%v: warm plan span cache_hit=%d, want 1", keep, hit)
+		}
+		if got := warm.Ops(); got != want {
+			t.Fatalf("keep=%v: cached-plan trace ops %d != explain cost %d\ntrace:\n%s",
+				keep, got, want, warm)
 		}
 		if want > 0 {
 			nonZero = true
-			if tr.CellsRead() <= 0 {
-				t.Fatalf("keep=%v: plan costs %d ops but trace read no cells", keep, want)
+			if cold.CellsRead() <= 0 || warm.CellsRead() <= 0 {
+				t.Fatalf("keep=%v: plan costs %d ops but a trace read no cells", keep, want)
 			}
 		}
 	}

@@ -240,6 +240,25 @@ func (p *PartitionedEngine) RangeSum(ranges map[string]ValueRange) (float64, err
 	return sum, nil
 }
 
+// PlanCacheStats aggregates the per-shard plan-cache counters (each shard
+// engine owns an epoch-keyed cache of the same type as the root engine's).
+// Hits, misses, invalidations and entries are summed; Epoch reports the
+// highest shard epoch.
+func (p *PartitionedEngine) PlanCacheStats() PlanCacheStats {
+	var out PlanCacheStats
+	for _, eng := range p.engines {
+		s := eng.PlanCacheStats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Invalidations += s.Invalidations
+		out.Entries += s.Entries
+		if s.Epoch > out.Epoch {
+			out.Epoch = s.Epoch
+		}
+	}
+	return out
+}
+
 // Optimize fans a keep-lists workload out to every shard (each shard runs
 // Algorithm 1/2 on its own cube).
 func (p *PartitionedEngine) Optimize(hotViews [][]string, freqs []float64) error {

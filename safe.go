@@ -174,6 +174,29 @@ func (s *SafeEngine) StoreStats() StoreStats {
 	return s.eng.StoreStats()
 }
 
+// PlanCacheStats is Engine.PlanCacheStats under the read lock.
+func (s *SafeEngine) PlanCacheStats() PlanCacheStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.PlanCacheStats()
+}
+
+// Explain is Engine.Explain under the read lock: planning is a pure read of
+// the materialised set (and of the shared plan cache, which is
+// concurrency-safe), so explains overlap queries freely.
+func (s *SafeEngine) Explain(el Element) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.Explain(el)
+}
+
+// ExplainGroupBy is Engine.ExplainGroupBy under the read lock.
+func (s *SafeEngine) ExplainGroupBy(keep ...string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.ExplainGroupBy(keep...)
+}
+
 // MaterializedElements is Engine.MaterializedElements under the read lock.
 func (s *SafeEngine) MaterializedElements() int {
 	s.mu.RLock()
