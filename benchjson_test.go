@@ -61,6 +61,8 @@ func TestBenchJSON(t *testing.T) {
 		{"QueryLanguage", BenchmarkQueryLanguage},
 		{"AdaptiveReconfigure", BenchmarkAdaptiveReconfigure},
 		{"WaveletTransform", BenchmarkWaveletTransform},
+		{"HaarPartial", BenchmarkHaarPartial},
+		{"MaterializeWaveletBasis", BenchmarkMaterializeWaveletBasis},
 	} {
 		r := testing.Benchmark(bench.fn)
 		if err := enc.Encode(benchResult{

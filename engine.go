@@ -78,6 +78,16 @@ type EngineOptions struct {
 	// private registry, reachable via Engine.Metrics. Sharing one Metrics
 	// across engines aggregates their series.
 	Metrics *Metrics
+	// ExecWorkers bounds intra-query execution parallelism: independent
+	// synthesize subtrees of one plan run on up to this many goroutines.
+	// 0 defaults to GOMAXPROCS; 1 forces serial execution. Traced queries
+	// always run serially regardless.
+	ExecWorkers int
+	// ParallelExecCells is the minimum cell count at which a synthesize
+	// node fans out; smaller nodes stay serial (goroutine handoff would
+	// cost more than it hides). 0 defaults to
+	// assembly.DefaultParallelCells.
+	ParallelExecCells int
 }
 
 // Engine answers queries against a cube by dynamically assembling views
@@ -143,6 +153,7 @@ func (c *Cube) NewEngine(opts EngineOptions) (*Engine, error) {
 	}
 	inner.SetMetrics(met.adaptive)
 	inner.Assembler().SetMetrics(met.assembly)
+	inner.Assembler().SetExecutor(opts.ExecWorkers, opts.ParallelExecCells)
 	inner.Planner().SetMetrics(met.plans)
 	e.rq.SetMetrics(met.ranges)
 	return e, nil

@@ -40,6 +40,16 @@ type CtxStore interface {
 	GetCtx(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, bool)
 }
 
+// CloningStore is optionally implemented by stores whose Get already
+// returns a private copy of the element (e.g. a disk-backed store that
+// decodes or clones out of its cache). When ClonesOnGet reports true the
+// executor takes ownership of Get results directly instead of copying them
+// a second time — one copy per element, not two. Stores that return
+// shared arrays (MemStore) must not implement this or must report false.
+type CloningStore interface {
+	ClonesOnGet() bool
+}
+
 // MemStore is an in-memory Store. The zero value is not usable; construct
 // with NewMemStore. MemStore is not safe for concurrent mutation, but any
 // number of concurrent readers may call Get/Elements while no mutation is
@@ -146,12 +156,32 @@ func (mat *Materializer) GeneratedCells() int {
 }
 
 // Element returns the materialised array for the view element r, computing
-// it (and caching every intermediate stage) if necessary.
+// it (and caching every intermediate stage) if necessary. The returned
+// array is shared with the materialiser's cache: read-only for the caller.
 func (mat *Materializer) Element(r freq.Rect) (*ndarray.Array, error) {
 	if !mat.space.Valid(r) {
 		return nil, fmt.Errorf("assembly: %v is not a view element of the space", r)
 	}
 	return mat.element(r)
+}
+
+// ElementOwned returns the materialised array for r without the defensive
+// copy Element callers otherwise need: the root element (whose cache entry
+// IS the caller's cube) comes back as a clone, while every other element is
+// the cache's own array, handed over for keeps. The array remains readable
+// by the materialiser for prefix sharing, so the caller must not mutate it
+// until the materialiser is discarded — the contract Materialize and
+// MaterializeParallel satisfy by construction (stores are only mutated
+// after materialisation ends).
+func (mat *Materializer) ElementOwned(r freq.Rect) (*ndarray.Array, error) {
+	a, err := mat.Element(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Key() == mat.space.Root().Key() {
+		return a.Clone(), nil
+	}
+	return a, nil
 }
 
 func (mat *Materializer) element(r freq.Rect) (*ndarray.Array, error) {

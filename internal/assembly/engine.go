@@ -54,6 +54,12 @@ type Plan struct {
 	// Ops is the modelled number of add/subtract operations of this node
 	// and its subtree (0 for stored elements).
 	Ops int
+
+	// Folds caches the fused per-dimension cascades for PlanAggregate
+	// (Source → Rect), precomputed at plan time so execution does not
+	// re-derive them per query. May be nil on hand-built plans; the
+	// executor then falls back to haar.PathFolds.
+	Folds []haar.Fold
 }
 
 // Engine answers view-element queries from a store of materialised
@@ -70,11 +76,32 @@ type Engine struct {
 	space *velement.Space
 	store Store
 	met   *obs.AssemblyMetrics
+	ex    *Executor
+	// cloning records whether the store's Get already returns private
+	// copies (CloningStore), letting the executor skip its defensive copy
+	// on stored plan nodes.
+	cloning bool
 }
 
-// NewEngine returns an engine over the given space and store.
+// NewEngine returns an engine over the given space and store, executing
+// plans with a default Executor (GOMAXPROCS workers, DefaultParallelCells
+// fan-out threshold); tune it with SetExecutor.
 func NewEngine(space *velement.Space, store Store) *Engine {
-	return &Engine{space: space, store: store, met: obs.NewAssemblyMetrics(nil)}
+	e := &Engine{space: space, store: store, met: obs.NewAssemblyMetrics(nil)}
+	if cs, ok := store.(CloningStore); ok && cs.ClonesOnGet() {
+		e.cloning = true
+	}
+	e.ex = newExecutor(e, 0, 0)
+	return e
+}
+
+// SetExecutor replaces the engine's executor configuration: workers bounds
+// intra-query parallelism (≤ 0 means GOMAXPROCS, 1 means serial) and
+// parallelCells is the minimum own-cell count at which a synthesize node
+// forks (≤ 0 means DefaultParallelCells). Call it during wiring, before
+// the engine is shared across goroutines.
+func (e *Engine) SetExecutor(workers, parallelCells int) {
+	e.ex = newExecutor(e, workers, parallelCells)
 }
 
 // SetMetrics attaches registered instruments; nil restores the no-op set.
@@ -142,14 +169,14 @@ func (e *Engine) Answer(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error) {
 	return e.Execute(x, plan)
 }
 
-// Execute runs a plan and returns the produced element. While x carries a
-// trace, one span is recorded per plan node.
+// Execute runs a plan and returns the produced element. The result is
+// owned by the caller. Execution goes through the engine's Executor:
+// pooled scratch buffers, fused cascade kernels, and (for untraced
+// queries) bounded intra-query parallelism. While x carries a trace, one
+// span is recorded per plan node.
 func (e *Engine) Execute(x *obs.ExecCtx, p *Plan) (*ndarray.Array, error) {
 	e.met.Executions.Inc()
-	sp := x.Start("execute " + p.Rect.String())
-	sp.SetAttr("total_ops", int64(p.Ops))
-	defer sp.End()
-	return e.exec(x, p)
+	return e.ex.Run(x, p)
 }
 
 // get reads one stored element, forwarding the execution context to stores
@@ -159,57 +186,6 @@ func (e *Engine) get(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, bool) {
 		return cs.GetCtx(x, r)
 	}
 	return e.store.Get(r)
-}
-
-// exec recursively runs plan nodes, recording one span and one counter
-// bump per node. The "ops" attr of each span is that node's own modelled
-// add/subtract work (not the subtree's), so summing "ops" over the span
-// tree reproduces PlanCost exactly.
-func (e *Engine) exec(x *obs.ExecCtx, p *Plan) (*ndarray.Array, error) {
-	switch p.Kind {
-	case PlanStored:
-		sp := x.Start("stored " + p.Rect.String())
-		defer sp.End()
-		a, ok := e.get(x, p.Rect)
-		if !ok {
-			return nil, fmt.Errorf("assembly: plan references %v but it is not stored", p.Rect)
-		}
-		e.met.StoredNodes.Inc()
-		e.met.CellsRead.Add(uint64(a.Size()))
-		sp.SetAttr("cells", int64(a.Size()))
-		return a.Clone(), nil
-	case PlanAggregate:
-		sp := x.Start("aggregate " + p.Rect.String() + " from " + p.Source.String())
-		sp.SetAttr("ops", int64(p.Ops))
-		defer sp.End()
-		src, ok := e.get(x, p.Source)
-		if !ok {
-			return nil, fmt.Errorf("assembly: plan references stored ancestor %v but it is absent", p.Source)
-		}
-		e.met.AggregateNodes.Inc()
-		e.met.CellsRead.Add(uint64(src.Size()))
-		e.met.OpsModeled.Add(uint64(p.Ops))
-		sp.SetAttr("cells", int64(src.Size()))
-		return haar.ApplyPath(src, p.Source, p.Rect)
-	case PlanSynthesize:
-		ownOps := p.Ops - p.Partial.Ops - p.Residual.Ops
-		sp := x.Start(fmt.Sprintf("synthesize %s dim=%d", p.Rect.String(), p.Dim))
-		sp.SetAttr("ops", int64(ownOps))
-		defer sp.End()
-		e.met.SynthesizeNodes.Inc()
-		e.met.OpsModeled.Add(uint64(ownOps))
-		part, err := e.exec(x, p.Partial)
-		if err != nil {
-			return nil, err
-		}
-		res, err := e.exec(x, p.Residual)
-		if err != nil {
-			return nil, err
-		}
-		return haar.Reconstruct(p.Dim, part, res)
-	default:
-		return nil, fmt.Errorf("assembly: unknown plan kind %v", p.Kind)
-	}
 }
 
 // planner mirrors the Procedure 3 recursion of core.SetEvaluator but
@@ -263,6 +239,12 @@ func (pl *planner) plan(r freq.Rect) (*Plan, float64) {
 				best = &Plan{Rect: r.Clone(), Kind: PlanAggregate, Source: vs.Clone(), Ops: pl.vols[i] - volR}
 			}
 		}
+	}
+	if best != nil && best.Kind == PlanAggregate {
+		// vs.Contains(r) held for the winning source, so PathFolds cannot
+		// fail; a nil Folds on any unexpected error just defers derivation
+		// to the executor (which will surface it).
+		best.Folds, _ = haar.PathFolds(best.Source, best.Rect)
 	}
 	// Seed the memo with the aggregation-only answer before recursing:
 	// synthesis recursion below may revisit r through a different path, and

@@ -1,0 +1,176 @@
+package assembly
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/haar"
+	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
+	"viewcube/internal/velement"
+)
+
+// TestExecutorForcedParallelMatchesOracle forces every synthesize node to
+// fan out (threshold 1, plenty of workers) and checks each element against
+// the direct cascade oracle — the pooled parallel path must be bit-exact
+// with the naive one.
+func TestExecutorForcedParallelMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := velement.MustSpace(8, 4, 4)
+	cube := randomCube(rng, 8, 4, 4)
+	store, err := MaterializeSet(s, cube, velement.WaveletBasis(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s, store)
+	eng.SetExecutor(8, 1)
+	s.Elements(func(r freq.Rect) bool {
+		got, err := eng.Answer(nil, r.Clone())
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		want, _ := haar.ApplyRect(cube, r)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("%v: parallel pooled execution differs from oracle (maxdiff %g)",
+				r, got.MaxAbsDiff(want))
+		}
+		return true
+	})
+}
+
+// TestExecutorSerialExecutorMatchesOracle pins the executor to one worker
+// (pure pooled-serial path) as the control for the parallel test above.
+func TestExecutorSerialMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	s := velement.MustSpace(8, 8)
+	cube := randomCube(rng, 8, 8)
+	store := NewMemStore()
+	if err := store.Put(s.Root(), cube.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s, store)
+	eng.SetExecutor(1, 0)
+	for _, v := range s.AggregatedViews() {
+		got, err := eng.Answer(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := haar.ApplyRect(cube, v)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("view %v wrong under serial executor", v)
+		}
+	}
+}
+
+// TestExecutorResultIsPrivate ensures executor results never alias the
+// store's arrays (MemStore hands out shared arrays; the executor must copy
+// them even when no operator applies).
+func TestExecutorResultIsPrivate(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	s := velement.MustSpace(4, 4)
+	cube := randomCube(rng, 4, 4)
+	store := NewMemStore()
+	if err := store.Put(s.Root(), cube); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s, store)
+	got, err := eng.Answer(nil, s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got.Data()[0] == &cube.Data()[0] {
+		t.Fatal("executor returned the store's own array")
+	}
+	got.Fill(0)
+	if cube.Data()[0] == 0 && cube.Data()[1] == 0 {
+		t.Fatal("mutating the result corrupted the store")
+	}
+}
+
+// TestConcurrentExecutorScratchIsolation is the -race scratch-isolation
+// test: many goroutines repeatedly execute (and then poison) every
+// aggregated view through one shared engine with aggressive fan-out. If two
+// queries ever shared a scratch buffer, the poisoning Fill would corrupt a
+// neighbour's result (caught by the Equal check) or trip the race detector.
+func TestConcurrentExecutorScratchIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	s := velement.MustSpace(16, 8)
+	cube := randomCube(rng, 16, 8)
+	store, err := MaterializeSet(s, cube, velement.WaveletBasis(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s, store)
+	eng.SetExecutor(8, 1) // fork at every synthesize node
+
+	views := s.AggregatedViews()
+	want := make([]*ndarray.Array, len(views))
+	for i, v := range views {
+		want[i], _ = haar.ApplyRect(cube, v)
+	}
+
+	const goroutines = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				i := (g + round) % len(views)
+				got, err := eng.Answer(nil, views[i].Clone())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !got.Equal(want[i], 1e-9) {
+					t.Errorf("goroutine %d round %d: view %v corrupted (maxdiff %g)",
+						g, round, views[i], got.MaxAbsDiff(want[i]))
+					return
+				}
+				// Poison the buffer, then recycle it: the next query to
+				// lease it must fully overwrite the poison.
+				got.Fill(-1e308)
+				ndarray.Recycle(got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestExecutorPoolCounters checks the viewcube_exec_pool_{hits,misses}
+// wiring: repeated execution of the same plan must start hitting the pool.
+func TestExecutorPoolCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	s := velement.MustSpace(8, 8)
+	cube := randomCube(rng, 8, 8)
+	store := NewMemStore()
+	if err := store.Put(s.Root(), cube.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s, store)
+	eng.SetMetrics(obs.NewAssemblyMetrics(obs.NewRegistry()))
+	eng.SetExecutor(1, 0)
+	v := s.AggregatedViews()[1]
+	for i := 0; i < 10; i++ {
+		got, err := eng.Answer(nil, v.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndarray.Recycle(got)
+	}
+	hits := eng.met.PoolHits.Value() + eng.met.PoolMisses.Value()
+	if hits == 0 {
+		t.Fatal("executor leases were not accounted on the pool counters")
+	}
+	if eng.met.PoolHits.Value() == 0 {
+		t.Fatal("repeated identical executions never hit the scratch pool")
+	}
+}

@@ -58,12 +58,16 @@ func MaterializeParallel(space *velement.Space, cube *ndarray.Array, set []freq.
 				return
 			}
 			for r := range jobs {
-				a, err := mat.Element(r)
+				// ElementOwned hands over the worker-local cache's own
+				// array (cloning only the root, which aliases the shared
+				// cube), so each element is allocated once, not twice. The
+				// cache is gone before anyone can mutate the store.
+				a, err := mat.ElementOwned(r)
 				if err != nil {
 					results <- produced{err: err}
 					continue
 				}
-				results <- produced{rect: r, arr: a.Clone()}
+				results <- produced{rect: r, arr: a}
 			}
 		}()
 	}

@@ -1,0 +1,169 @@
+package haar
+
+import (
+	"math/rand"
+	"testing"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+)
+
+// naiveCascade is the pre-fusion reference: one PairSum/PairDiff pass per
+// stage, MSB-first over the node's relative path bits.
+func naiveCascade(t *testing.T, a *ndarray.Array, m, rel int, path freq.Node) *ndarray.Array {
+	t.Helper()
+	cur := a
+	for i := rel - 1; i >= 0; i-- {
+		var next *ndarray.Array
+		var err error
+		if path>>uint(i)&1 == 0 {
+			next, err = cur.PairSum(m)
+		} else {
+			next, err = cur.PairDiff(m)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestFusedApplyNodeMatchesStageAtATime(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, shape := range [][]int{{16}, {2}, {8, 4}, {4, 4, 4}} {
+		a := randomCube(r, shape...)
+		for m := range shape {
+			maxDepth := 0
+			for n := shape[m]; n > 1; n /= 2 {
+				maxDepth++
+			}
+			for depth := 0; depth <= maxDepth; depth++ {
+				// Every node at this depth: 1<<depth .. (1<<(depth+1))-1.
+				for node := freq.Node(1) << uint(depth); node < freq.Node(1)<<uint(depth+1); node++ {
+					want := naiveCascade(t, a, m, depth, node)
+					got, err := ApplyNode(a, m, node)
+					if err != nil {
+						t.Fatalf("ApplyNode(%v, m=%d, node=%b): %v", shape, m, node, err)
+					}
+					if !got.SameShape(want) || got.MaxAbsDiff(want) != 0 {
+						t.Fatalf("fused ApplyNode(%v, m=%d, node=%b) diverges (max diff %g)",
+							shape, m, node, got.MaxAbsDiff(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFusedApplyPathMatchesStageAtATime(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	shape := []int{8, 4, 2}
+	cube := randomCube(r, shape...)
+	// Random (from, to) pairs with from ⊇ to: choose to, then derive from
+	// by truncating each node's path at a random prefix depth.
+	for trial := 0; trial < 200; trial++ {
+		to := make(freq.Rect, len(shape))
+		from := make(freq.Rect, len(shape))
+		for m, n := range shape {
+			maxDepth := 0
+			for e := n; e > 1; e /= 2 {
+				maxDepth++
+			}
+			d := r.Intn(maxDepth + 1)
+			to[m] = freq.Node(1)<<uint(d) | freq.Node(r.Intn(1<<uint(d)))
+			keep := r.Intn(d + 1)
+			from[m] = to[m] >> uint(d-keep)
+		}
+		// The source array holds the element `from`: build it naively.
+		src := cube
+		for m := range from {
+			src = naiveCascade(t, src, m, from[m].Depth(), from[m])
+		}
+		want := src
+		for m := range from {
+			rel := to[m].Depth() - from[m].Depth()
+			relPath := to[m] & (freq.Node(1)<<uint(rel) - 1)
+			want = naiveCascade(t, want, m, rel, relPath)
+		}
+		got, err := ApplyPath(src, from, to)
+		if err != nil {
+			t.Fatalf("ApplyPath(%v→%v): %v", from, to, err)
+		}
+		if !got.SameShape(want) || got.MaxAbsDiff(want) != 0 {
+			t.Fatalf("fused ApplyPath(%v→%v) diverges (max diff %g)", from, to, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestFusedPartialResidualK(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	a := randomCube(r, 16, 4)
+	for k := 0; k <= 4; k++ {
+		want := a
+		for s := 0; s < k; s++ {
+			var err error
+			want, err = want.PairSum(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := PartialK(a, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MaxAbsDiff(want) != 0 {
+			t.Fatalf("fused PartialK(k=%d) diverges", k)
+		}
+	}
+	for k := 1; k <= 4; k++ {
+		p, err := PartialK(a, 0, k-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.PairDiff(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ResidualK(a, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MaxAbsDiff(want) != 0 {
+			t.Fatalf("fused ResidualK(k=%d) diverges", k)
+		}
+	}
+}
+
+func TestPathFoldsSignConvention(t *testing.T) {
+	// from root to node 0b110 (depth 2 relative path "10": residual then
+	// partial): stage 1 residual → signs bit 0 set; stage 2 partial → bit 1
+	// clear.
+	folds, err := PathFolds(freq.Rect{1}, freq.Rect{0b110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 1 {
+		t.Fatalf("folds = %v, want one", folds)
+	}
+	if folds[0] != (Fold{Dim: 0, K: 2, Signs: 0b01}) {
+		t.Fatalf("fold = %+v, want {Dim:0 K:2 Signs:0b01}", folds[0])
+	}
+	if _, err := PathFolds(freq.Rect{0b10}, freq.Rect{0b11}); err == nil {
+		t.Fatal("want error: from does not contain to")
+	}
+}
+
+func TestApplyFoldsRecyclesOnError(t *testing.T) {
+	a := randomCube(rand.New(rand.NewSource(24)), 8)
+	// Second fold is invalid (extent 4 not divisible by 8): the
+	// intermediate from the first fold must be recycled, the input left
+	// untouched, and an error returned.
+	before := a.Clone()
+	if _, err := ApplyFolds(a, []Fold{{Dim: 0, K: 1}, {Dim: 0, K: 3}}); err == nil {
+		t.Fatal("want error from invalid second fold")
+	}
+	if a.MaxAbsDiff(before) != 0 {
+		t.Fatal("ApplyFolds mutated its input on the error path")
+	}
+}

@@ -38,31 +38,111 @@ func Reconstruct(m int, p, r *ndarray.Array) (*ndarray.Array, error) {
 	return ndarray.Interleave(m, p, r)
 }
 
-// PartialK applies P₁ᵐ in cascade k times (the k-th partial aggregation
-// Pₖᵐ, Eq. 8). The extent of dimension m must be divisible by 2^k.
-func PartialK(a *ndarray.Array, m, k int) (*ndarray.Array, error) {
-	out := a
-	var err error
-	for i := 0; i < k; i++ {
-		out, err = out.PairSum(m)
-		if err != nil {
-			return nil, fmt.Errorf("haar: partial cascade stage %d of %d: %w", i+1, k, err)
+// A Fold is one fused same-dimension cascade: K consecutive P/R stages on
+// dimension Dim collapsed into a single ndarray.FoldK pass. Bit t−1 of
+// Signs marks the t-th stage (in application order) as a residual; clear
+// bits are partials.
+type Fold struct {
+	Dim   int
+	K     int
+	Signs uint
+}
+
+// NodeFold returns the fused cascade that applies the root-to-node path of
+// the frequency-tree node along dimension m: stage t of the cascade is the
+// t-th path step, a residual exactly when the corresponding path bit is 1.
+func NodeFold(m int, node freq.Node) Fold {
+	depth := node.Depth()
+	var signs uint
+	for t := 1; t <= depth; t++ {
+		if node>>uint(depth-t)&1 == 1 {
+			signs |= 1 << uint(t-1)
 		}
 	}
-	return out, nil
+	return Fold{Dim: m, K: depth, Signs: signs}
+}
+
+// PathFolds returns the fused per-dimension cascades that carry the view
+// element `from` down to its descendant `to` (the aggregation legs of
+// Eq. 28), one Fold per dimension whose node deepens. `from` must contain
+// `to`.
+func PathFolds(from, to freq.Rect) ([]Fold, error) {
+	if !from.Contains(to) {
+		return nil, fmt.Errorf("haar: %v does not contain %v", from, to)
+	}
+	folds := make([]Fold, 0, len(from))
+	for m := range from {
+		rel := to[m].Depth() - from[m].Depth()
+		if rel == 0 {
+			continue
+		}
+		// The relative path is the low rel bits of to[m], read MSB first;
+		// stage t therefore reads bit rel−t.
+		var signs uint
+		for t := 1; t <= rel; t++ {
+			if to[m]>>uint(rel-t)&1 == 1 {
+				signs |= 1 << uint(t-1)
+			}
+		}
+		folds = append(folds, Fold{Dim: m, K: rel, Signs: signs})
+	}
+	return folds, nil
+}
+
+// ApplyFolds runs a sequence of fused cascades over a, ping-ponging through
+// pooled scratch buffers: every intermediate is leased from ndarray.Scratch
+// and recycled as soon as the next fold has consumed it. The result is a
+// caller-owned array (itself pool-leased; the caller may Recycle it when
+// done) — except when folds is empty, in which case a itself is returned.
+// a is never recycled.
+func ApplyFolds(a *ndarray.Array, folds []Fold) (*ndarray.Array, error) {
+	cur := a
+	for _, f := range folds {
+		block := 1 << uint(f.K)
+		if f.K < 0 || cur.Dim(f.Dim)%block != 0 {
+			if cur != a {
+				ndarray.Recycle(cur)
+			}
+			return nil, fmt.Errorf("haar: dimension %d extent %d is not divisible by 2^%d", f.Dim, cur.Dim(f.Dim), f.K)
+		}
+		outShape := cur.Shape()
+		outShape[f.Dim] /= block
+		dst, _ := ndarray.Scratch(outShape...)
+		err := cur.FoldKInto(f.Dim, f.K, f.Signs, dst)
+		if cur != a {
+			ndarray.Recycle(cur)
+		}
+		if err != nil {
+			ndarray.Recycle(dst)
+			return nil, err
+		}
+		cur = dst
+	}
+	return cur, nil
+}
+
+// PartialK applies P₁ᵐ in cascade k times (the k-th partial aggregation
+// Pₖᵐ, Eq. 8), fused into a single strided pass. The extent of dimension m
+// must be divisible by 2^k. For k ≥ 1 the result is a caller-owned
+// (pool-leased) array; k = 0 returns a itself.
+func PartialK(a *ndarray.Array, m, k int) (*ndarray.Array, error) {
+	if k == 0 {
+		return a, nil
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("haar: PartialK requires k ≥ 0, got %d", k)
+	}
+	return ApplyFolds(a, []Fold{{Dim: m, K: k}})
 }
 
 // ResidualK applies Rₖᵐ = R₁ᵐ ∘ P₁ᵐ^(k−1): k−1 partial stages followed by
-// one residual stage (Eq. 7). k must be at least 1.
+// one residual stage (Eq. 7), fused into a single strided pass. k must be
+// at least 1. The result is a caller-owned (pool-leased) array.
 func ResidualK(a *ndarray.Array, m, k int) (*ndarray.Array, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("haar: ResidualK requires k ≥ 1, got %d", k)
 	}
-	p, err := PartialK(a, m, k-1)
-	if err != nil {
-		return nil, err
-	}
-	return p.PairDiff(m)
+	return ApplyFolds(a, []Fold{{Dim: m, K: k, Signs: 1 << uint(k-1)}})
 }
 
 // TotalAxis totally aggregates dimension m by cascading P₁ᵐ log2(n_m)
@@ -77,84 +157,82 @@ func TotalAxis(a *ndarray.Array, m int) (*ndarray.Array, error) {
 
 // Total totally aggregates every dimension in dims, in order (Eq. 16). The
 // separability property guarantees the result is order-independent.
+// Intermediates are recycled; the result is caller-owned unless no
+// dimension needed aggregating, in which case it is a itself.
 func Total(a *ndarray.Array, dims ...int) (*ndarray.Array, error) {
-	out := a
-	var err error
+	cur := a
 	for _, m := range dims {
-		out, err = TotalAxis(out, m)
+		next, err := TotalAxis(cur, m)
 		if err != nil {
+			if cur != a {
+				ndarray.Recycle(cur)
+			}
 			return nil, err
 		}
+		if next != cur && cur != a {
+			ndarray.Recycle(cur)
+		}
+		cur = next
 	}
-	return out, nil
+	return cur, nil
 }
 
 // ApplyNode applies, along dimension m, the cascade of partial and residual
 // aggregations spelled by the root-to-node path of the frequency-tree node:
-// each 0 bit is a partial stage, each 1 bit a residual stage. The extent of
-// dimension m must be divisible by 2^depth(node).
+// each 0 bit is a partial stage, each 1 bit a residual stage — fused into a
+// single strided pass. The extent of dimension m must be divisible by
+// 2^depth(node). The result is caller-owned (pool-leased) unless the path
+// is empty, in which case it is a itself.
 func ApplyNode(a *ndarray.Array, m int, node freq.Node) (*ndarray.Array, error) {
 	if node == 0 {
 		return nil, fmt.Errorf("haar: invalid zero node")
 	}
-	depth := node.Depth()
-	out := a
-	var err error
-	for i := depth - 1; i >= 0; i-- {
-		if node>>uint(i)&1 == 0 {
-			out, err = out.PairSum(m)
-		} else {
-			out, err = out.PairDiff(m)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("haar: node %v cascade on dim %d: %w", node, m, err)
-		}
+	f := NodeFold(m, node)
+	if f.K == 0 {
+		return a, nil
+	}
+	out, err := ApplyFolds(a, []Fold{f})
+	if err != nil {
+		return nil, fmt.Errorf("haar: node %v cascade on dim %d: %w", node, m, err)
 	}
 	return out, nil
 }
 
 // ApplyRect materialises the view element identified by the frequency
-// rectangle from the array, applying each dimension's cascade in turn
-// (separability, Property 4, makes the order immaterial).
+// rectangle from the array, applying each dimension's fused cascade in turn
+// (separability, Property 4, makes the order immaterial). Intermediates are
+// recycled; the result is caller-owned unless every node is the root, in
+// which case it is a itself.
 func ApplyRect(a *ndarray.Array, r freq.Rect) (*ndarray.Array, error) {
 	if len(r) != a.Rank() {
 		return nil, fmt.Errorf("haar: rect rank %d does not match array rank %d", len(r), a.Rank())
 	}
-	out := a
-	var err error
+	folds := make([]Fold, 0, len(r))
 	for m, node := range r {
-		out, err = ApplyNode(out, m, node)
-		if err != nil {
-			return nil, err
+		if node == 0 {
+			return nil, fmt.Errorf("haar: invalid zero node on dim %d", m)
+		}
+		if f := NodeFold(m, node); f.K > 0 {
+			folds = append(folds, f)
 		}
 	}
-	return out, nil
+	return ApplyFolds(a, folds)
 }
 
 // ApplyPath applies the cascade that carries the view element `from` down
 // to its descendant `to` (both frequency rectangles; `from` must contain
 // `to`). It is the aggregation step Fₐ,ₗ of Eq. 28: the input array holds
-// the element `from`, the output holds the element `to`.
+// the element `from`, the output holds the element `to`. Each dimension's
+// leg runs as one fused pass; intermediates are recycled. The result is
+// caller-owned unless from equals to, in which case it is a itself.
 func ApplyPath(a *ndarray.Array, from, to freq.Rect) (*ndarray.Array, error) {
-	if !from.Contains(to) {
-		return nil, fmt.Errorf("haar: %v does not contain %v", from, to)
+	folds, err := PathFolds(from, to)
+	if err != nil {
+		return nil, err
 	}
-	out := a
-	var err error
-	for m := range from {
-		// The relative path from from[m] to to[m] is the low
-		// (depth(to)−depth(from)) bits of to[m], read MSB first.
-		rel := to[m].Depth() - from[m].Depth()
-		for i := rel - 1; i >= 0; i-- {
-			if to[m]>>uint(i)&1 == 0 {
-				out, err = out.PairSum(m)
-			} else {
-				out, err = out.PairDiff(m)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("haar: path %v→%v on dim %d: %w", from, to, m, err)
-			}
-		}
+	out, err := ApplyFolds(a, folds)
+	if err != nil {
+		return nil, fmt.Errorf("haar: path %v→%v: %w", from, to, err)
 	}
 	return out, nil
 }
@@ -199,45 +277,76 @@ func levels(shape []int) [][]int {
 // must be a power of two; Transform panics otherwise. Use Inverse to undo.
 func Transform(a *ndarray.Array) *ndarray.Array {
 	out := a.Clone()
+	buf, idx := axisScratch(a)
 	for _, ext := range levels(a.Shape()) {
 		// Axis passes on distinct dimensions commute (tensor-product
 		// structure), so a fixed increasing order is fine.
 		for m := range ext {
 			if ext[m] >= 2 {
-				haarAxisInPlace(out, m, ext, false)
+				haarAxisInPlace(out, m, ext, false, buf, idx)
 			}
 		}
 	}
+	recycleAxisScratch(buf)
 	return out
 }
 
 // Inverse undoes Transform, returning a reconstructed copy.
 func Inverse(a *ndarray.Array) *ndarray.Array {
 	out := a.Clone()
+	buf, idx := axisScratch(a)
 	lv := levels(a.Shape())
 	for li := len(lv) - 1; li >= 0; li-- {
 		ext := lv[li]
 		for m := range ext {
 			if ext[m] >= 2 {
-				haarAxisInPlace(out, m, ext, true)
+				haarAxisInPlace(out, m, ext, true, buf, idx)
 			}
 		}
 	}
+	recycleAxisScratch(buf)
 	return out
+}
+
+// axisScratch leases the per-transform working state: one pooled line
+// buffer sized to the largest extent (shared by every axis pass) and the
+// line-start index vector. A nil buffer means no axis will ever need one.
+func axisScratch(a *ndarray.Array) (buf *ndarray.Array, idx []int) {
+	maxN := 0
+	for _, n := range a.Shape() {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN >= 2 {
+		buf, _ = ndarray.Scratch(maxN)
+	}
+	return buf, make([]int, a.Rank())
+}
+
+func recycleAxisScratch(buf *ndarray.Array) {
+	if buf != nil {
+		ndarray.Recycle(buf)
+	}
 }
 
 // haarAxisInPlace performs one forward (inverse=false) or inverse
 // (inverse=true) Haar split along dimension m of the leading ext-shaped
 // block of a. Forward: low half ← pairwise sums, high half ← pairwise
-// differences. Inverse: the perfect-reconstruction identities.
-func haarAxisInPlace(a *ndarray.Array, m int, ext []int, inverse bool) {
+// differences. Inverse: the perfect-reconstruction identities. lineBuf and
+// lineIdx are caller-provided working state (see axisScratch), reused
+// across axis passes; lineBuf must hold at least ext[m] cells.
+func haarAxisInPlace(a *ndarray.Array, m int, ext []int, inverse bool, lineBuf *ndarray.Array, lineIdx []int) {
 	n := ext[m]
 	half := n / 2
-	buf := make([]float64, n)
+	buf := lineBuf.Data()[:n]
 	data := a.Data()
 	stride := a.Stride(m)
 	// Iterate over all line starts within the ext block.
-	idx := make([]int, a.Rank())
+	idx := lineIdx
+	for q := range idx {
+		idx[q] = 0
+	}
 	for {
 		// Compute base offset of this line (idx[m] is forced to 0).
 		base := 0

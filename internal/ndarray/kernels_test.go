@@ -1,0 +1,229 @@
+package ndarray
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveFoldK is the stage-at-a-time reference for the fused FoldK kernel:
+// stage t (1-based, application order) is a pair difference when bit t−1 of
+// signs is set, a pair sum otherwise.
+func naiveFoldK(t *testing.T, a *Array, m, k int, signs uint) *Array {
+	t.Helper()
+	cur := a
+	for s := 1; s <= k; s++ {
+		var next *Array
+		var err error
+		if signs>>uint(s-1)&1 == 1 {
+			next, err = cur.PairDiff(m)
+		} else {
+			next, err = cur.PairSum(m)
+		}
+		if err != nil {
+			t.Fatalf("reference stage %d: %v", s, err)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestFoldKMatchesStageAtATime(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Random shapes and depths, including the rank-1 and extent-2 edges.
+	shapes := [][]int{
+		{2}, {8}, {64},
+		{2, 2}, {4, 8}, {16, 2, 4},
+		{8, 4, 8}, {2, 2, 2, 2},
+	}
+	for _, shape := range shapes {
+		a := randomArray(r, shape...)
+		for m := range shape {
+			maxK := 0
+			for n := shape[m]; n%2 == 0; n /= 2 {
+				maxK++
+			}
+			for k := 0; k <= maxK; k++ {
+				for trial := 0; trial < 4; trial++ {
+					signs := uint(r.Intn(1 << uint(k)))
+					want := naiveFoldK(t, a, m, k, signs)
+					got, err := a.FoldK(m, k, signs)
+					if err != nil {
+						t.Fatalf("FoldK(%v, m=%d, k=%d, signs=%#x): %v", shape, m, k, signs, err)
+					}
+					if !got.SameShape(want) || got.MaxAbsDiff(want) != 0 {
+						t.Fatalf("FoldK(%v, m=%d, k=%d, signs=%#x) diverges from stage-at-a-time (max diff %g)",
+							shape, m, k, signs, got.MaxAbsDiff(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFoldKIntoOverwritesDirtyDestination(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := randomArray(r, 8, 4)
+	want := naiveFoldK(t, a, 0, 2, 0b10)
+	dst := New(2, 4)
+	dst.Fill(1e9) // must be fully overwritten, no zeroing assumed
+	if err := a.FoldKInto(0, 2, 0b10, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.MaxAbsDiff(want) != 0 {
+		t.Fatalf("FoldKInto left stale destination contents (max diff %g)", dst.MaxAbsDiff(want))
+	}
+}
+
+func TestIntoKernelsMatchAllocatingVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randomArray(r, 4, 6, 2)
+	for m := 0; m < 3; m++ {
+		sumWant, err := a.PairSum(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffWant, err := a.PairDiff(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumGot := New(sumWant.Shape()...)
+		diffGot := New(diffWant.Shape()...)
+		sumGot.Fill(-7)
+		diffGot.Fill(-7)
+		if err := a.PairSumInto(m, sumGot); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.PairDiffInto(m, diffGot); err != nil {
+			t.Fatal(err)
+		}
+		if sumGot.MaxAbsDiff(sumWant) != 0 || diffGot.MaxAbsDiff(diffWant) != 0 {
+			t.Fatalf("Into kernels diverge from allocating variants on dim %d", m)
+		}
+		par, err := Interleave(m, sumWant, diffWant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := New(par.Shape()...)
+		back.Fill(3)
+		if err := InterleaveInto(m, sumWant, diffWant, back); err != nil {
+			t.Fatal(err)
+		}
+		if back.MaxAbsDiff(par) != 0 {
+			t.Fatalf("InterleaveInto diverges from Interleave on dim %d", m)
+		}
+		if back.MaxAbsDiff(a) != 0 {
+			t.Fatalf("perfect reconstruction through Into kernels failed on dim %d", m)
+		}
+	}
+}
+
+func TestFoldErrorCases(t *testing.T) {
+	a := New(8, 3)
+	if _, err := a.FoldK(1, 1, 0); err == nil {
+		t.Fatal("want error: odd extent is not divisible")
+	}
+	if _, err := a.FoldK(0, 2, 4); err == nil {
+		t.Fatal("want error: signs outside k bits")
+	}
+	if err := a.FoldKInto(0, 1, 0, a); err == nil {
+		t.Fatal("want error: aliased destination")
+	}
+	if err := a.FoldKInto(0, 1, 0, New(3, 3)); err == nil {
+		t.Fatal("want error: wrong destination shape")
+	}
+	if err := a.FoldKInto(0, 1, 0, New(4)); err == nil {
+		t.Fatal("want error: wrong destination rank")
+	}
+	p := New(4, 3)
+	if err := InterleaveInto(0, p, New(2, 3), New(8, 3)); err == nil {
+		t.Fatal("want error: partial/residual shape mismatch")
+	}
+	if err := InterleaveInto(0, p, New(4, 3), p); err == nil {
+		t.Fatal("want error: interleave destination aliases a child")
+	}
+	if err := InterleaveInto(0, p, New(4, 3), New(8, 4)); err == nil {
+		t.Fatal("want error: wrong interleave destination shape")
+	}
+}
+
+func TestSubArrayInto(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	a := randomArray(r, 6, 5, 4)
+	lo := []int{1, 0, 2}
+	ext := []int{3, 5, 2}
+	want, err := a.SubArray(lo, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(ext...)
+	dst.Fill(99)
+	if err := a.SubArrayInto(lo, ext, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.MaxAbsDiff(want) != 0 {
+		t.Fatal("SubArrayInto diverges from SubArray")
+	}
+	if err := a.SubArrayInto([]int{0, 0, 0}, []int{7, 5, 4}, New(7, 5, 4)); err == nil {
+		t.Fatal("want error: box outside shape")
+	}
+	if err := a.SubArrayInto(lo, ext, New(3, 5, 1)); err == nil {
+		t.Fatal("want error: destination shape mismatch")
+	}
+}
+
+func TestScratchRecycleRoundTrip(t *testing.T) {
+	// A recycled buffer must come back for an equal-class request, fully
+	// usable and correctly shaped.
+	a, _ := Scratch(4, 8)
+	a.Fill(5)
+	ndata := a.Data()
+	Recycle(a)
+	b, hit := Scratch(2, 16) // same cell count, same class
+	if !hit {
+		// sync.Pool may drop entries across a GC; retry once immediately.
+		Recycle(b)
+		c, _ := Scratch(4, 8)
+		ndata = c.Data()
+		Recycle(c)
+		b, hit = Scratch(2, 16)
+		if !hit {
+			t.Skip("scratch pool emptied by GC; cannot observe reuse")
+		}
+	}
+	if b.Rank() != 2 || b.Dim(0) != 2 || b.Dim(1) != 16 || b.Size() != 32 {
+		t.Fatalf("leased shape %v size %d, want [2 16] 32", b.Shape(), b.Size())
+	}
+	if &ndata[0] != &b.Data()[0] {
+		t.Fatal("lease did not reuse the recycled backing storage")
+	}
+	// Stride/indexing behaviour must match a fresh array of that shape.
+	b.Set(42, 1, 15)
+	if b.Data()[31] != 42 {
+		t.Fatal("leased array strides are wrong")
+	}
+	Recycle(b)
+}
+
+func TestScratchStatsCount(t *testing.T) {
+	h0, m0 := ScratchStats()
+	a, _ := Scratch(16)
+	Recycle(a)
+	_, hit := Scratch(16)
+	h1, m1 := ScratchStats()
+	if h1+m1 <= h0+m0 {
+		t.Fatal("ScratchStats did not advance")
+	}
+	_ = hit
+}
+
+func TestRecycleIgnoresOddCapacity(t *testing.T) {
+	// Arrays whose backing capacity is not an exact power of two must be
+	// left to the GC, never pooled (a later lease would over-index).
+	odd := New(3)
+	Recycle(odd) // must not panic and must not pool
+	got, _ := Scratch(4)
+	if cap(got.Data()) != 4 {
+		t.Fatalf("pool served a buffer with capacity %d for class 4", cap(got.Data()))
+	}
+	Recycle(got)
+}

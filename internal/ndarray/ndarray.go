@@ -89,6 +89,11 @@ func (a *Array) Rank() int { return len(a.shape) }
 // Shape returns a copy of the extents.
 func (a *Array) Shape() []int { return append([]int(nil), a.shape...) }
 
+// ShapeInto writes a copy of the shape into dst (resliced to length zero)
+// and returns it — the allocation-free form of Shape for hot paths that
+// reuse a small caller-owned buffer.
+func (a *Array) ShapeInto(dst []int) []int { return append(dst[:0], a.shape...) }
+
 // Dim returns the extent of dimension m.
 func (a *Array) Dim(m int) int { return a.shape[m] }
 
@@ -226,83 +231,58 @@ func (a *Array) axisSpan(m int) (outer, n, inner int) {
 	return outer, n, inner
 }
 
-// PairFold applies op to each pair of neighbouring slices (2i, 2i+1) along
-// dimension m and returns a new array whose extent in dimension m is halved.
-// The extent of dimension m must be even. PairFold is the engine behind the
-// Haar partial (op = a+b) and residual (op = a−b) aggregation operators.
-func (a *Array) PairFold(m int, op func(x, y float64) float64) (*Array, error) {
-	outer, n, inner := a.axisSpan(m)
+// halvedDst allocates the output array for a pairwise fold along dimension
+// m, erroring when the extent is odd.
+func (a *Array) halvedDst(m int) (*Array, error) {
+	_, n, _ := a.axisSpan(m)
 	if n%2 != 0 {
 		return nil, fmt.Errorf("%w: dimension %d has odd extent %d", ErrShape, m, n)
 	}
 	outShape := a.Shape()
 	outShape[m] = n / 2
-	out := New(outShape...)
-	src, dst := a.data, out.data
-	for o := 0; o < outer; o++ {
-		sBase := o * n * inner
-		dBase := o * (n / 2) * inner
-		for i := 0; i < n/2; i++ {
-			x := sBase + 2*i*inner
-			y := x + inner
-			d := dBase + i*inner
-			for j := 0; j < inner; j++ {
-				dst[d+j] = op(src[x+j], src[y+j])
-			}
-		}
+	return New(outShape...), nil
+}
+
+// PairFold applies op to each pair of neighbouring slices (2i, 2i+1) along
+// dimension m and returns a new array whose extent in dimension m is halved.
+// The extent of dimension m must be even. PairFold is the engine behind the
+// Haar partial (op = a+b) and residual (op = a−b) aggregation operators;
+// the loop nest itself lives in the Into kernels (kernels.go).
+func (a *Array) PairFold(m int, op func(x, y float64) float64) (*Array, error) {
+	out, err := a.halvedDst(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.pairFoldInto(m, out, op); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // PairSum returns the Haar partial aggregation along dimension m:
 // out[..., i, ...] = a[..., 2i, ...] + a[..., 2i+1, ...] (Eq. 1 of the paper).
-// It is a specialisation of PairFold kept branch-free for speed.
+// It allocates the result and delegates to PairSumInto.
 func (a *Array) PairSum(m int) (*Array, error) {
-	outer, n, inner := a.axisSpan(m)
-	if n%2 != 0 {
-		return nil, fmt.Errorf("%w: dimension %d has odd extent %d", ErrShape, m, n)
+	out, err := a.halvedDst(m)
+	if err != nil {
+		return nil, err
 	}
-	outShape := a.Shape()
-	outShape[m] = n / 2
-	out := New(outShape...)
-	src, dst := a.data, out.data
-	for o := 0; o < outer; o++ {
-		sBase := o * n * inner
-		dBase := o * (n / 2) * inner
-		for i := 0; i < n/2; i++ {
-			x := sBase + 2*i*inner
-			y := x + inner
-			d := dBase + i*inner
-			for j := 0; j < inner; j++ {
-				dst[d+j] = src[x+j] + src[y+j]
-			}
-		}
+	if err := a.PairSumInto(m, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // PairDiff returns the Haar residual aggregation along dimension m:
 // out[..., i, ...] = a[..., 2i, ...] − a[..., 2i+1, ...] (Eq. 2 of the paper).
+// It allocates the result and delegates to PairDiffInto.
 func (a *Array) PairDiff(m int) (*Array, error) {
-	outer, n, inner := a.axisSpan(m)
-	if n%2 != 0 {
-		return nil, fmt.Errorf("%w: dimension %d has odd extent %d", ErrShape, m, n)
+	out, err := a.halvedDst(m)
+	if err != nil {
+		return nil, err
 	}
-	outShape := a.Shape()
-	outShape[m] = n / 2
-	out := New(outShape...)
-	src, dst := a.data, out.data
-	for o := 0; o < outer; o++ {
-		sBase := o * n * inner
-		dBase := o * (n / 2) * inner
-		for i := 0; i < n/2; i++ {
-			x := sBase + 2*i*inner
-			y := x + inner
-			d := dBase + i*inner
-			for j := 0; j < inner; j++ {
-				dst[d+j] = src[x+j] - src[y+j]
-			}
-		}
+	if err := a.PairDiffInto(m, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

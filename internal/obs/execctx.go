@@ -30,3 +30,9 @@ func (x *ExecCtx) Start(name string) *Span {
 	}
 	return x.Trace.Start(name)
 }
+
+// Tracing reports whether the context carries a live trace. Safe on a nil
+// receiver. Components use it to pick trace-compatible code paths: a
+// trace's span stack assumes strictly nested Start/End pairs, so traced
+// executions must stay on a single goroutine.
+func (x *ExecCtx) Tracing() bool { return x != nil && x.Trace != nil }

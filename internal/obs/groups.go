@@ -37,6 +37,8 @@ type AssemblyMetrics struct {
 	StoredNodes     *Counter
 	AggregateNodes  *Counter
 	SynthesizeNodes *Counter
+	PoolHits        *Counter // scratch-buffer leases served from the pool
+	PoolMisses      *Counter // scratch-buffer leases that allocated
 }
 
 // NewAssemblyMetrics registers the assembly instrument set.
@@ -49,6 +51,8 @@ func NewAssemblyMetrics(r *Registry) *AssemblyMetrics {
 		StoredNodes:     r.Counter("viewcube_assembly_plan_nodes_total", "Executed plan nodes by kind.", "kind", "stored"),
 		AggregateNodes:  r.Counter("viewcube_assembly_plan_nodes_total", "Executed plan nodes by kind.", "kind", "aggregate"),
 		SynthesizeNodes: r.Counter("viewcube_assembly_plan_nodes_total", "Executed plan nodes by kind.", "kind", "synthesize"),
+		PoolHits:        r.Counter("viewcube_exec_pool_hits_total", "Executor scratch-buffer leases served from the recycled pool."),
+		PoolMisses:      r.Counter("viewcube_exec_pool_misses_total", "Executor scratch-buffer leases that fell through to allocation."),
 	}
 }
 

@@ -52,6 +52,11 @@ func (q *Querier) GroupedRangeSumCtx(x *obs.ExecCtx, box Box, keep []bool) (*nda
 	out := ndarray.New(outShape...)
 	read := 0
 
+	// Every block combination extracts a slab of the same shape (outShape),
+	// so one pooled buffer serves the whole loop.
+	slab, _ := ndarray.Scratch(outShape...)
+	defer ndarray.Recycle(slab)
+
 	idx := make([]int, d)
 	depths := make([]int, d)
 	lo := make([]int, d)
@@ -73,8 +78,7 @@ func (q *Querier) GroupedRangeSumCtx(x *obs.ExecCtx, box Box, keep []bool) (*nda
 		if err != nil {
 			return nil, err
 		}
-		slab, err := el.SubArray(lo, ext)
-		if err != nil {
+		if err := el.SubArrayInto(lo, ext, slab); err != nil {
 			return nil, err
 		}
 		// Accumulate the slab into the output (same shapes by construction).

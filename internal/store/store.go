@@ -281,6 +281,11 @@ func (fs *FileStore) Get(r freq.Rect) (*ndarray.Array, bool) {
 	return fs.GetCtx(nil, r)
 }
 
+// ClonesOnGet implements assembly.CloningStore: every Get/GetCtx result is
+// already a private copy (see GetCtx), so the executor may take ownership
+// of it without copying again.
+func (fs *FileStore) ClonesOnGet() bool { return true }
+
 // GetCtx is Get with per-query tracing (assembly.CtxStore): while x carries
 // a trace, the read records a "store.get" span with its cache outcome.
 //
