@@ -63,6 +63,7 @@ func TestBenchJSON(t *testing.T) {
 		{"WaveletTransform", BenchmarkWaveletTransform},
 		{"HaarPartial", BenchmarkHaarPartial},
 		{"MaterializeWaveletBasis", BenchmarkMaterializeWaveletBasis},
+		{"ClusterScatterGather", BenchmarkClusterScatterGather},
 	} {
 		r := testing.Benchmark(bench.fn)
 		if err := enc.Encode(benchResult{

@@ -1,0 +1,73 @@
+package viewcube_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"viewcube"
+	"viewcube/internal/cluster"
+	"viewcube/internal/workload"
+)
+
+// benchCoordinator builds a loopback cluster — coordinator plus n in-process
+// shards behind the binary codec — so the benchmark measures scatter-gather
+// and wire encode/decode without socket noise.
+func benchCoordinator(b *testing.B, rows, n int) *cluster.Coordinator {
+	b.Helper()
+	raw, err := workload.SalesTable(rand.New(rand.NewSource(17)), 40, 6, 30, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := raw.WriteCSV(&sb); err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := viewcube.ReadTable(&sb, "sales")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := viewcube.PartitionTable(tbl, "product", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var shards []cluster.Shard
+	for _, st := range tables {
+		if st.Len() == 0 {
+			continue
+		}
+		cube, err := viewcube.FromRelation(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := cube.NewEngine(viewcube.EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh := cluster.NewShardEngine(cube, eng.Safe())
+		shards = append(shards, cluster.Shard{
+			Name:   "s" + string(rune('0'+len(shards))),
+			Client: cluster.NewLoopback(sh),
+		})
+	}
+	coord, err := cluster.NewCoordinator(shards, cluster.Options{Timeout: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { coord.Close() })
+	return coord
+}
+
+// BenchmarkClusterScatterGather measures one distributed GROUP BY: encode
+// the request once per shard, execute the partial aggregate on each, and
+// merge the decoded responses by distributivity.
+func BenchmarkClusterScatterGather(b *testing.B) {
+	coord := benchCoordinator(b, 20000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.GroupBy("product", "region"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

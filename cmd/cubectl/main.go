@@ -13,6 +13,15 @@
 //	cubectl -csv sales.csv -measure sales explain product,region
 //	cubectl -gen 5000 info            (synthetic sales data, no CSV needed)
 //
+// Against a running shard cluster (see `cubed -shard`), -coordinator skips
+// the local cube entirely and scatter-gathers over the shard servers:
+//
+//	cubectl -coordinator localhost:9001,localhost:9002 groupby product
+//	cubectl -coordinator localhost:9001,localhost:9002 -partial total
+//
+// -partial tolerates unreachable shards: the answer is exact over the
+// shards that responded, and the missing ones are listed.
+//
 // explain prints the engine's plan IR for the view — per-node costs, the
 // plan-cache epoch and whether the plan came from the cache — without
 // executing a query.
@@ -23,14 +32,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"viewcube"
+	"viewcube/internal/cluster"
 	"viewcube/internal/workload"
 )
 
@@ -53,10 +65,16 @@ func run() error {
 	gen := flag.Int("gen", 0, "generate this many synthetic sales rows instead of reading -csv")
 	seed := flag.Int64("seed", 1, "seed for -gen")
 	budget := flag.Float64("budget", 1.0, "storage budget as a multiple of the cube volume")
+	coordinator := flag.String("coordinator", "", "comma-separated shard addresses; query a cluster instead of loading a cube")
+	partial := flag.Bool("partial", false, "with -coordinator: tolerate unreachable shards and report them")
 	flag.Var(&hot, "hot", "anticipated hot view: comma-separated kept dimensions (repeatable)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims>")
+	}
+
+	if *coordinator != "" {
+		return runCluster(*coordinator, *partial, flag.Arg(0), flag.Args()[1:])
 	}
 
 	cube, err := loadCube(*csvPath, *measure, *gen, *seed)
@@ -196,18 +214,26 @@ func groupBy(eng *viewcube.Engine, keep []string) error {
 	return nil
 }
 
-func rangeSum(eng *viewcube.Engine, specs []string) error {
+func parseRanges(specs []string) (map[string]viewcube.ValueRange, error) {
 	ranges := make(map[string]viewcube.ValueRange)
 	for _, spec := range specs {
 		dim, bounds, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("bad range %q, want dim=lo:hi", spec)
+			return nil, fmt.Errorf("bad range %q, want dim=lo:hi", spec)
 		}
 		lo, hi, ok := strings.Cut(bounds, ":")
 		if !ok {
-			return fmt.Errorf("bad range %q, want dim=lo:hi", spec)
+			return nil, fmt.Errorf("bad range %q, want dim=lo:hi", spec)
 		}
 		ranges[dim] = viewcube.ValueRange{Lo: lo, Hi: hi}
+	}
+	return ranges, nil
+}
+
+func rangeSum(eng *viewcube.Engine, specs []string) error {
+	ranges, err := parseRanges(specs)
+	if err != nil {
+		return err
 	}
 	got, err := eng.RangeSum(ranges)
 	if err != nil {
@@ -237,6 +263,96 @@ func runQuery(eng *viewcube.Engine, sql string) error {
 	}
 	fmt.Printf("(%d rows)\n", len(res.Rows))
 	return nil
+}
+
+// runCluster answers groupby/total/range by scatter-gather over a running
+// shard tier instead of a local engine. With partial, unreachable shards
+// are dropped from the (still exact) merge and reported.
+func runCluster(addrs string, partial bool, cmd string, args []string) error {
+	var shards []cluster.Shard
+	for _, addr := range strings.Split(addrs, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			shards = append(shards, cluster.Shard{Name: addr, Client: cluster.DialShard(addr, 2*time.Second)})
+		}
+	}
+	coord, err := cluster.NewCoordinator(shards, cluster.Options{})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	ctx := context.Background()
+
+	reportPartial := func(pr *cluster.PartialResult) {
+		if pr != nil && !pr.Complete() {
+			fmt.Printf("PARTIAL: missing shards %s\n", strings.Join(pr.Missing, ", "))
+		}
+	}
+	switch cmd {
+	case "groupby":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: groupby dim1,dim2,...")
+		}
+		var (
+			groups map[string]float64
+			pr     *cluster.PartialResult
+		)
+		if partial {
+			groups, pr, err = coord.GroupByPartial(ctx, splitList(args[0])...)
+		} else {
+			groups, err = coord.GroupBy(splitList(args[0])...)
+		}
+		if err != nil {
+			return err
+		}
+		for _, k := range viewcube.SortedGroupKeys(groups) {
+			label := strings.Join(viewcube.SplitGroupKey(k), " / ")
+			if label == "" {
+				label = "(all)"
+			}
+			fmt.Printf("%-40s %12g\n", label, groups[k])
+		}
+		fmt.Printf("(%d groups over %d shards)\n", len(groups), len(shards))
+		reportPartial(pr)
+		return nil
+	case "total":
+		var (
+			sum float64
+			pr  *cluster.PartialResult
+		)
+		if partial {
+			sum, pr, err = coord.TotalPartial(ctx)
+		} else {
+			sum, err = coord.Total()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("total = %g\n", sum)
+		reportPartial(pr)
+		return nil
+	case "range":
+		ranges, err := parseRanges(args)
+		if err != nil {
+			return err
+		}
+		var (
+			sum float64
+			pr  *cluster.PartialResult
+		)
+		if partial {
+			sum, pr, err = coord.RangeSumPartial(ctx, ranges)
+		} else {
+			sum, err = coord.RangeSum(ranges)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("range sum = %g\n", sum)
+		reportPartial(pr)
+		return nil
+	default:
+		return fmt.Errorf("command %q is not available with -coordinator (use groupby, total or range)", cmd)
+	}
 }
 
 func topK(eng *viewcube.Engine, dim string, k int) error {

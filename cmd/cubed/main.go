@@ -11,6 +11,12 @@
 //	curl -s -X POST localhost:8080/query -d '{"sql":"SELECT SUM(sales) GROUP BY region"}'
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/healthz
+//
+// Cluster modes (see DESIGN.md §11):
+//
+//	cubed -gen 50000 -shard -shardaddr :9001          # shard server: binary protocol on
+//	                                                  # -shardaddr, obs HTTP on -addr
+//	cubed -coordinator localhost:9001,localhost:9002  # scatter-gather front end on -addr
 package main
 
 import (
@@ -20,74 +26,219 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"viewcube"
+	"viewcube/internal/cluster"
 	"viewcube/internal/server"
 	"viewcube/internal/workload"
 )
 
+// config carries every flag, plus test hooks: ready reports the actual
+// listen addresses (useful with ":0"), and logW redirects logs.
+type config struct {
+	csvPath     string
+	measure     string
+	gen         int
+	seed        int64
+	addr        string
+	budget      float64
+	reselect    int
+	diskDir     string
+	enablePprof bool
+	logJSON     bool
+
+	shard       bool          // serve this cube as one cluster shard
+	shardAddr   string        // binary-protocol listen address in -shard mode
+	coordinator string        // comma-separated shard addrs; coordinator mode
+	grace       time.Duration // shutdown grace period
+
+	ready func(httpAddr, shardAddr string) // called once listeners are bound
+	logW  *os.File                         // log destination (default stderr)
+}
+
 func main() {
-	csvPath := flag.String("csv", "", "CSV file holding the relation")
-	measure := flag.String("measure", "sales", "measure column name")
-	gen := flag.Int("gen", 0, "generate this many synthetic sales rows instead of reading -csv")
-	seed := flag.Int64("seed", 1, "seed for -gen")
-	addr := flag.String("addr", ":8080", "listen address")
-	budget := flag.Float64("budget", 1.0, "storage budget as a multiple of the cube volume")
-	reselect := flag.Int("reselect", 0, "adapt the materialised set every N queries (0 = off)")
-	diskDir := flag.String("store", "", "directory for the durable element store (default: in memory)")
-	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-	logJSON := flag.Bool("logjson", false, "emit request logs as JSON instead of text")
+	var cfg config
+	flag.StringVar(&cfg.csvPath, "csv", "", "CSV file holding the relation")
+	flag.StringVar(&cfg.measure, "measure", "sales", "measure column name")
+	flag.IntVar(&cfg.gen, "gen", 0, "generate this many synthetic sales rows instead of reading -csv")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -gen")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "HTTP listen address")
+	flag.Float64Var(&cfg.budget, "budget", 1.0, "storage budget as a multiple of the cube volume")
+	flag.IntVar(&cfg.reselect, "reselect", 0, "adapt the materialised set every N queries (0 = off)")
+	flag.StringVar(&cfg.diskDir, "store", "", "directory for the durable element store (default: in memory)")
+	flag.BoolVar(&cfg.enablePprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&cfg.logJSON, "logjson", false, "emit request logs as JSON instead of text")
+	flag.BoolVar(&cfg.shard, "shard", false, "serve this cube as a cluster shard (binary protocol on -shardaddr)")
+	flag.StringVar(&cfg.shardAddr, "shardaddr", ":9090", "shard-protocol listen address in -shard mode")
+	flag.StringVar(&cfg.coordinator, "coordinator", "", "comma-separated shard addresses; run as a scatter-gather coordinator instead of loading a cube")
+	flag.DurationVar(&cfg.grace, "grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
-	if err := run(*csvPath, *measure, *gen, *seed, *addr, *budget, *reselect,
-		*diskDir, *enablePprof, *logJSON); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cubed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, measure string, gen int, seed int64, addr string,
-	budget float64, reselect int, diskDir string, enablePprof, logJSON bool) error {
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
-	if logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+func (cfg *config) logger() *slog.Logger {
+	w := cfg.logW
+	if w == nil {
+		w = os.Stderr
 	}
-	logger := slog.New(handler)
+	var handler slog.Handler = slog.NewTextHandler(w, nil)
+	if cfg.logJSON {
+		handler = slog.NewJSONHandler(w, nil)
+	}
+	return slog.New(handler)
+}
 
-	cube, err := loadCube(csvPath, measure, gen, seed)
+func run(cfg config) error {
+	if cfg.coordinator != "" {
+		return runCoordinator(cfg)
+	}
+	return runNode(cfg)
+}
+
+// runNode serves a cube: always the HTTP API on -addr, plus the binary
+// shard protocol on -shardaddr in -shard mode. Both share one SafeEngine
+// lock, so HTTP updates and shard reads serialise correctly.
+func runNode(cfg config) error {
+	logger := cfg.logger()
+
+	cube, err := loadCube(cfg.csvPath, cfg.measure, cfg.gen, cfg.seed)
 	if err != nil {
 		return err
 	}
 	eng, err := cube.NewEngine(viewcube.EngineOptions{
-		StorageBudget: int(budget * float64(cube.Volume())),
-		ReselectEvery: reselect,
-		DiskDir:       diskDir,
+		StorageBudget: int(cfg.budget * float64(cube.Volume())),
+		ReselectEvery: cfg.reselect,
+		DiskDir:       cfg.diskDir,
 		Metrics:       viewcube.NewMetrics(),
 	})
 	if err != nil {
 		return err
 	}
+	safe := eng.Safe()
 	opts := []server.Option{server.WithLogger(logger)}
-	if enablePprof {
+	if cfg.enablePprof {
 		opts = append(opts, server.WithPprof())
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
-	srv := &http.Server{Addr: addr, Handler: server.New(cube, eng, opts...)}
-	errCh := make(chan error, 1)
+	httpLn, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.NewSafe(cube, safe, opts...)}
+	errCh := make(chan error, 2)
 	go func() {
 		logger.Info("serving",
-			"addr", addr,
+			"addr", httpLn.Addr().String(),
 			"shape", fmt.Sprint(cube.Shape()),
 			"dimensions", fmt.Sprint(cube.Dimensions()),
 		)
-		errCh <- srv.ListenAndServe()
+		errCh <- srv.Serve(httpLn)
 	}()
+
+	var shardSrv *cluster.Server
+	shardAddr := ""
+	if cfg.shard {
+		shardLn, err := net.Listen("tcp", cfg.shardAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		shardAddr = shardLn.Addr().String()
+		shardSrv = cluster.NewServer(
+			cluster.NewShardEngine(cube, safe),
+			cluster.WithServerLogger(logger),
+		)
+		go func() {
+			logger.Info("serving shard protocol", "addr", shardAddr)
+			errCh <- shardSrv.Serve(shardLn)
+		}()
+	}
+	if cfg.ready != nil {
+		cfg.ready(httpLn.Addr().String(), shardAddr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		srv.Close()
+		if shardSrv != nil {
+			shardSrv.Shutdown(context.Background())
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	// Finish in-flight requests, then close; a stuck client cannot hold the
+	// process beyond the grace period.
+	logger.Info("shutting down", "grace", cfg.grace.String())
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	if shardSrv != nil {
+		if err := shardSrv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shard shutdown: %w", err)
+		}
+		if err := <-errCh; !errors.Is(err, cluster.ErrServerClosed) {
+			return err
+		}
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("stopped")
+	return nil
+}
+
+// runCoordinator serves the scatter-gather HTTP front end over a set of
+// shard servers; no cube is loaded locally.
+func runCoordinator(cfg config) error {
+	logger := cfg.logger()
+
+	var shards []cluster.Shard
+	for _, addr := range strings.Split(cfg.coordinator, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		shards = append(shards, cluster.Shard{
+			Name:   addr,
+			Client: cluster.DialShard(addr, 2*time.Second),
+		})
+	}
+	coord, err := cluster.NewCoordinator(shards, cluster.Options{})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	httpLn, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.NewCoordinator(coord, server.WithCoordinatorLogger(logger))}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("serving coordinator", "addr", httpLn.Addr().String(), "shards", len(shards))
+		errCh <- srv.Serve(httpLn)
+	}()
+	if cfg.ready != nil {
+		cfg.ready(httpLn.Addr().String(), "")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,10 +248,8 @@ func run(csvPath, measure string, gen int, seed int64, addr string,
 	case <-ctx.Done():
 	}
 
-	// Finish in-flight requests, then close; a stuck client cannot hold the
-	// process beyond the grace period.
-	logger.Info("shutting down", "grace", "10s")
-	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	logger.Info("shutting down", "grace", cfg.grace.String())
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

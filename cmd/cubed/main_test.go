@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startCubed runs cubed with the given config in a goroutine and waits for
+// its listeners to come up. SIGTERM to the test process (intercepted by
+// run's signal.NotifyContext, so the test binary survives) shuts it down;
+// the returned channel yields run's error.
+func startCubed(t *testing.T, cfg config) (httpAddr, shardAddr string, done chan error) {
+	t.Helper()
+	type addrs struct{ http, shard string }
+	readyCh := make(chan addrs, 1)
+	cfg.addr = "127.0.0.1:0"
+	if cfg.shard {
+		cfg.shardAddr = "127.0.0.1:0"
+	}
+	cfg.ready = func(h, s string) { readyCh <- addrs{h, s} }
+	if cfg.logW == nil {
+		devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { devNull.Close() })
+		cfg.logW = devNull
+	}
+	done = make(chan error, 1)
+	go func() { done <- run(cfg) }()
+	select {
+	case a := <-readyCh:
+		return a.http, a.shard, done
+	case err := <-done:
+		t.Fatalf("cubed exited before ready: %v", err)
+		return "", "", nil
+	}
+}
+
+func sigterm(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitStopped(t *testing.T, done chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s: run returned %v", what, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: run did not return after SIGTERM", what)
+	}
+}
+
+// TestSIGTERMDrainsInFlight holds a query open across SIGTERM: the slow
+// client must still get its answer (the server drains), and run must exit
+// cleanly within the grace period.
+func TestSIGTERMDrainsInFlight(t *testing.T) {
+	httpAddr, _, done := startCubed(t, config{gen: 300, seed: 1, budget: 1, grace: 5 * time.Second})
+
+	// A request whose body arrives slowly: the handler blocks in the JSON
+	// decoder until the second half lands, so the request is in flight when
+	// the signal hits.
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+httpAddr+"/query", "application/json", pr)
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: body}
+	}()
+
+	if _, err := io.WriteString(pw, `{"sql": "SELECT SUM(sales)`); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the handler start reading
+	sigterm(t)
+	time.Sleep(200 * time.Millisecond) // shutdown is now in progress
+	if _, err := io.WriteString(pw, ` GROUP BY product"}`); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request got %d during drain: %s", res.status, res.body)
+	}
+	waitStopped(t, done, "cubed")
+
+	// The listener must be gone after shutdown.
+	if _, err := http.Get("http://" + httpAddr + "/healthz"); err == nil {
+		t.Fatal("server still answering after clean shutdown")
+	}
+}
+
+func getGroups(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/groupby?keep=product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: status %d: %s", base, resp.StatusCode, body)
+	}
+	var out map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterEndToEnd boots two shard nodes and a coordinator the way the
+// README quickstart does, queries through the coordinator, and pins the
+// answer to the sum of the shards' own HTTP answers. One SIGTERM then
+// stops all three processes-worth of servers cleanly.
+func TestClusterEndToEnd(t *testing.T) {
+	httpA, shardA, doneA := startCubed(t, config{gen: 400, seed: 1, budget: 1, shard: true, grace: 5 * time.Second})
+	httpB, shardB, doneB := startCubed(t, config{gen: 400, seed: 2, budget: 1, shard: true, grace: 5 * time.Second})
+	httpC, _, doneC := startCubed(t, config{coordinator: shardA + "," + shardB, grace: 5 * time.Second})
+
+	got := getGroups(t, "http://"+httpC)
+	want := make(map[string]float64)
+	for _, base := range []string{"http://" + httpA, "http://" + httpB} {
+		for k, v := range getGroups(t, base) {
+			want[k] += v
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("coordinator groups %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("group %q = %v, want %v (must be exact)", k, got[k], v)
+		}
+	}
+
+	// The coordinator names unreachable shards once one goes away; here all
+	// are up, so an exact query also works.
+	resp, err := http.Get("http://" + httpC + "/total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/total status %d", resp.StatusCode)
+	}
+
+	// NotifyContext is registered in every run; one signal stops them all,
+	// and they drain concurrently while we wait in turn.
+	sigterm(t)
+	waitStopped(t, doneA, "shard A")
+	waitStopped(t, doneB, "shard B")
+	waitStopped(t, doneC, "coordinator")
+}
+
+// TestRunErrors covers startup failures surfacing as errors, not hangs.
+func TestRunErrors(t *testing.T) {
+	if err := run(config{}); err == nil || !strings.Contains(err.Error(), "-csv") {
+		t.Fatalf("no input: err = %v", err)
+	}
+	if err := run(config{coordinator: " , "}); err == nil {
+		t.Fatal("coordinator with no shard addresses should fail")
+	}
+	if err := run(config{gen: 10, addr: fmt.Sprintf("127.0.0.1:%d", -1)}); err == nil {
+		t.Fatal("bad listen address should fail")
+	}
+}

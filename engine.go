@@ -347,6 +347,54 @@ func (e *Engine) rangeSumInner(x *obs.ExecCtx, ranges map[string]ValueRange) (fl
 	return e.rq.RangeSumCtx(x, rangeagg.Box{Lo: lo, Ext: ext})
 }
 
+// RangeSumWithin is RangeSum with lexicographic bounds: each restricted
+// dimension covers the dictionary values lying within [Lo, Hi] (first value
+// ≥ Lo through last value ≤ Hi), so the exact bound strings need not be
+// present. ok reports whether the box was non-empty; when a restricted
+// dimension has no values in range (or a dictionary is empty) the sum is 0
+// and ok is false, with no error. This is the per-shard query of the
+// distributive fan-out (PartitionedEngine, cluster shards): a shard holds
+// an arbitrary subset of each dimension's values, so exact-bound lookup
+// would spuriously fail on shards that lack the endpoint values.
+func (e *Engine) RangeSumWithin(ranges map[string]ValueRange) (float64, bool, error) {
+	sum, ok, err := e.rangeSumWithinObserved(nil, ranges)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	return sum, ok, err
+}
+
+func (e *Engine) rangeSumWithinObserved(x *obs.ExecCtx, ranges map[string]ValueRange) (float64, bool, error) {
+	if e.cube.enc == nil {
+		return 0, false, fmt.Errorf("viewcube: RangeSumWithin needs a dictionary-encoded cube; use RangeSumIndex")
+	}
+	shape := e.cube.Shape()
+	lo := make([]int, len(shape))
+	ext := make([]int, len(shape))
+	for m := range shape {
+		ext[m] = e.cube.enc.Dicts[m].Len()
+		if ext[m] == 0 {
+			return 0, false, nil // empty dictionary: this sub-cube holds nothing
+		}
+	}
+	for name, vr := range ranges {
+		m, err := e.cube.DimIndex(name)
+		if err != nil {
+			return 0, false, err
+		}
+		loCode, hiCode, ok, err := e.cube.enc.Dicts[m].BoundsWithin(vr.Lo, vr.Hi)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			return 0, false, nil // no values in range here
+		}
+		lo[m], ext[m] = loCode, hiCode-loCode+1
+	}
+	sum, err := e.rangeSumIndexObserved(x, lo, ext)
+	return sum, err == nil, err
+}
+
 // RangeSumIndex computes the SUM over the half-open coordinate box
 // [lo, lo+ext).
 func (e *Engine) RangeSumIndex(lo, ext []int) (float64, error) {

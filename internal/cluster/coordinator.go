@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"viewcube"
+	"viewcube/internal/obs"
+)
+
+// Shard is one member of the serving tier: a name (stable across restarts,
+// used in errors, metrics and PartialResult) and a transport to reach it.
+type Shard struct {
+	Name   string
+	Client ShardClient
+}
+
+// Options tunes the coordinator's failure handling.
+type Options struct {
+	// Timeout bounds each attempt at each shard. 0 defaults to 2s.
+	Timeout time.Duration
+	// Retries is how many times a failed shard call is re-sent after the
+	// first attempt. Negative disables retries; 0 defaults to 2.
+	Retries int
+	// Backoff is the base of the exponential retry backoff (doubled per
+	// attempt, ±50% jitter). 0 defaults to 10ms.
+	Backoff time.Duration
+	// MaxBackoff caps one backoff sleep. 0 defaults to 1s.
+	MaxBackoff time.Duration
+	// HedgeQuantile, in (0,1), launches a speculative duplicate request
+	// when an attempt outlives that quantile of the shard's recent
+	// latencies (the tail-at-scale defence: the duplicate races the
+	// straggler and the first answer wins — correct here because shard
+	// reads are idempotent). 0 disables hedging.
+	HedgeQuantile float64
+	// HedgeAfter is the static hedge delay used until a shard has enough
+	// latency samples for the quantile. 0 means no hedging until then.
+	HedgeAfter time.Duration
+	// HedgeMin floors the adaptive hedge delay so a burst of fast
+	// responses cannot make the coordinator hedge everything. 0 defaults
+	// to 1ms.
+	HedgeMin time.Duration
+	// Metrics receives the viewcube_cluster_* instruments. nil gives the
+	// coordinator a private registry, reachable via Registry.
+	Metrics *viewcube.Metrics
+	// Seed seeds the jitter source; 0 uses a fixed default, which is fine
+	// because jitter only decorrelates retry storms.
+	Seed int64
+}
+
+// PartialResult names the shards that contributed nothing to a degraded
+// answer. A nil PartialResult means the answer is exact.
+type PartialResult struct {
+	// Missing lists unreachable shard names in shard order.
+	Missing []string `json:"missing"`
+	// Errs records the final error per missing shard.
+	Errs map[string]string `json:"errors,omitempty"`
+}
+
+// Complete reports whether every shard contributed.
+func (p *PartialResult) Complete() bool { return p == nil || len(p.Missing) == 0 }
+
+// Coordinator answers Querier-shaped queries by scattering them across
+// shard clients and combining the partial aggregates exactly (SUM is
+// distributive, so per-key addition in fixed shard order reproduces the
+// single-machine answer bit for bit). Failure handling per shard: a
+// deadline per attempt, bounded retries with jittered exponential backoff,
+// and optional hedged requests once an attempt outlives the shard's recent
+// latency quantile. Callers opt into degraded answers through the
+// *Partial methods; the plain methods are exact or they fail.
+//
+// A Coordinator is safe for concurrent use.
+type Coordinator struct {
+	shards []Shard
+	opts   Options
+	met    *obs.ClusterMetrics
+	reg    *obs.Registry
+	lat    []*latRing
+
+	rmu sync.Mutex
+	rng *rand.Rand
+}
+
+var _ viewcube.Querier = (*Coordinator)(nil)
+
+// NewCoordinator builds a coordinator over the given shards. Shard names
+// must be unique and non-empty.
+func NewCoordinator(shards []Shard, opts Options) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard")
+	}
+	seen := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		if s.Name == "" {
+			return nil, fmt.Errorf("cluster: shard with empty name")
+		}
+		if s.Client == nil {
+			return nil, fmt.Errorf("cluster: shard %s has no client", s.Name)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = 10 * time.Millisecond
+	}
+	if opts.MaxBackoff == 0 {
+		opts.MaxBackoff = time.Second
+	}
+	if opts.HedgeMin == 0 {
+		opts.HedgeMin = time.Millisecond
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var reg *obs.Registry
+	if opts.Metrics != nil {
+		reg = opts.Metrics.Registry()
+	} else {
+		reg = obs.NewRegistry()
+	}
+	c := &Coordinator{
+		shards: shards,
+		opts:   opts,
+		met:    obs.NewClusterMetrics(reg),
+		reg:    reg,
+		lat:    make([]*latRing, len(shards)),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for i := range c.lat {
+		c.lat[i] = &latRing{}
+	}
+	c.met.ShardsKnown.Set(int64(len(shards)))
+	return c, nil
+}
+
+// Registry exposes the coordinator's instrument registry (for a /metrics
+// surface).
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// ShardNames lists the configured shards in shard order.
+func (c *Coordinator) ShardNames() []string {
+	names := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Close closes every shard client.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, s := range c.shards {
+		if err := s.Client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- exact-mode Querier surface ---
+
+// GroupBy merges per-shard GROUP BY partials; it fails if any shard is
+// unreachable after retries (use GroupByPartial to degrade instead).
+func (c *Coordinator) GroupBy(keep ...string) (map[string]float64, error) {
+	g, _, err := c.groupBy(context.Background(), false, nil, keep)
+	return g, err
+}
+
+// Total sums the shard totals (exact mode).
+func (c *Coordinator) Total() (float64, error) {
+	t, _, err := c.sumQuery(context.Background(), false, nil, &Request{Kind: KindTotal})
+	return t, err
+}
+
+// RangeSum sums the shard range partials (exact mode, lexicographic
+// bounds — see Engine.RangeSumWithin).
+func (c *Coordinator) RangeSum(ranges map[string]viewcube.ValueRange) (float64, error) {
+	t, _, err := c.sumQuery(context.Background(), false, nil, rangeRequest(ranges))
+	return t, err
+}
+
+// --- degraded-mode surface (the caller opts into partial answers) ---
+
+// GroupByPartial is GroupBy that degrades instead of failing: shards still
+// unreachable after retries are dropped from the merge and named in the
+// PartialResult. The error is non-nil only for query errors or when no
+// shard at all answered.
+func (c *Coordinator) GroupByPartial(ctx context.Context, keep ...string) (map[string]float64, *PartialResult, error) {
+	return c.groupBy(ctx, true, nil, keep)
+}
+
+// TotalPartial is Total with degraded mode.
+func (c *Coordinator) TotalPartial(ctx context.Context) (float64, *PartialResult, error) {
+	return c.sumQuery(ctx, true, nil, &Request{Kind: KindTotal})
+}
+
+// RangeSumPartial is RangeSum with degraded mode.
+func (c *Coordinator) RangeSumPartial(ctx context.Context, ranges map[string]viewcube.ValueRange) (float64, *PartialResult, error) {
+	return c.sumQuery(ctx, true, nil, rangeRequest(ranges))
+}
+
+// TraceGroupBy is GroupByPartial with per-shard spans: the scatter runs
+// serially (spans nest on a stack) and every leg records its retries,
+// hedging and group count on a "shard <name>" span.
+func (c *Coordinator) TraceGroupBy(ctx context.Context, keep ...string) (map[string]float64, *PartialResult, *obs.Trace, error) {
+	tr := obs.NewTrace("cluster groupby " + strings.Join(keep, ","))
+	g, part, err := c.groupBy(ctx, true, tr, keep)
+	tr.Finish()
+	return g, part, tr, err
+}
+
+// --- scatter-gather core ---
+
+func rangeRequest(ranges map[string]viewcube.ValueRange) *Request {
+	req := &Request{Kind: KindRangeSum}
+	for dim, vr := range ranges {
+		req.Ranges = append(req.Ranges, DimRange{Dim: dim, Lo: vr.Lo, Hi: vr.Hi})
+	}
+	// Sorted ranges give a canonical encoding, so identical queries put
+	// identical bytes on the wire.
+	sort.Slice(req.Ranges, func(i, j int) bool { return req.Ranges[i].Dim < req.Ranges[j].Dim })
+	return req
+}
+
+func (c *Coordinator) groupBy(ctx context.Context, allowPartial bool, tr *obs.Trace, keep []string) (map[string]float64, *PartialResult, error) {
+	resps, part, err := c.scatter(ctx, allowPartial, tr, &Request{Kind: KindGroupBy, Keep: keep})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]float64)
+	for _, r := range resps {
+		if r == nil {
+			continue
+		}
+		for k, v := range r.Groups {
+			out[k] += v
+		}
+	}
+	return out, part, nil
+}
+
+func (c *Coordinator) sumQuery(ctx context.Context, allowPartial bool, tr *obs.Trace, req *Request) (float64, *PartialResult, error) {
+	resps, part, err := c.scatter(ctx, allowPartial, tr, req)
+	if err != nil {
+		return 0, nil, err
+	}
+	sum := 0.0
+	for _, r := range resps {
+		if r == nil {
+			continue
+		}
+		sum += r.Sum
+	}
+	return sum, part, nil
+}
+
+// outcome is one shard's final state after retries and hedging.
+type outcome struct {
+	resp    *Response
+	err     error
+	fatal   bool // a shard-side query error: deterministic, never degraded away
+	retries int
+	hedged  bool
+}
+
+// scatter fans req out to every shard and gathers outcomes in shard order
+// (the fixed merge order that makes the combined answer bit-identical to
+// the serial PartitionedEngine). With a trace it runs legs serially and
+// records one span per shard. resps[i] is nil for a missing shard; part is
+// non-nil iff the answer is degraded.
+func (c *Coordinator) scatter(ctx context.Context, allowPartial bool, tr *obs.Trace, req *Request) ([]*Response, *PartialResult, error) {
+	c.met.Queries.Inc()
+	outs := make([]outcome, len(c.shards))
+	if tr != nil {
+		for i := range c.shards {
+			sp := tr.Start("shard " + c.shards[i].Name)
+			outs[i] = c.askShard(ctx, i, req)
+			sp.SetAttr("retries", int64(outs[i].retries))
+			sp.SetAttr("hedged", boolAttr(outs[i].hedged))
+			sp.SetAttr("ok", boolAttr(outs[i].err == nil))
+			if r := outs[i].resp; r != nil {
+				sp.SetAttr("groups", int64(len(r.Groups)))
+			}
+			sp.End()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range c.shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = c.askShard(ctx, i, req)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	var part *PartialResult
+	live := 0
+	for i, o := range outs {
+		switch {
+		case o.fatal:
+			return nil, nil, o.err
+		case o.err != nil:
+			if part == nil {
+				part = &PartialResult{Errs: make(map[string]string)}
+			}
+			part.Missing = append(part.Missing, c.shards[i].Name)
+			part.Errs[c.shards[i].Name] = o.err.Error()
+		default:
+			live++
+		}
+	}
+	c.met.ShardsLive.Set(int64(live))
+	if live == 0 {
+		return nil, nil, fmt.Errorf("cluster: all %d shards unreachable; %s: %s",
+			len(c.shards), part.Missing[0], part.Errs[part.Missing[0]])
+	}
+	if part != nil {
+		if !allowPartial {
+			return nil, nil, fmt.Errorf("cluster: %d/%d shards unreachable (%s); %s",
+				len(part.Missing), len(c.shards), strings.Join(part.Missing, ", "),
+				part.Errs[part.Missing[0]])
+		}
+		c.met.Partials.Inc()
+	}
+	resps := make([]*Response, len(outs))
+	for i := range outs {
+		resps[i] = outs[i].resp
+	}
+	return resps, part, nil
+}
+
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// askShard drives one shard to a final outcome: up to 1+Retries attempts,
+// each with its own deadline and optional hedge.
+func (c *Coordinator) askShard(ctx context.Context, i int, req *Request) outcome {
+	var o outcome
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.met.Retries.Inc()
+			o.retries++
+			select {
+			case <-time.After(c.backoffDelay(attempt)):
+			case <-ctx.Done():
+				o.err = fmt.Errorf("shard %s: %w (last attempt: %v)", c.shards[i].Name, ctx.Err(), lastErr)
+				return o
+			}
+		}
+		resp, hedged, err := c.attempt(ctx, i, req)
+		o.hedged = o.hedged || hedged
+		if err == nil {
+			if resp.Err != "" {
+				// The shard executed the query and the query itself is bad
+				// (unknown dimension, ...). Deterministic — retrying or
+				// degrading would only hide it.
+				o.err = fmt.Errorf("shard %s: %s", c.shards[i].Name, resp.Err)
+				o.fatal = true
+				return o
+			}
+			o.resp = resp
+			return o
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	o.err = fmt.Errorf("shard %s: %w", c.shards[i].Name, lastErr)
+	return o
+}
+
+// attempt performs one deadline-bounded exchange with shard i, hedging a
+// speculative duplicate if the primary outlives the hedge delay. The first
+// successful response wins; the loser is cancelled and its connection
+// discarded, so its late answer cannot leak into a later exchange.
+func (c *Coordinator) attempt(parent context.Context, i int, req *Request) (resp *Response, hedged bool, err error) {
+	ctx, cancel := context.WithTimeout(parent, c.opts.Timeout)
+	defer cancel()
+
+	type result struct {
+		resp *Response
+		err  error
+		idx  int
+	}
+	ch := make(chan result, 2) // buffered: the losing attempt must not leak
+	send := func(idx int) {
+		c.met.ShardCalls.Inc()
+		r, err := c.shards[i].Client.Do(ctx, req)
+		ch <- result{r, err, idx}
+	}
+	start := time.Now()
+	go send(0)
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	if d, ok := c.hedgeDelay(i); ok {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				c.lat[i].record(time.Since(start))
+				if r.idx == 1 {
+					c.met.HedgeWins.Inc()
+				}
+				return r.resp, hedged, nil
+			}
+			c.met.ShardErrors.Inc()
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				// Both (or the only) attempts failed; don't wait for a
+				// hedge timer that can no longer help.
+				return nil, hedged, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			c.met.Hedges.Inc()
+			outstanding++
+			go send(1)
+		}
+	}
+}
+
+func (c *Coordinator) backoffDelay(attempt int) time.Duration {
+	d := c.opts.Backoff << (attempt - 1)
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	// ±50% jitter decorrelates retry storms across coordinators.
+	c.rmu.Lock()
+	f := 0.5 + c.rng.Float64()
+	c.rmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// hedgeDelay picks the speculative-duplicate delay for shard i: the
+// configured quantile of its recent latencies once enough samples exist,
+// the static HedgeAfter before that, floored by HedgeMin.
+func (c *Coordinator) hedgeDelay(i int) (time.Duration, bool) {
+	if c.opts.HedgeQuantile <= 0 || c.opts.HedgeQuantile >= 1 {
+		return 0, false
+	}
+	d, ok := c.lat[i].quantile(c.opts.HedgeQuantile)
+	if !ok {
+		if c.opts.HedgeAfter <= 0 {
+			return 0, false
+		}
+		d = c.opts.HedgeAfter
+	}
+	if d < c.opts.HedgeMin {
+		d = c.opts.HedgeMin
+	}
+	return d, true
+}
+
+// latRing keeps a shard's recent attempt latencies for the hedge quantile.
+type latRing struct {
+	mu   sync.Mutex
+	buf  [64]time.Duration
+	n    int // filled entries
+	next int // ring cursor
+}
+
+// minHedgeSamples is how many observations a shard needs before the
+// adaptive quantile replaces the static HedgeAfter delay.
+const minHedgeSamples = 8
+
+func (r *latRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *latRing) quantile(q float64) (time.Duration, bool) {
+	r.mu.Lock()
+	n := r.n
+	if n < minHedgeSamples {
+		r.mu.Unlock()
+		return 0, false
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, r.buf[:n])
+	r.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(q * float64(n-1))
+	return tmp[idx], true
+}

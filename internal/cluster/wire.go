@@ -1,0 +1,461 @@
+// Package cluster turns the in-process shard fan-out of
+// viewcube.PartitionedEngine into a networked serving tier. The paper's §3
+// distributivity result is what makes this lossless: a view element of a
+// union of sub-cubes is exactly the combination of the per-sub-cube
+// elements, so a coordinator can scatter a query to shard servers, gather
+// their partial aggregates and merge them with plain addition — the answer
+// is bit-identical to evaluating the whole relation on one machine (merge
+// order fixed by shard index).
+//
+// The package has four parts:
+//
+//   - a compact, versioned, length-prefixed binary wire codec for query
+//     requests and partial-aggregate responses (this file);
+//   - ShardEngine/Server: the shard side, executing requests against a
+//     SafeEngine and serving them over TCP;
+//   - TCPClient/Loopback: transports — real sockets, or an in-process
+//     loopback that still round-trips every message through the codec;
+//   - Coordinator: scatter-gather with per-shard deadlines, bounded
+//     retries, hedged requests and an opt-in degraded mode that returns
+//     the partial answer plus the unreachable shards.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Wire format. Every message is one frame:
+//
+//	magic "vc" (2) | version (1) | type (1) | payload length (4, BE) | payload
+//
+// Payloads are built from uvarints, length-prefixed UTF-8 strings and
+// float64 bit patterns (8 bytes, BE), so encoding is deterministic: the
+// same message always serialises to the same bytes (map entries are sorted
+// by key). Decoding is strict — unknown versions, unknown frame types,
+// truncated fields and trailing garbage are all errors — which keeps the
+// fuzz target honest.
+const (
+	Version = 1
+
+	// MaxFrame bounds a frame payload; a decoder never allocates more than
+	// this from a length prefix, so a hostile peer cannot OOM the process.
+	MaxFrame = 16 << 20
+
+	frameRequest  = 1
+	frameResponse = 2
+
+	headerLen = 8
+)
+
+var magic = [2]byte{'v', 'c'}
+
+// Kind selects the distributive aggregate a request asks for.
+type Kind uint8
+
+const (
+	// KindGroupBy asks for the per-group partial SUMs of the shard's
+	// sub-cube, grouped by the kept dimensions.
+	KindGroupBy Kind = 1
+	// KindTotal asks for the shard's grand total.
+	KindTotal Kind = 2
+	// KindRangeSum asks for the shard's partial SUM over lexicographic
+	// value ranges (first value ≥ Lo through last value ≤ Hi per
+	// dimension, matching PartitionedEngine semantics).
+	KindRangeSum Kind = 3
+)
+
+func (k Kind) valid() bool { return k >= KindGroupBy && k <= KindRangeSum }
+
+// String names the kind for metrics labels and error text.
+func (k Kind) String() string {
+	switch k {
+	case KindGroupBy:
+		return "groupby"
+	case KindTotal:
+		return "total"
+	case KindRangeSum:
+		return "range"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// DimRange is one dimension's value range in a KindRangeSum request.
+// Ranges are a slice, not a map, so request encoding is deterministic.
+type DimRange struct {
+	Dim, Lo, Hi string
+}
+
+// Request is one query scattered to a shard.
+type Request struct {
+	// ID correlates a response with its request on a shared connection.
+	ID   uint64
+	Kind Kind
+	// Keep lists the kept dimensions of a KindGroupBy request.
+	Keep []string
+	// Ranges restricts a KindRangeSum request.
+	Ranges []DimRange
+}
+
+// Response is a shard's partial aggregate (or its error) for one request.
+type Response struct {
+	ID   uint64
+	Kind Kind
+	// Err carries a shard-side execution error. When set, the aggregate
+	// fields are zero.
+	Err string
+	// Sum is the partial aggregate of KindTotal and KindRangeSum.
+	Sum float64
+	// Groups holds the per-group partial SUMs of KindGroupBy.
+	Groups map[string]float64
+}
+
+// --- encoding ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendFrame(dst []byte, ftype byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("cluster: frame payload %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	dst = append(dst, magic[0], magic[1], Version, ftype)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// AppendRequest appends the request's frame encoding to dst.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	if !r.Kind.valid() {
+		return nil, fmt.Errorf("cluster: cannot encode request of invalid kind %d", r.Kind)
+	}
+	p := make([]byte, 0, 64)
+	p = binary.AppendUvarint(p, r.ID)
+	p = append(p, byte(r.Kind))
+	p = binary.AppendUvarint(p, uint64(len(r.Keep)))
+	for _, k := range r.Keep {
+		p = appendString(p, k)
+	}
+	p = binary.AppendUvarint(p, uint64(len(r.Ranges)))
+	for _, vr := range r.Ranges {
+		p = appendString(p, vr.Dim)
+		p = appendString(p, vr.Lo)
+		p = appendString(p, vr.Hi)
+	}
+	return appendFrame(dst, frameRequest, p)
+}
+
+// AppendResponse appends the response's frame encoding to dst. Group keys
+// are written in sorted order, so equal responses encode to equal bytes.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	if !r.Kind.valid() {
+		return nil, fmt.Errorf("cluster: cannot encode response of invalid kind %d", r.Kind)
+	}
+	p := make([]byte, 0, 64)
+	p = binary.AppendUvarint(p, r.ID)
+	p = append(p, byte(r.Kind))
+	var flags byte
+	if r.Err != "" {
+		flags |= 1
+	}
+	p = append(p, flags)
+	if r.Err != "" {
+		p = appendString(p, r.Err)
+		return appendFrame(dst, frameResponse, p)
+	}
+	p = appendFloat(p, r.Sum)
+	keys := make([]string, 0, len(r.Groups))
+	for k := range r.Groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p = binary.AppendUvarint(p, uint64(len(keys)))
+	for _, k := range keys {
+		p = appendString(p, k)
+		p = appendFloat(p, r.Groups[k])
+	}
+	return appendFrame(dst, frameResponse, p)
+}
+
+// --- decoding ---
+
+// decoder is a strict cursor over one frame payload.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.pos }
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("cluster: truncated or overlong uvarint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("cluster: truncated payload at offset %d", d.pos)
+	}
+	b := d.b[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", fmt.Errorf("cluster: string length %d exceeds remaining %d bytes", n, d.remaining())
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) float() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("cluster: truncated float at offset %d", d.pos)
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+// count reads a collection length and bounds it by the bytes that could
+// possibly hold that many entries (each entry is at least min bytes), so a
+// forged length cannot trigger a huge allocation.
+func (d *decoder) count(min int) (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(d.remaining()/min) {
+		return 0, fmt.Errorf("cluster: collection length %d impossible in %d remaining bytes", n, d.remaining())
+	}
+	return int(n), nil
+}
+
+func (d *decoder) finish() error {
+	if d.remaining() != 0 {
+		return fmt.Errorf("cluster: %d trailing bytes after payload", d.remaining())
+	}
+	return nil
+}
+
+func decodeHeader(b []byte, wantType byte) (payload []byte, err error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("cluster: frame shorter than header (%d bytes)", len(b))
+	}
+	if b[0] != magic[0] || b[1] != magic[1] {
+		return nil, fmt.Errorf("cluster: bad magic %q", b[:2])
+	}
+	if b[2] != Version {
+		return nil, fmt.Errorf("cluster: unsupported wire version %d (have %d)", b[2], Version)
+	}
+	if b[3] != wantType {
+		return nil, fmt.Errorf("cluster: frame type %d, want %d", b[3], wantType)
+	}
+	n := binary.BigEndian.Uint32(b[4:8])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("cluster: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if uint64(n) != uint64(len(b)-headerLen) {
+		return nil, fmt.Errorf("cluster: frame length %d, have %d payload bytes", n, len(b)-headerLen)
+	}
+	return b[headerLen:], nil
+}
+
+// DecodeRequest decodes one complete request frame.
+func DecodeRequest(b []byte) (*Request, error) {
+	p, err := decodeHeader(b, frameRequest)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: p}
+	r := &Request{}
+	if r.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	k, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	r.Kind = Kind(k)
+	if !r.Kind.valid() {
+		return nil, fmt.Errorf("cluster: invalid request kind %d", k)
+	}
+	nkeep, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nkeep; i++ {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		r.Keep = append(r.Keep, s)
+	}
+	nranges, err := d.count(3)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nranges; i++ {
+		var vr DimRange
+		if vr.Dim, err = d.string(); err != nil {
+			return nil, err
+		}
+		if vr.Lo, err = d.string(); err != nil {
+			return nil, err
+		}
+		if vr.Hi, err = d.string(); err != nil {
+			return nil, err
+		}
+		r.Ranges = append(r.Ranges, vr)
+	}
+	return r, d.finish()
+}
+
+// DecodeResponse decodes one complete response frame.
+func DecodeResponse(b []byte) (*Response, error) {
+	p, err := decodeHeader(b, frameResponse)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: p}
+	r := &Response{}
+	if r.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	k, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	r.Kind = Kind(k)
+	if !r.Kind.valid() {
+		return nil, fmt.Errorf("cluster: invalid response kind %d", k)
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^byte(1) != 0 {
+		return nil, fmt.Errorf("cluster: unknown response flags %#x", flags)
+	}
+	if flags&1 != 0 {
+		if r.Err, err = d.string(); err != nil {
+			return nil, err
+		}
+		if r.Err == "" {
+			return nil, fmt.Errorf("cluster: error response with empty message")
+		}
+		return r, d.finish()
+	}
+	if r.Sum, err = d.float(); err != nil {
+		return nil, err
+	}
+	ngroups, err := d.count(9)
+	if err != nil {
+		return nil, err
+	}
+	if ngroups > 0 {
+		r.Groups = make(map[string]float64, ngroups)
+	}
+	for i := 0; i < ngroups; i++ {
+		key, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := r.Groups[key]; dup {
+			return nil, fmt.Errorf("cluster: duplicate group key %q", key)
+		}
+		r.Groups[key] = v
+	}
+	return r, d.finish()
+}
+
+// --- stream framing ---
+
+// readFrame reads one whole frame (header + payload) from r.
+func readFrame(r io.Reader, wantType byte) ([]byte, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] {
+		return nil, fmt.Errorf("cluster: bad magic %q", hdr[:2])
+	}
+	if hdr[2] != Version {
+		return nil, fmt.Errorf("cluster: unsupported wire version %d (have %d)", hdr[2], Version)
+	}
+	if hdr[3] != wantType {
+		return nil, fmt.Errorf("cluster: frame type %d, want %d", hdr[3], wantType)
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("cluster: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	frame := make([]byte, headerLen+int(n))
+	copy(frame, hdr)
+	if _, err := io.ReadFull(r, frame[headerLen:]); err != nil {
+		return nil, fmt.Errorf("cluster: reading %d-byte payload: %w", n, err)
+	}
+	return frame, nil
+}
+
+// WriteRequest writes one request frame to w.
+func WriteRequest(w io.Writer, r *Request) error {
+	b, err := AppendRequest(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadRequest reads and decodes one request frame from r. io.EOF is
+// returned bare when the stream ends cleanly between frames.
+func ReadRequest(r io.Reader) (*Request, error) {
+	frame, err := readFrame(r, frameRequest)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequest(frame)
+}
+
+// WriteResponse writes one response frame to w.
+func WriteResponse(w io.Writer, r *Response) error {
+	b, err := AppendResponse(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadResponse reads and decodes one response frame from r.
+func ReadResponse(r io.Reader) (*Response, error) {
+	frame, err := readFrame(r, frameResponse)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(frame)
+}

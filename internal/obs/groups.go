@@ -116,6 +116,47 @@ func NewPlanMetrics(r *Registry) *PlanMetrics {
 	}
 }
 
+// ClusterMetrics instruments the networked serving tier: the coordinator's
+// scatter-gather behaviour (retries, hedges, degraded answers) and the
+// shard server's request handling. Coordinator and shard processes each
+// use their half of the group; the other half stays zero.
+type ClusterMetrics struct {
+	// Coordinator side.
+	Queries     *Counter // scatter-gather queries started
+	ShardCalls  *Counter // shard attempts sent (including retries and hedges)
+	ShardErrors *Counter // shard attempts that failed (transport or deadline)
+	Retries     *Counter // attempts re-sent after backoff
+	Hedges      *Counter // speculative duplicate requests launched
+	HedgeWins   *Counter // hedged requests that beat the primary
+	Partials    *Counter // degraded answers returned with shards missing
+	ShardsLive  *Gauge   // shards that answered the most recent query
+	ShardsKnown *Gauge   // shards configured
+	// Shard-server side.
+	Served       *Counter // requests executed by this shard server
+	ServedErrors *Counter // requests that returned a shard-side error
+	Conns        *Gauge   // open shard-protocol connections
+	InFlight     *Gauge   // requests currently executing
+}
+
+// NewClusterMetrics registers the cluster instrument set.
+func NewClusterMetrics(r *Registry) *ClusterMetrics {
+	return &ClusterMetrics{
+		Queries:      r.Counter("viewcube_cluster_queries_total", "Scatter-gather queries started by the coordinator."),
+		ShardCalls:   r.Counter("viewcube_cluster_shard_requests_total", "Shard requests sent by the coordinator, including retries and hedges."),
+		ShardErrors:  r.Counter("viewcube_cluster_shard_errors_total", "Shard requests that failed in transport or timed out."),
+		Retries:      r.Counter("viewcube_cluster_retries_total", "Shard requests re-sent after backoff."),
+		Hedges:       r.Counter("viewcube_cluster_hedges_total", "Speculative duplicate shard requests launched after the hedge delay."),
+		HedgeWins:    r.Counter("viewcube_cluster_hedge_wins_total", "Hedged shard requests that answered before the primary."),
+		Partials:     r.Counter("viewcube_cluster_partial_results_total", "Degraded answers returned with one or more shards missing."),
+		ShardsLive:   r.Gauge("viewcube_cluster_shards_live", "Shards that contributed to the most recent scatter-gather query."),
+		ShardsKnown:  r.Gauge("viewcube_cluster_shards_known", "Shards configured at the coordinator."),
+		Served:       r.Counter("viewcube_cluster_shard_served_total", "Requests executed by this shard server."),
+		ServedErrors: r.Counter("viewcube_cluster_shard_served_errors_total", "Shard-server requests that returned an execution error."),
+		Conns:        r.Gauge("viewcube_cluster_shard_connections", "Open shard-protocol connections at this shard server."),
+		InFlight:     r.Gauge("viewcube_cluster_shard_in_flight_requests", "Requests currently executing at this shard server."),
+	}
+}
+
 // RangeMetrics instruments §6 range aggregation.
 type RangeMetrics struct {
 	RangeQueries *Counter

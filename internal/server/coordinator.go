@@ -1,0 +1,188 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"viewcube"
+	"viewcube/internal/cluster"
+)
+
+// CoordinatorServer is the HTTP face of a cluster coordinator — the same
+// read API the single-node server exposes, answered by scatter-gather over
+// the shard tier:
+//
+//	GET /groupby?keep=product,region        (?partial=1 tolerates dead shards)
+//	GET /range?dim=lo:hi&dim2=lo:hi         (?partial=1)
+//	GET /total                              (?partial=1)
+//	GET /shards
+//	GET /metrics
+//	GET /healthz
+//
+// Exact queries fail with 502 when any shard is unreachable; with
+// partial=1 the response carries a "partial" object naming the shards the
+// answer is missing, and the sums remain exact over the shards that did
+// answer.
+type CoordinatorServer struct {
+	coord *cluster.Coordinator
+	log   *slog.Logger
+	mux   *http.ServeMux
+}
+
+// CoordinatorOption configures the coordinator server.
+type CoordinatorOption func(*CoordinatorServer)
+
+// WithCoordinatorLogger sets the request logger; the default is
+// slog.Default.
+func WithCoordinatorLogger(l *slog.Logger) CoordinatorOption {
+	return func(s *CoordinatorServer) { s.log = l }
+}
+
+// NewCoordinator wraps a cluster coordinator into an HTTP handler.
+func NewCoordinator(coord *cluster.Coordinator, opts ...CoordinatorOption) *CoordinatorServer {
+	s := &CoordinatorServer{
+		coord: coord,
+		log:   slog.Default(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /groupby", s.handleGroupBy)
+	s.mux.HandleFunc("GET /range", s.handleRange)
+	s.mux.HandleFunc("GET /total", s.handleTotal)
+	s.mux.HandleFunc("GET /shards", s.handleShards)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler with the same structured request
+// logging as the single-node server.
+func (s *CoordinatorServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.log.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.status,
+		"bytes", rec.bytes,
+		"duration_ms", float64(time.Since(start).Microseconds())/1000,
+	)
+}
+
+func (s *CoordinatorServer) writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSONWith(s.log, w, status, v)
+}
+
+func (s *CoordinatorServer) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error(), Status: status})
+}
+
+func wantPartial(r *http.Request) bool { return r.URL.Query().Get("partial") == "1" }
+
+// queryStatus maps a coordinator error to an HTTP status: shard-side query
+// errors (bad dimension, malformed range) are the client's fault, while
+// unreachable shards are a gateway problem.
+func queryStatus(err error) int {
+	if strings.Contains(err.Error(), "unreachable") {
+		return http.StatusBadGateway
+	}
+	return http.StatusBadRequest
+}
+
+func (s *CoordinatorServer) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	keep := parseKeep(r)
+	if wantPartial(r) {
+		groups, pr, err := s.coord.GroupByPartial(r.Context(), keep...)
+		if err != nil {
+			s.writeErr(w, queryStatus(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"groups": splitGroups(groups), "partial": pr})
+		return
+	}
+	groups, err := s.coord.GroupBy(keep...)
+	if err != nil {
+		s.writeErr(w, queryStatus(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, splitGroups(groups))
+}
+
+// splitGroups renders composite group keys with the same "/" separator the
+// single-node /groupby endpoint uses.
+func splitGroups(groups map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(groups))
+	for k, v := range groups {
+		out[strings.Join(viewcube.SplitGroupKey(k), "/")] = v
+	}
+	return out
+}
+
+func (s *CoordinatorServer) handleRange(w http.ResponseWriter, r *http.Request) {
+	ranges := make(map[string]viewcube.ValueRange)
+	for dim, vals := range r.URL.Query() {
+		if dim == "partial" || len(vals) == 0 {
+			continue
+		}
+		lo, hi, ok := strings.Cut(vals[0], ":")
+		if !ok {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("range %q must be lo:hi", vals[0]))
+			return
+		}
+		ranges[dim] = viewcube.ValueRange{Lo: lo, Hi: hi}
+	}
+	if wantPartial(r) {
+		sum, pr, err := s.coord.RangeSumPartial(r.Context(), ranges)
+		if err != nil {
+			s.writeErr(w, queryStatus(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"sum": sum, "partial": pr})
+		return
+	}
+	sum, err := s.coord.RangeSum(ranges)
+	if err != nil {
+		s.writeErr(w, queryStatus(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]float64{"sum": sum})
+}
+
+func (s *CoordinatorServer) handleTotal(w http.ResponseWriter, r *http.Request) {
+	if wantPartial(r) {
+		sum, pr, err := s.coord.TotalPartial(r.Context())
+		if err != nil {
+			s.writeErr(w, queryStatus(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"sum": sum, "partial": pr})
+		return
+	}
+	sum, err := s.coord.Total()
+	if err != nil {
+		s.writeErr(w, queryStatus(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]float64{"sum": sum})
+}
+
+func (s *CoordinatorServer) handleShards(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"shards": s.coord.ShardNames()})
+}
+
+func (s *CoordinatorServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.coord.Registry().WriteText(w); err != nil {
+		s.log.Error("writing metrics", "error", err)
+	}
+}
+
+func (s *CoordinatorServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": len(s.coord.ShardNames())})
+}

@@ -66,10 +66,17 @@ func WithLogger(l *slog.Logger) Option {
 
 // New wraps a cube and its engine into an HTTP handler.
 func New(cube *viewcube.Cube, eng *viewcube.Engine, opts ...Option) *Server {
+	return NewSafe(cube, eng.Safe(), opts...)
+}
+
+// NewSafe builds the handler over an existing SafeEngine. Use this when
+// another subsystem (the cluster shard server) serves the same engine: both
+// must share one SafeEngine so reads and writes serialise on one lock.
+func NewSafe(cube *viewcube.Cube, eng *viewcube.SafeEngine, opts ...Option) *Server {
 	met := eng.Metrics()
 	s := &Server{
 		cube: cube,
-		eng:  eng.Safe(),
+		eng:  eng,
 		met:  met,
 		log:  slog.Default(),
 		mux:  http.NewServeMux(),
@@ -135,11 +142,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSONWith(s.log, w, status, v)
+}
+
+func writeJSONWith(log *slog.Logger, w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// The status line is already on the wire; all we can do is log.
-		s.log.Error("encoding response", "error", err)
+		log.Error("encoding response", "error", err)
 	}
 }
 

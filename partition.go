@@ -49,6 +49,24 @@ func PartitionTable(t *Table, dim string, shards int) ([]*Table, error) {
 	return out, nil
 }
 
+// Querier is the distributive fan-out query surface: SUM-based aggregates
+// that can be answered by combining per-shard partial results exactly (§3
+// of the paper). PartitionedEngine implements it over in-process shards;
+// cluster.Coordinator implements the same interface over networked shard
+// servers, so callers can swap one machine for many without changing query
+// code.
+type Querier interface {
+	// GroupBy returns per-group SUMs keyed by joined group key.
+	GroupBy(keep ...string) (map[string]float64, error)
+	// Total returns the grand total.
+	Total() (float64, error)
+	// RangeSum sums the measure over lexicographic per-dimension value
+	// ranges (see Engine.RangeSumWithin for the bounds semantics).
+	RangeSum(ranges map[string]ValueRange) (float64, error)
+}
+
+var _ Querier = (*PartitionedEngine)(nil)
+
 // PartitionedEngine answers aggregation queries over a sharded relation by
 // fanning out to one engine per shard (in parallel) and merging the
 // distributive results. Shards whose table is empty are skipped.
@@ -199,33 +217,9 @@ func (p *PartitionedEngine) RangeSum(ranges map[string]ValueRange) (float64, err
 	}
 	sums := make([]float64, len(p.engines))
 	err := p.fanOut(func(i int, eng *SafeEngine) error {
-		cube := p.cubes[i]
-		shape := cube.Shape()
-		lo := make([]int, len(shape))
-		ext := make([]int, len(shape))
-		for m := range shape {
-			ext[m] = cube.enc.Dicts[m].Len()
-			if ext[m] == 0 {
-				return nil // empty dictionary: shard contributes nothing
-			}
-		}
-		for name, vr := range ranges {
-			m, err := cube.DimIndex(name)
-			if err != nil {
-				return err
-			}
-			loCode, hiCode, ok, err := cube.enc.Dicts[m].BoundsWithin(vr.Lo, vr.Hi)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil // no values in range on this shard
-			}
-			lo[m], ext[m] = loCode, hiCode-loCode+1
-		}
-		s, err := eng.RangeSumIndex(lo, ext)
-		if err != nil {
-			return err
+		s, ok, err := eng.RangeSumWithin(ranges)
+		if err != nil || !ok {
+			return err // !ok: no values in range here, shard contributes 0
 		}
 		sums[i] = s
 		return nil

@@ -107,6 +107,17 @@ func (s *SafeEngine) RangeSum(ranges map[string]ValueRange) (float64, error) {
 	return sum, err
 }
 
+// RangeSumWithin is Engine.RangeSumWithin under the read lock.
+func (s *SafeEngine) RangeSumWithin(ranges map[string]ValueRange) (float64, bool, error) {
+	s.mu.RLock()
+	sum, ok, err := s.eng.rangeSumWithinObserved(nil, ranges)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	return sum, ok, err
+}
+
 // RangeSumIndex is Engine.RangeSumIndex under the read lock.
 func (s *SafeEngine) RangeSumIndex(lo, ext []int) (float64, error) {
 	s.mu.RLock()
