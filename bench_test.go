@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"viewcube"
 	"viewcube/internal/assembly"
@@ -18,6 +19,7 @@ import (
 	"viewcube/internal/experiments"
 	"viewcube/internal/freq"
 	"viewcube/internal/haar"
+	"viewcube/internal/obs"
 	"viewcube/internal/plan"
 	"viewcube/internal/rangeagg"
 	"viewcube/internal/store"
@@ -391,6 +393,110 @@ func BenchmarkParallelGroupBy(b *testing.B) {
 			}
 		}
 	})
+}
+
+// tracedOverheadFixture builds the cached-plan serving fixture the traced
+// overhead benchmarks share: a warmed engine where GroupBy("product") is a
+// plan-cache hit, so each iteration measures the execute path plus whatever
+// observability tier the variant adds.
+func tracedOverheadFixture(b *testing.B) *viewcube.Engine {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tbl, err := workload.SalesTable(rng, 100, 8, 60, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := viewcube.FromTable(tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.GroupBy("product"); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// benchTracedOff is the sampling-disabled tier: the per-query observability
+// cost is a single nil-sampler check in front of the plain cached GroupBy,
+// so this must stay within noise of BenchmarkEngineGroupBy (the CI gate in
+// TestTracedQueryOverheadGate holds it under 5%).
+func benchTracedOff(b *testing.B) {
+	eng := tracedOverheadFixture(b)
+	sampler := obs.NewSampler(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sampler.Sample() {
+			b.Fatal("rate-0 sampler fired")
+		}
+		if _, err := eng.GroupBy("product"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTracedSampled is the always-sampled tier: every query runs under an
+// internal trace and lands in the in-memory query log, the way a server
+// started with -tracesample 1 serves.
+func benchTracedSampled(b *testing.B) {
+	eng := tracedOverheadFixture(b)
+	sampler := obs.NewSampler(1)
+	qlog, err := obs.NewQueryLog(obs.QueryLogOptions{RingSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sampler.Sample() {
+			b.Fatal("rate-1 sampler skipped")
+		}
+		start := time.Now()
+		_, tr, err := eng.TraceGroupBy("product")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree := tr.Tree()
+		qlog.Record(obs.QueryEntry{
+			Kind:       "groupby",
+			Shape:      "product",
+			DurationUS: time.Since(start).Microseconds(),
+			TraceID:    tr.TraceID(),
+			Ops:        tree.SumAttr("ops"),
+			Sampled:    true,
+			Trace:      tree,
+		})
+	}
+}
+
+// benchTracedFull is the explicit full-trace tier: the TraceGroupBy API,
+// which builds the span tree and hands it back to the caller.
+func benchTracedFull(b *testing.B) {
+	eng := tracedOverheadFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, tr, err := eng.TraceGroupBy("product")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Ops() <= 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTracedQueryOverhead compares the three observability tiers on the
+// cached-plan serving path: sampling off, every query sampled into the query
+// log, and the explicit full-trace API.
+func BenchmarkTracedQueryOverhead(b *testing.B) {
+	b.Run("off", benchTracedOff)
+	b.Run("sampled", benchTracedSampled)
+	b.Run("traced", benchTracedFull)
 }
 
 // BenchmarkFileStoreRoundTrip measures disk persistence of a 64k-cell

@@ -64,6 +64,9 @@ func TestBenchJSON(t *testing.T) {
 		{"HaarPartial", BenchmarkHaarPartial},
 		{"MaterializeWaveletBasis", BenchmarkMaterializeWaveletBasis},
 		{"ClusterScatterGather", BenchmarkClusterScatterGather},
+		{"TracedQueryOverheadOff", benchTracedOff},
+		{"TracedQueryOverheadSampled", benchTracedSampled},
+		{"TracedQueryOverheadTraced", benchTracedFull},
 	} {
 		r := testing.Benchmark(bench.fn)
 		if err := enc.Encode(benchResult{

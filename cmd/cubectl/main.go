@@ -11,6 +11,7 @@
 //	cubectl -csv sales.csv -measure sales -hot product -hot region,day groupby product
 //	cubectl -csv sales.csv -measure sales query "SELECT SUM(sales) GROUP BY product WHERE day BETWEEN 'd1' AND 'd5'"
 //	cubectl -csv sales.csv -measure sales explain product,region
+//	cubectl -csv sales.csv -measure sales trace groupby product,region
 //	cubectl -gen 5000 info            (synthetic sales data, no CSV needed)
 //
 // Against a running shard cluster (see `cubed -shard`), -coordinator skips
@@ -18,9 +19,15 @@
 //
 //	cubectl -coordinator localhost:9001,localhost:9002 groupby product
 //	cubectl -coordinator localhost:9001,localhost:9002 -partial total
+//	cubectl -coordinator localhost:9001,localhost:9002 trace groupby product
 //
 // -partial tolerates unreachable shards: the answer is exact over the
 // shards that responded, and the missing ones are listed.
+//
+// trace runs the query under a full trace and pretty-prints the span tree;
+// against a coordinator the tree is the stitched cluster trace — one leg
+// per shard, with each shard's internal spans (plan cache, Haar ops, store
+// reads) grafted underneath.
 //
 // explain prints the engine's plan IR for the view — per-node costs, the
 // plan-cache epoch and whether the plan came from the cache — without
@@ -43,6 +50,7 @@ import (
 
 	"viewcube"
 	"viewcube/internal/cluster"
+	"viewcube/internal/obs"
 	"viewcube/internal/workload"
 )
 
@@ -70,7 +78,7 @@ func run() error {
 	flag.Var(&hot, "hot", "anticipated hot view: comma-separated kept dimensions (repeatable)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims>")
+		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims> | trace <query>")
 	}
 
 	if *coordinator != "" {
@@ -134,6 +142,8 @@ func run() error {
 			return fmt.Errorf("bad k %q: %w", args[1], err)
 		}
 		return topK(eng, args[0], k)
+	case "trace":
+		return runTrace(eng, args)
 	case "explain":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: explain dim1,dim2,...")
@@ -265,6 +275,46 @@ func runQuery(eng *viewcube.Engine, sql string) error {
 	return nil
 }
 
+// runTrace executes one query under a trace and pretty-prints the span
+// tree — an EXPLAIN ANALYZE for the assembly engine.
+func runTrace(eng *viewcube.Engine, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: trace groupby <dims> | trace total | trace range <dim=lo:hi>... | trace query <sql>")
+	}
+	var (
+		tr  *viewcube.QueryTrace
+		err error
+	)
+	switch args[0] {
+	case "groupby":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: trace groupby dim1,dim2,...")
+		}
+		_, tr, err = eng.TraceGroupBy(splitList(args[1])...)
+	case "total":
+		_, tr, err = eng.TraceTotal()
+	case "range":
+		ranges, rerr := parseRanges(args[1:])
+		if rerr != nil {
+			return rerr
+		}
+		_, tr, err = eng.TraceRangeSum(ranges)
+	case "query":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: trace query 'SELECT SUM(m) GROUP BY dim ...'")
+		}
+		_, tr, err = eng.TraceQuery(args[1])
+	default:
+		return fmt.Errorf("cannot trace %q (use groupby, total, range or query)", args[0])
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(tr)
+	fmt.Printf("trace %s: %d ops, %d cells read\n", tr.TraceID(), tr.Ops(), tr.CellsRead())
+	return nil
+}
+
 // runCluster answers groupby/total/range by scatter-gather over a running
 // shard tier instead of a local engine. With partial, unreachable shards
 // are dropped from the (still exact) merge and reported.
@@ -350,8 +400,42 @@ func runCluster(addrs string, partial bool, cmd string, args []string) error {
 		fmt.Printf("range sum = %g\n", sum)
 		reportPartial(pr)
 		return nil
+	case "trace":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: trace groupby <dims> | trace total | trace range <dim=lo:hi>...")
+		}
+		var (
+			pr *cluster.PartialResult
+			tr *obs.Trace
+		)
+		switch args[0] {
+		case "groupby":
+			if len(args) != 2 {
+				return fmt.Errorf("usage: trace groupby dim1,dim2,...")
+			}
+			_, pr, tr, err = coord.TraceGroupBy(ctx, splitList(args[1])...)
+		case "total":
+			_, pr, tr, err = coord.TraceTotal(ctx)
+		case "range":
+			ranges, rerr := parseRanges(args[1:])
+			if rerr != nil {
+				return rerr
+			}
+			_, pr, tr, err = coord.TraceRangeSum(ctx, ranges)
+		default:
+			return fmt.Errorf("cannot trace %q against a coordinator (use groupby, total or range)", args[0])
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(tr)
+		tree := tr.Tree()
+		fmt.Printf("trace %s: %d ops over %d shards\n",
+			obs.FormatTraceID(tr.ID()), tree.SumAttr("ops"), len(shards))
+		reportPartial(pr)
+		return nil
 	default:
-		return fmt.Errorf("command %q is not available with -coordinator (use groupby, total or range)", cmd)
+		return fmt.Errorf("command %q is not available with -coordinator (use groupby, total, range or trace)", cmd)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 
 	"viewcube"
 	"viewcube/internal/cluster"
+	"viewcube/internal/obs"
 	"viewcube/internal/server"
 	"viewcube/internal/workload"
 )
@@ -59,6 +60,10 @@ type config struct {
 	coordinator string        // comma-separated shard addrs; coordinator mode
 	grace       time.Duration // shutdown grace period
 
+	queryLog    string  // JSONL query-log path ("" = in-memory ring only)
+	queryLogMax int64   // rotate the query-log file past this many bytes
+	traceSample float64 // fraction of queries traced by sampling (0 = off)
+
 	ready func(httpAddr, shardAddr string) // called once listeners are bound
 	logW  *os.File                         // log destination (default stderr)
 }
@@ -79,6 +84,9 @@ func main() {
 	flag.StringVar(&cfg.shardAddr, "shardaddr", ":9090", "shard-protocol listen address in -shard mode")
 	flag.StringVar(&cfg.coordinator, "coordinator", "", "comma-separated shard addresses; run as a scatter-gather coordinator instead of loading a cube")
 	flag.DurationVar(&cfg.grace, "grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	flag.StringVar(&cfg.queryLog, "querylog", "", "append query analytics as JSON lines to this file (served at /querylog either way)")
+	flag.Int64Var(&cfg.queryLogMax, "querylogmax", 8<<20, "rotate the -querylog file once it exceeds this many bytes")
+	flag.Float64Var(&cfg.traceSample, "tracesample", 0, "fraction of queries to trace by sampling into the query log (0 = off, 1 = all)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -126,7 +134,16 @@ func runNode(cfg config) error {
 		return err
 	}
 	safe := eng.Safe()
-	opts := []server.Option{server.WithLogger(logger)}
+	qlog, err := cfg.openQueryLog()
+	if err != nil {
+		return err
+	}
+	defer qlog.Close()
+	opts := []server.Option{server.WithLogger(logger), server.WithQueryLog(qlog)}
+	if cfg.traceSample > 0 {
+		opts = append(opts, server.WithTraceSampling(cfg.traceSample))
+		logger.Info("sampled tracing enabled", "rate", cfg.traceSample)
+	}
 	if cfg.enablePprof {
 		opts = append(opts, server.WithPprof())
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
@@ -220,17 +237,30 @@ func runCoordinator(cfg config) error {
 			Client: cluster.DialShard(addr, 2*time.Second),
 		})
 	}
-	coord, err := cluster.NewCoordinator(shards, cluster.Options{})
+	qlog, err := cfg.openQueryLog()
+	if err != nil {
+		return err
+	}
+	defer qlog.Close()
+	coord, err := cluster.NewCoordinator(shards, cluster.Options{
+		TraceSampleRate: cfg.traceSample,
+		QueryLog:        qlog,
+	})
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
+	if cfg.traceSample > 0 {
+		logger.Info("sampled tracing enabled", "rate", cfg.traceSample)
+	}
 
 	httpLn, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: server.NewCoordinator(coord, server.WithCoordinatorLogger(logger))}
+	srv := &http.Server{Handler: server.NewCoordinator(coord,
+		server.WithCoordinatorLogger(logger),
+		server.WithCoordinatorQueryLog(qlog))}
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("serving coordinator", "addr", httpLn.Addr().String(), "shards", len(shards))
@@ -259,6 +289,13 @@ func runCoordinator(cfg config) error {
 	}
 	logger.Info("stopped")
 	return nil
+}
+
+// openQueryLog builds the query log shared by both serving modes: an
+// in-memory ring always (backing /querylog), plus a rotating JSONL file
+// when -querylog names a path.
+func (cfg *config) openQueryLog() (*obs.QueryLog, error) {
+	return obs.NewQueryLog(obs.QueryLogOptions{Path: cfg.queryLog, MaxBytes: cfg.queryLogMax})
 }
 
 func loadCube(csvPath, measure string, gen int, seed int64) (*viewcube.Cube, error) {

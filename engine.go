@@ -80,8 +80,8 @@ type EngineOptions struct {
 	Metrics *Metrics
 	// ExecWorkers bounds intra-query execution parallelism: independent
 	// synthesize subtrees of one plan run on up to this many goroutines.
-	// 0 defaults to GOMAXPROCS; 1 forces serial execution. Traced queries
-	// always run serially regardless.
+	// 0 defaults to GOMAXPROCS; 1 forces serial execution. Traced and
+	// untraced queries parallelise identically (spans attach atomically).
 	ExecWorkers int
 	// ParallelExecCells is the minimum cell count at which a synthesize
 	// node fans out; smaller nodes stay serial (goroutine handoff would

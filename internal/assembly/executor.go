@@ -27,9 +27,9 @@ const DefaultParallelCells = 4096
 // acquire a slot and, if one is free, computes its partial child on a new
 // goroutine while the current goroutine computes the residual child. The
 // try-acquire never blocks, so the recursion cannot deadlock however deep
-// the fan-out. Traced executions stay serial: a trace's span stack assumes
-// strictly nested Start/End pairs (see obs.ExecCtx.Tracing), so the trade
-// is one query's parallelism for its span tree.
+// the fan-out. Traced executions parallelise identically: spans carry
+// explicit parents and attach atomically (see obs.Span), so the forked
+// subtree records under its own span from its own goroutine.
 //
 // An Executor is immutable after construction and safe for any number of
 // concurrent Run calls; the worker slots are shared across them.
@@ -61,11 +61,9 @@ func newExecutor(eng *Engine, workers, parallelCells int) *Executor {
 // execState is the per-query mutable state shared by the goroutines of one
 // Run call.
 type execState struct {
-	// traced records whether the query carries a live trace. Traced
-	// executions stay on the calling goroutine (span stacks assume strictly
-	// nested Start/End pairs) and are the only ones that pay for span
-	// bookkeeping — building the span-name strings dominates steady-state
-	// allocations otherwise.
+	// traced records whether the query carries a live trace. Only traced
+	// executions pay for span bookkeeping — building the span-name
+	// strings dominates steady-state allocations otherwise.
 	traced bool
 	// parallelNodes counts synthesize nodes that actually forked.
 	parallelNodes atomic.Int64
@@ -73,8 +71,8 @@ type execState struct {
 
 // Run executes a plan and returns the produced element. The result is
 // owned by the caller. While x carries a trace, one span is recorded per
-// plan node plus a "parallel_nodes" attribute on the root span (always 0
-// under a trace — see the serial rule above).
+// plan node plus a "parallel_nodes" attribute on the root span counting
+// synthesize nodes that forked onto another worker.
 func (ex *Executor) Run(x *obs.ExecCtx, p *Plan) (*ndarray.Array, error) {
 	st := &execState{traced: x.Tracing()}
 	if !st.traced {
@@ -83,7 +81,7 @@ func (ex *Executor) Run(x *obs.ExecCtx, p *Plan) (*ndarray.Array, error) {
 	sp := x.Start("execute " + p.Rect.String())
 	sp.SetAttr("total_ops", int64(p.Ops))
 	defer sp.End()
-	out, err := ex.node(x, st, p)
+	out, err := ex.node(x.Under(sp), st, p)
 	sp.SetAttr("parallel_nodes", st.parallelNodes.Load())
 	return out, err
 }
@@ -122,6 +120,7 @@ func (ex *Executor) node(x *obs.ExecCtx, st *execState, p *Plan) (*ndarray.Array
 		if st.traced {
 			sp = x.Start("stored " + p.Rect.String())
 			defer sp.End()
+			x = x.Under(sp)
 		}
 		a, ok := e.get(x, p.Rect)
 		if !ok {
@@ -143,6 +142,7 @@ func (ex *Executor) node(x *obs.ExecCtx, st *execState, p *Plan) (*ndarray.Array
 			sp = x.Start("aggregate " + p.Rect.String() + " from " + p.Source.String())
 			sp.SetAttr("ops", int64(p.Ops))
 			defer sp.End()
+			x = x.Under(sp)
 		}
 		src, ok := e.get(x, p.Source)
 		if !ok {
@@ -206,6 +206,7 @@ func (ex *Executor) node(x *obs.ExecCtx, st *execState, p *Plan) (*ndarray.Array
 			sp := x.Start(fmt.Sprintf("synthesize %s dim=%d", p.Rect.String(), p.Dim))
 			sp.SetAttr("ops", int64(ownOps))
 			defer sp.End()
+			x = x.Under(sp)
 		}
 		e.met.SynthesizeNodes.Inc()
 		e.met.OpsModeled.Add(uint64(ownOps))
@@ -213,7 +214,7 @@ func (ex *Executor) node(x *obs.ExecCtx, st *execState, p *Plan) (*ndarray.Array
 		var part, res *ndarray.Array
 		var perr, rerr error
 		forked := false
-		if !st.traced && ownOps >= ex.threshold {
+		if ownOps >= ex.threshold {
 			// Try-acquire: fork the partial subtree only if a worker slot
 			// is free right now. Blocking here could deadlock (ancestors
 			// hold no slots, but sibling queries might hold them all).
@@ -222,11 +223,11 @@ func (ex *Executor) node(x *obs.ExecCtx, st *execState, p *Plan) (*ndarray.Array
 				forked = true
 				st.parallelNodes.Add(1)
 				done := make(chan struct{})
-				go func() {
+				go func(x *obs.ExecCtx) {
 					defer close(done)
 					defer func() { <-ex.sem }()
 					part, perr = ex.node(x, st, p.Partial)
-				}()
+				}(x)
 				res, rerr = ex.node(x, st, p.Residual)
 				<-done
 			default:

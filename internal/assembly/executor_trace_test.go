@@ -1,0 +1,147 @@
+package assembly
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"viewcube/internal/haar"
+	"viewcube/internal/obs"
+	"viewcube/internal/velement"
+)
+
+// canonTree renders a span tree ignoring durations and child order: names
+// and attrs (minus parallel_nodes, which legitimately differs between
+// serial and parallel runs), with children sorted recursively. Two traced
+// executions of the same plan must canonicalise identically however the
+// work was scheduled.
+func canonTree(n *obs.SpanNode) string {
+	if n == nil {
+		return ""
+	}
+	var attrs []string
+	for k, v := range n.Attrs {
+		if k == "parallel_nodes" {
+			continue
+		}
+		attrs = append(attrs, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(attrs)
+	kids := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		kids = append(kids, canonTree(c))
+	}
+	sort.Strings(kids)
+	return fmt.Sprintf("%s[%s]{%s}", n.Name, strings.Join(attrs, ","), strings.Join(kids, ";"))
+}
+
+// TestTracedParallelSpanTreeMatchesSerial is the -race acceptance test for
+// concurrency-safe tracing: a traced query executed fully parallel (fork at
+// every synthesize node) must produce the same span tree — up to child
+// order — as the same query executed serially, with identical results, and
+// must actually have forked.
+func TestTracedParallelSpanTreeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := velement.MustSpace(16, 8, 4)
+	cube := randomCube(rng, 16, 8, 4)
+	store, err := MaterializeSet(s, cube, velement.WaveletBasis(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := NewEngine(s, store)
+	serial.SetExecutor(1, 1)
+	par := NewEngine(s, store)
+	par.SetExecutor(8, 1) // fork at every synthesize node
+
+	forkedOnce := false
+	for _, v := range s.AggregatedViews() {
+		str := obs.NewTrace("q")
+		a, err := serial.Answer(obs.Traced(str), v.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		str.Finish()
+
+		ptr := obs.NewTrace("q")
+		b, err := par.Answer(obs.Traced(ptr), v.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptr.Finish()
+
+		if !a.Equal(b, 1e-9) {
+			t.Fatalf("view %v: parallel traced result differs from serial", v)
+		}
+		sc, pc := canonTree(str.Tree()), canonTree(ptr.Tree())
+		if sc != pc {
+			t.Fatalf("view %v: span trees differ\nserial:\n%s\nparallel:\n%s", v, str, ptr)
+		}
+		if exec := ptr.Tree().Find("execute"); exec != nil && exec.Attrs["parallel_nodes"] > 0 {
+			forkedOnce = true
+		}
+		want, _ := haar.ApplyRect(cube, v)
+		if !a.Equal(want, 1e-9) {
+			t.Fatalf("view %v: traced execution wrong vs oracle", v)
+		}
+	}
+	if !forkedOnce {
+		t.Fatal("no traced query ever forked; the parallel path was not exercised")
+	}
+}
+
+// TestTracedConcurrentQueriesIsolated runs traced queries from many
+// goroutines through one shared parallel engine: every trace must hold only
+// its own spans (ops reconcile per query), which under -race also pins the
+// span tree's thread safety.
+func TestTracedConcurrentQueriesIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := velement.MustSpace(16, 8)
+	cube := randomCube(rng, 16, 8)
+	store, err := MaterializeSet(s, cube, velement.WaveletBasis(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s, store)
+	eng.SetExecutor(8, 1)
+
+	views := s.AggregatedViews()
+	wantOps := make([]int64, len(views))
+	for i, v := range views {
+		tr := obs.NewTrace("q")
+		if _, err := eng.Answer(obs.Traced(tr), v.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		tr.Finish()
+		wantOps[i] = tr.Tree().SumAttr("ops")
+	}
+
+	const goroutines, rounds = 6, 20
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for round := 0; round < rounds; round++ {
+				i := (g + round) % len(views)
+				tr := obs.NewTrace("q")
+				if _, err := eng.Answer(obs.Traced(tr), views[i].Clone()); err != nil {
+					errs <- err
+					return
+				}
+				tr.Finish()
+				if got := tr.Tree().SumAttr("ops"); got != wantOps[i] {
+					errs <- fmt.Errorf("goroutine %d round %d: view %v ops %d, want %d",
+						g, round, views[i], got, wantOps[i])
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

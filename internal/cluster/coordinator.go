@@ -51,6 +51,14 @@ type Options struct {
 	// Seed seeds the jitter source; 0 uses a fixed default, which is fine
 	// because jitter only decorrelates retry storms.
 	Seed int64
+	// TraceSampleRate turns on always-on sampled tracing: approximately
+	// this fraction of queries (deterministically, every Nth) runs with a
+	// full distributed trace, recorded into the query log. 0 disables
+	// sampling; explicit Trace* calls always trace.
+	TraceSampleRate float64
+	// QueryLog, when non-nil, receives one entry per coordinator query
+	// (shape, duration, per-shard costs, trace ID when sampled).
+	QueryLog *obs.QueryLog
 }
 
 // PartialResult names the shards that contributed nothing to a degraded
@@ -76,11 +84,13 @@ func (p *PartialResult) Complete() bool { return p == nil || len(p.Missing) == 0
 //
 // A Coordinator is safe for concurrent use.
 type Coordinator struct {
-	shards []Shard
-	opts   Options
-	met    *obs.ClusterMetrics
-	reg    *obs.Registry
-	lat    []*latRing
+	shards  []Shard
+	opts    Options
+	met     *obs.ClusterMetrics
+	reg     *obs.Registry
+	lat     []*latRing
+	sampler *obs.Sampler
+	qlog    *obs.QueryLog
 
 	rmu sync.Mutex
 	rng *rand.Rand
@@ -136,12 +146,14 @@ func NewCoordinator(shards []Shard, opts Options) (*Coordinator, error) {
 		reg = obs.NewRegistry()
 	}
 	c := &Coordinator{
-		shards: shards,
-		opts:   opts,
-		met:    obs.NewClusterMetrics(reg),
-		reg:    reg,
-		lat:    make([]*latRing, len(shards)),
-		rng:    rand.New(rand.NewSource(seed)),
+		shards:  shards,
+		opts:    opts,
+		met:     obs.NewClusterMetrics(reg),
+		reg:     reg,
+		lat:     make([]*latRing, len(shards)),
+		sampler: obs.NewSampler(opts.TraceSampleRate),
+		qlog:    opts.QueryLog,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 	for i := range c.lat {
 		c.lat[i] = &latRing{}
@@ -216,14 +228,33 @@ func (c *Coordinator) RangeSumPartial(ctx context.Context, ranges map[string]vie
 	return c.sumQuery(ctx, true, nil, rangeRequest(ranges))
 }
 
-// TraceGroupBy is GroupByPartial with per-shard spans: the scatter runs
-// serially (spans nest on a stack) and every leg records its retries,
-// hedging and group count on a "shard <name>" span.
+// TraceGroupBy is GroupByPartial with a full distributed trace: the scatter
+// fans out concurrently (span attachment is concurrency-safe), every leg
+// records its retries, hedging and group count on a "shard <name>" span, and
+// each shard's own span subtree — plan-cache hits, Haar ops, store reads —
+// is stitched underneath it, so the tree prices the whole cluster query.
 func (c *Coordinator) TraceGroupBy(ctx context.Context, keep ...string) (map[string]float64, *PartialResult, *obs.Trace, error) {
 	tr := obs.NewTrace("cluster groupby " + strings.Join(keep, ","))
 	g, part, err := c.groupBy(ctx, true, tr, keep)
 	tr.Finish()
 	return g, part, tr, err
+}
+
+// TraceTotal is TotalPartial with a full distributed trace.
+func (c *Coordinator) TraceTotal(ctx context.Context) (float64, *PartialResult, *obs.Trace, error) {
+	tr := obs.NewTrace("cluster total")
+	t, part, err := c.sumQuery(ctx, true, tr, &Request{Kind: KindTotal})
+	tr.Finish()
+	return t, part, tr, err
+}
+
+// TraceRangeSum is RangeSumPartial with a full distributed trace.
+func (c *Coordinator) TraceRangeSum(ctx context.Context, ranges map[string]viewcube.ValueRange) (float64, *PartialResult, *obs.Trace, error) {
+	req := rangeRequest(ranges)
+	tr := obs.NewTrace("cluster range " + requestShape(req))
+	t, part, err := c.sumQuery(ctx, true, tr, req)
+	tr.Finish()
+	return t, part, tr, err
 }
 
 // --- scatter-gather core ---
@@ -278,40 +309,96 @@ type outcome struct {
 	fatal   bool // a shard-side query error: deterministic, never degraded away
 	retries int
 	hedged  bool
+	dur     time.Duration
+}
+
+// requestShape renders a request's query shape for trace names and the
+// query log: the kept dimensions of a group-by, the ranges of a range-sum.
+func requestShape(req *Request) string {
+	switch req.Kind {
+	case KindGroupBy:
+		return strings.Join(req.Keep, ",")
+	case KindRangeSum:
+		parts := make([]string, len(req.Ranges))
+		for i, vr := range req.Ranges {
+			parts[i] = fmt.Sprintf("%s=[%s,%s]", vr.Dim, vr.Lo, vr.Hi)
+		}
+		return strings.Join(parts, " ")
+	}
+	return ""
 }
 
 // scatter fans req out to every shard and gathers outcomes in shard order
 // (the fixed merge order that makes the combined answer bit-identical to
-// the serial PartitionedEngine). With a trace it runs legs serially and
-// records one span per shard. resps[i] is nil for a missing shard; part is
-// non-nil iff the answer is degraded.
+// the serial PartitionedEngine). Traced or not, the legs run concurrently;
+// with a trace, per-shard spans are opened in shard order before the
+// fan-out (deterministic child order) and each shard's returned span
+// subtree is grafted under its leg. resps[i] is nil for a missing shard;
+// part is non-nil iff the answer is degraded. Every query — explicit
+// trace, sampled, or plain — feeds the query-latency histogram and the
+// query log.
 func (c *Coordinator) scatter(ctx context.Context, allowPartial bool, tr *obs.Trace, req *Request) ([]*Response, *PartialResult, error) {
 	c.met.Queries.Inc()
-	outs := make([]outcome, len(c.shards))
-	if tr != nil {
-		for i := range c.shards {
-			sp := tr.Start("shard " + c.shards[i].Name)
-			outs[i] = c.askShard(ctx, i, req)
-			sp.SetAttr("retries", int64(outs[i].retries))
-			sp.SetAttr("hedged", boolAttr(outs[i].hedged))
-			sp.SetAttr("ok", boolAttr(outs[i].err == nil))
-			if r := outs[i].resp; r != nil {
-				sp.SetAttr("groups", int64(len(r.Groups)))
-			}
-			sp.End()
-		}
-	} else {
-		var wg sync.WaitGroup
-		for i := range c.shards {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				outs[i] = c.askShard(ctx, i, req)
-			}(i)
-		}
-		wg.Wait()
+	start := time.Now()
+	sampled := false
+	if tr == nil && c.sampler.Sample() {
+		tr = obs.NewTrace("cluster " + req.Kind.String() + " " + requestShape(req))
+		sampled = true
+	}
+	if tr != nil && !req.Trace {
+		traced := *req
+		traced.Trace = true
+		req = &traced
 	}
 
+	outs := make([]outcome, len(c.shards))
+	spans := make([]*obs.Span, len(c.shards))
+	if tr != nil {
+		// Open the per-shard spans up front, in shard order, so the
+		// stitched tree's children are deterministic however the legs
+		// finish.
+		for i := range c.shards {
+			spans[i] = tr.Start("shard " + c.shards[i].Name)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			legStart := time.Now()
+			outs[i] = c.askShard(ctx, i, req)
+			outs[i].dur = time.Since(legStart)
+			if sp := spans[i]; sp != nil {
+				sp.SetAttr("retries", int64(outs[i].retries))
+				sp.SetAttr("hedged", boolAttr(outs[i].hedged))
+				sp.SetAttr("ok", boolAttr(outs[i].err == nil))
+				if r := outs[i].resp; r != nil {
+					sp.SetAttr("groups", int64(len(r.Groups)))
+					sp.Graft(r.Spans)
+				}
+				sp.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if sampled {
+		tr.Finish()
+	}
+
+	resps, part, err := c.gather(allowPartial, outs)
+	dur := time.Since(start)
+	c.met.ObserveQuery(req.Kind.String(), dur.Seconds())
+	c.logQuery(req, tr, sampled, outs, part, err, dur)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resps, part, nil
+}
+
+// gather folds per-shard outcomes into the response list and the degraded-
+// mode bookkeeping.
+func (c *Coordinator) gather(allowPartial bool, outs []outcome) ([]*Response, *PartialResult, error) {
 	var part *PartialResult
 	live := 0
 	for i, o := range outs {
@@ -346,6 +433,51 @@ func (c *Coordinator) scatter(ctx context.Context, allowPartial bool, tr *obs.Tr
 		resps[i] = outs[i].resp
 	}
 	return resps, part, nil
+}
+
+// logQuery records one finished query into the query log (no-op without
+// one). Sampled traces embed their full stitched tree — the raw feed for
+// workload-adaptive view selection; explicit traces record only their ID
+// (the caller already holds the tree).
+func (c *Coordinator) logQuery(req *Request, tr *obs.Trace, sampled bool, outs []outcome, part *PartialResult, qerr error, dur time.Duration) {
+	if c.qlog == nil {
+		return
+	}
+	e := obs.QueryEntry{
+		Kind:       req.Kind.String(),
+		Shape:      requestShape(req),
+		DurationUS: dur.Microseconds(),
+		Sampled:    sampled,
+	}
+	if tr != nil {
+		e.TraceID = obs.FormatTraceID(tr.ID())
+		tree := tr.Tree()
+		e.Ops = tree.SumAttr("ops")
+		if sampled {
+			e.Trace = tree
+		}
+	}
+	if qerr != nil {
+		e.Error = qerr.Error()
+	}
+	if part != nil {
+		e.MissingShards = append(e.MissingShards, part.Missing...)
+	}
+	for i, o := range outs {
+		leg := obs.ShardLegEntry{
+			Shard:      c.shards[i].Name,
+			DurationUS: o.dur.Microseconds(),
+			Retries:    o.retries,
+			Hedged:     o.hedged,
+			OK:         o.err == nil,
+		}
+		if o.resp != nil {
+			leg.Groups = len(o.resp.Groups)
+			leg.Ops = o.resp.Spans.SumAttr("ops")
+		}
+		e.Shards = append(e.Shards, leg)
+	}
+	c.qlog.Record(e)
 }
 
 func boolAttr(b bool) int64 {
@@ -410,7 +542,9 @@ func (c *Coordinator) attempt(parent context.Context, i int, req *Request) (resp
 	ch := make(chan result, 2) // buffered: the losing attempt must not leak
 	send := func(idx int) {
 		c.met.ShardCalls.Inc()
+		sent := time.Now()
 		r, err := c.shards[i].Client.Do(ctx, req)
+		c.met.RPCDuration.Observe(time.Since(sent).Seconds())
 		ch <- result{r, err, idx}
 	}
 	start := time.Now()

@@ -44,7 +44,9 @@ func (s *ShardEngine) Engine() *viewcube.SafeEngine { return s.eng }
 
 // Execute answers one request with the shard's partial aggregate. Execution
 // failures are carried in Response.Err, never as a transport error: a
-// malformed query must not tear down the connection serving it.
+// malformed query must not tear down the connection serving it. A request
+// with Trace set runs through the shard's traced read path and returns its
+// span subtree on the response (dropped again if execution errored).
 func (s *ShardEngine) Execute(req *Request) *Response {
 	s.met.Served.Inc()
 	s.met.InFlight.Add(1)
@@ -52,7 +54,19 @@ func (s *ShardEngine) Execute(req *Request) *Response {
 	resp := &Response{ID: req.ID, Kind: req.Kind}
 	switch req.Kind {
 	case KindGroupBy:
-		v, err := s.eng.GroupBy(req.Keep...)
+		var (
+			v   *viewcube.View
+			err error
+		)
+		if req.Trace {
+			var qt *viewcube.QueryTrace
+			v, qt, err = s.eng.TraceGroupBy(req.Keep...)
+			if err == nil {
+				resp.Spans = qt.Tree()
+			}
+		} else {
+			v, err = s.eng.GroupBy(req.Keep...)
+		}
 		if err == nil {
 			resp.Groups, err = v.Groups()
 		}
@@ -60,7 +74,19 @@ func (s *ShardEngine) Execute(req *Request) *Response {
 			resp.Err = err.Error()
 		}
 	case KindTotal:
-		t, err := s.eng.Total()
+		var (
+			t   float64
+			err error
+		)
+		if req.Trace {
+			var qt *viewcube.QueryTrace
+			t, qt, err = s.eng.TraceTotal()
+			if err == nil {
+				resp.Spans = qt.Tree()
+			}
+		} else {
+			t, err = s.eng.Total()
+		}
 		if err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -71,7 +97,20 @@ func (s *ShardEngine) Execute(req *Request) *Response {
 		for _, vr := range req.Ranges {
 			ranges[vr.Dim] = viewcube.ValueRange{Lo: vr.Lo, Hi: vr.Hi}
 		}
-		sum, ok, err := s.eng.RangeSumWithin(ranges)
+		var (
+			sum float64
+			ok  bool
+			err error
+		)
+		if req.Trace {
+			var qt *viewcube.QueryTrace
+			sum, ok, qt, err = s.eng.TraceRangeSumWithin(ranges)
+			if err == nil {
+				resp.Spans = qt.Tree()
+			}
+		} else {
+			sum, ok, err = s.eng.RangeSumWithin(ranges)
+		}
 		switch {
 		case err != nil:
 			resp.Err = err.Error()
@@ -84,6 +123,7 @@ func (s *ShardEngine) Execute(req *Request) *Response {
 		resp.Err = fmt.Sprintf("cluster: unsupported request kind %d", req.Kind)
 	}
 	if resp.Err != "" {
+		resp.Spans = nil // errors never carry spans on the wire
 		s.met.ServedErrors.Inc()
 	}
 	return resp
@@ -176,14 +216,25 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	for {
-		req, err := ReadRequest(br)
+		// Reading the frame off the socket is not timed (the connection
+		// idles here between requests); the decode/execute/write stages
+		// each feed their histogram.
+		frame, err := readFrame(br, frameRequest)
 		if err != nil {
 			// EOF between frames is a clean hangup; anything else is a
 			// protocol error or the drain deadline firing. Either way the
 			// connection is done.
 			return
 		}
+		decodeStart := time.Now()
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		s.sh.met.StageDecode.Observe(time.Since(decodeStart).Seconds())
+		execStart := time.Now()
 		resp := s.sh.Execute(req)
+		s.sh.met.StageExecute.Observe(time.Since(execStart).Seconds())
 		buf, err := AppendResponse(nil, resp)
 		if err != nil {
 			// The response itself would not fit a frame (e.g. a group map
@@ -193,9 +244,11 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
+		writeStart := time.Now()
 		if _, err := conn.Write(buf); err != nil {
 			return
 		}
+		s.sh.met.StageWrite.Observe(time.Since(writeStart).Seconds())
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()

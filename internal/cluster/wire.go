@@ -26,6 +26,8 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"viewcube/internal/obs"
 )
 
 // Wire format. Every message is one frame:
@@ -38,8 +40,20 @@ import (
 // by key). Decoding is strict — unknown versions, unknown frame types,
 // truncated fields and trailing garbage are all errors — which keeps the
 // fuzz target honest.
+//
+// Version history. v1 carries plain requests/responses. v2 adds distributed
+// tracing: a flags byte after the request kind (bit 0 = "record and return
+// a trace"), and a serialized span subtree on responses (flags bit 1). The
+// encoder picks the lowest version that can express a message — traceless
+// traffic is byte-identical to v1, so v1 peers interoperate until a traced
+// request actually reaches them (trace fields are simply never sent their
+// way; a v1 coordinator cannot ask for traces, and a v2 coordinator only
+// sends v2 frames for queries that trace).
 const (
-	Version = 1
+	Version = 2
+
+	// minVersion is the oldest peer version this decoder still accepts.
+	minVersion = 1
 
 	// MaxFrame bounds a frame payload; a decoder never allocates more than
 	// this from a length prefix, so a hostile peer cannot OOM the process.
@@ -49,6 +63,16 @@ const (
 	frameResponse = 2
 
 	headerLen = 8
+
+	// maxSpanDepth bounds the recursion when decoding a span subtree, so a
+	// hostile frame cannot overflow the stack. Real traces nest by plan
+	// depth (tens of levels at most).
+	maxSpanDepth = 64
+
+	reqFlagTrace   = 1 << 0
+	respFlagErr    = 1 << 0
+	respFlagSpans  = 1 << 1
+	respFlagsKnown = respFlagErr | respFlagSpans
 )
 
 var magic = [2]byte{'v', 'c'}
@@ -98,6 +122,9 @@ type Request struct {
 	Keep []string
 	// Ranges restricts a KindRangeSum request.
 	Ranges []DimRange
+	// Trace asks the shard to execute under a trace and return its span
+	// subtree on the response. Trace-bearing requests encode as wire v2.
+	Trace bool
 }
 
 // Response is a shard's partial aggregate (or its error) for one request.
@@ -111,6 +138,10 @@ type Response struct {
 	Sum float64
 	// Groups holds the per-group partial SUMs of KindGroupBy.
 	Groups map[string]float64
+	// Spans is the shard-internal span subtree of a traced request, which
+	// the coordinator grafts under its per-shard span. Responses carrying
+	// spans encode as wire v2; error responses never carry spans.
+	Spans *obs.SpanNode
 }
 
 // --- encoding ---
@@ -124,16 +155,44 @@ func appendFloat(dst []byte, f float64) []byte {
 	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
 }
 
-func appendFrame(dst []byte, ftype byte, payload []byte) ([]byte, error) {
+func appendFrame(dst []byte, version, ftype byte, payload []byte) ([]byte, error) {
 	if len(payload) > MaxFrame {
 		return nil, fmt.Errorf("cluster: frame payload %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
 	}
-	dst = append(dst, magic[0], magic[1], Version, ftype)
+	dst = append(dst, magic[0], magic[1], version, ftype)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
 	return append(dst, payload...), nil
 }
 
-// AppendRequest appends the request's frame encoding to dst.
+// appendSpanNode appends one span subtree in its canonical encoding: name,
+// duration (µs, clamped non-negative), attrs sorted by key, then children.
+func appendSpanNode(dst []byte, n *obs.SpanNode) []byte {
+	dst = appendString(dst, n.Name)
+	dur := n.DurationUS
+	if dur < 0 {
+		dur = 0
+	}
+	dst = binary.AppendUvarint(dst, uint64(dur))
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = binary.AppendVarint(dst, n.Attrs[k])
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+	for _, c := range n.Children {
+		dst = appendSpanNode(dst, c)
+	}
+	return dst
+}
+
+// AppendRequest appends the request's frame encoding to dst. A traceless
+// request encodes as wire v1, byte-identical to the pre-trace protocol; a
+// trace-bearing request encodes as v2 with a flags byte after the kind.
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	if !r.Kind.valid() {
 		return nil, fmt.Errorf("cluster: cannot encode request of invalid kind %d", r.Kind)
@@ -141,6 +200,11 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	p := make([]byte, 0, 64)
 	p = binary.AppendUvarint(p, r.ID)
 	p = append(p, byte(r.Kind))
+	version := byte(1)
+	if r.Trace {
+		version = 2
+		p = append(p, byte(reqFlagTrace))
+	}
 	p = binary.AppendUvarint(p, uint64(len(r.Keep)))
 	for _, k := range r.Keep {
 		p = appendString(p, k)
@@ -151,11 +215,13 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		p = appendString(p, vr.Lo)
 		p = appendString(p, vr.Hi)
 	}
-	return appendFrame(dst, frameRequest, p)
+	return appendFrame(dst, version, frameRequest, p)
 }
 
 // AppendResponse appends the response's frame encoding to dst. Group keys
 // are written in sorted order, so equal responses encode to equal bytes.
+// Span-free responses (and error responses, which never carry spans) encode
+// as wire v1; responses with a span subtree encode as v2.
 func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	if !r.Kind.valid() {
 		return nil, fmt.Errorf("cluster: cannot encode response of invalid kind %d", r.Kind)
@@ -164,13 +230,21 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	p = binary.AppendUvarint(p, r.ID)
 	p = append(p, byte(r.Kind))
 	var flags byte
+	version := byte(1)
 	if r.Err != "" {
-		flags |= 1
+		flags |= respFlagErr
+	}
+	spans := r.Spans
+	if spans != nil && r.Err == "" {
+		flags |= respFlagSpans
+		version = 2
+	} else {
+		spans = nil
 	}
 	p = append(p, flags)
 	if r.Err != "" {
 		p = appendString(p, r.Err)
-		return appendFrame(dst, frameResponse, p)
+		return appendFrame(dst, version, frameResponse, p)
 	}
 	p = appendFloat(p, r.Sum)
 	keys := make([]string, 0, len(r.Groups))
@@ -183,7 +257,10 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		p = appendString(p, k)
 		p = appendFloat(p, r.Groups[k])
 	}
-	return appendFrame(dst, frameResponse, p)
+	if spans != nil {
+		p = appendSpanNode(p, spans)
+	}
+	return appendFrame(dst, version, frameResponse, p)
 }
 
 // --- decoding ---
@@ -200,6 +277,15 @@ func (d *decoder) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(d.b[d.pos:])
 	if n <= 0 {
 		return 0, fmt.Errorf("cluster: truncated or overlong uvarint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("cluster: truncated or overlong varint at offset %d", d.pos)
 	}
 	d.pos += n
 	return v, nil
@@ -257,32 +343,90 @@ func (d *decoder) finish() error {
 	return nil
 }
 
-func decodeHeader(b []byte, wantType byte) (payload []byte, err error) {
+func decodeHeader(b []byte, wantType byte) (payload []byte, version byte, err error) {
 	if len(b) < headerLen {
-		return nil, fmt.Errorf("cluster: frame shorter than header (%d bytes)", len(b))
+		return nil, 0, fmt.Errorf("cluster: frame shorter than header (%d bytes)", len(b))
 	}
 	if b[0] != magic[0] || b[1] != magic[1] {
-		return nil, fmt.Errorf("cluster: bad magic %q", b[:2])
+		return nil, 0, fmt.Errorf("cluster: bad magic %q", b[:2])
 	}
-	if b[2] != Version {
-		return nil, fmt.Errorf("cluster: unsupported wire version %d (have %d)", b[2], Version)
+	if b[2] < minVersion || b[2] > Version {
+		return nil, 0, fmt.Errorf("cluster: unsupported wire version %d (have %d)", b[2], Version)
 	}
 	if b[3] != wantType {
-		return nil, fmt.Errorf("cluster: frame type %d, want %d", b[3], wantType)
+		return nil, 0, fmt.Errorf("cluster: frame type %d, want %d", b[3], wantType)
 	}
 	n := binary.BigEndian.Uint32(b[4:8])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("cluster: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+		return nil, 0, fmt.Errorf("cluster: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
 	}
 	if uint64(n) != uint64(len(b)-headerLen) {
-		return nil, fmt.Errorf("cluster: frame length %d, have %d payload bytes", n, len(b)-headerLen)
+		return nil, 0, fmt.Errorf("cluster: frame length %d, have %d payload bytes", n, len(b)-headerLen)
 	}
-	return b[headerLen:], nil
+	return b[headerLen:], b[2], nil
 }
 
-// DecodeRequest decodes one complete request frame.
+// decodeSpanNode decodes one span subtree. total counts nodes across the
+// whole tree (bounded by obs.MaxSpans) and depth bounds the recursion.
+func (d *decoder) spanNode(total *int, depth int) (*obs.SpanNode, error) {
+	if depth > maxSpanDepth {
+		return nil, fmt.Errorf("cluster: span tree deeper than %d", maxSpanDepth)
+	}
+	*total++
+	if *total > obs.MaxSpans {
+		return nil, fmt.Errorf("cluster: span tree larger than %d spans", obs.MaxSpans)
+	}
+	n := &obs.SpanNode{}
+	var err error
+	if n.Name, err = d.string(); err != nil {
+		return nil, err
+	}
+	dur, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dur > math.MaxInt64 {
+		return nil, fmt.Errorf("cluster: span duration %d overflows", dur)
+	}
+	n.DurationUS = int64(dur)
+	nattrs, err := d.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if nattrs > 0 {
+		n.Attrs = make(map[string]int64, nattrs)
+	}
+	for i := 0; i < nattrs; i++ {
+		key, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.Attrs[key]; dup {
+			return nil, fmt.Errorf("cluster: duplicate span attr %q", key)
+		}
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		n.Attrs[key] = v
+	}
+	nchildren, err := d.count(4)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nchildren; i++ {
+		c, err := d.spanNode(total, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}
+
+// DecodeRequest decodes one complete request frame (wire v1 or v2).
 func DecodeRequest(b []byte) (*Request, error) {
-	p, err := decodeHeader(b, frameRequest)
+	p, version, err := decodeHeader(b, frameRequest)
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +442,16 @@ func DecodeRequest(b []byte) (*Request, error) {
 	r.Kind = Kind(k)
 	if !r.Kind.valid() {
 		return nil, fmt.Errorf("cluster: invalid request kind %d", k)
+	}
+	if version >= 2 {
+		flags, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^byte(reqFlagTrace) != 0 {
+			return nil, fmt.Errorf("cluster: unknown request flags %#x", flags)
+		}
+		r.Trace = flags&reqFlagTrace != 0
 	}
 	nkeep, err := d.count(1)
 	if err != nil {
@@ -330,9 +484,9 @@ func DecodeRequest(b []byte) (*Request, error) {
 	return r, d.finish()
 }
 
-// DecodeResponse decodes one complete response frame.
+// DecodeResponse decodes one complete response frame (wire v1 or v2).
 func DecodeResponse(b []byte) (*Response, error) {
-	p, err := decodeHeader(b, frameResponse)
+	p, version, err := decodeHeader(b, frameResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -353,10 +507,17 @@ func DecodeResponse(b []byte) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	if flags&^byte(1) != 0 {
+	known := byte(respFlagErr)
+	if version >= 2 {
+		known = respFlagsKnown
+	}
+	if flags&^known != 0 {
 		return nil, fmt.Errorf("cluster: unknown response flags %#x", flags)
 	}
-	if flags&1 != 0 {
+	if flags&respFlagErr != 0 {
+		if flags&respFlagSpans != 0 {
+			return nil, fmt.Errorf("cluster: error response carrying spans")
+		}
 		if r.Err, err = d.string(); err != nil {
 			return nil, err
 		}
@@ -389,6 +550,12 @@ func DecodeResponse(b []byte) (*Response, error) {
 		}
 		r.Groups[key] = v
 	}
+	if flags&respFlagSpans != 0 {
+		total := 0
+		if r.Spans, err = d.spanNode(&total, 1); err != nil {
+			return nil, err
+		}
+	}
 	return r, d.finish()
 }
 
@@ -403,7 +570,7 @@ func readFrame(r io.Reader, wantType byte) ([]byte, error) {
 	if hdr[0] != magic[0] || hdr[1] != magic[1] {
 		return nil, fmt.Errorf("cluster: bad magic %q", hdr[:2])
 	}
-	if hdr[2] != Version {
+	if hdr[2] < minVersion || hdr[2] > Version {
 		return nil, fmt.Errorf("cluster: unsupported wire version %d (have %d)", hdr[2], Version)
 	}
 	if hdr[3] != wantType {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"testing"
+
+	"viewcube/internal/obs"
 )
 
 // FuzzWireCodec feeds arbitrary bytes to both frame decoders: they must
@@ -19,6 +21,19 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add(resp)
 	errResp, _ := AppendResponse(nil, &Response{ID: 7, Kind: KindTotal, Err: "boom"})
 	f.Add(errResp)
+	// Wire v2: trace-bearing frames.
+	tracedReq, _ := AppendRequest(nil, &Request{ID: 3, Kind: KindTotal, Trace: true})
+	f.Add(tracedReq)
+	spanResp, _ := AppendResponse(nil, &Response{ID: 3, Kind: KindTotal, Sum: 7, Spans: &obs.SpanNode{
+		Name:       "total",
+		DurationUS: 1500,
+		Attrs:      map[string]int64{"ops": 12, "cells": 4},
+		Children: []*obs.SpanNode{
+			{Name: "plan total", Attrs: map[string]int64{"cache_hit": 1}},
+			{Name: "assemble", DurationUS: 900, Attrs: map[string]int64{"ops": 12}},
+		},
+	}})
+	f.Add(spanResp)
 	flip := append([]byte(nil), resp...)
 	flip[9] ^= 0xFF
 	f.Add(flip)

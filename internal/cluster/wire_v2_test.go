@@ -1,0 +1,215 @@
+package cluster
+
+// Wire v2 tests: version negotiation (traceless traffic must stay
+// byte-identical to v1 so old peers interoperate), bit-exact span-subtree
+// round-trips, and the decode hardening around hostile span trees.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"viewcube/internal/obs"
+)
+
+// TestTracelessTrafficIsV1 pins the interop contract of the version bump:
+// a message with no trace content encodes as wire v1 — byte for byte the
+// pre-trace protocol — and only trace-bearing messages use v2.
+func TestTracelessTrafficIsV1(t *testing.T) {
+	req, err := AppendRequest(nil, &Request{ID: 9, Kind: KindGroupBy, Keep: []string{"product"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req[2] != 1 {
+		t.Fatalf("traceless request encoded as version %d, want 1", req[2])
+	}
+	traced, err := AppendRequest(nil, &Request{ID: 9, Kind: KindGroupBy, Keep: []string{"product"}, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced[2] != 2 {
+		t.Fatalf("traced request encoded as version %d, want 2", traced[2])
+	}
+
+	resp, err := AppendResponse(nil, &Response{ID: 9, Kind: KindTotal, Sum: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[2] != 1 {
+		t.Fatalf("spanless response encoded as version %d, want 1", resp[2])
+	}
+	withSpans, err := AppendResponse(nil, &Response{ID: 9, Kind: KindTotal, Sum: 4,
+		Spans: &obs.SpanNode{Name: "total"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSpans[2] != 2 {
+		t.Fatalf("span-bearing response encoded as version %d, want 2", withSpans[2])
+	}
+
+	// An error response never carries spans: the trace field is dropped and
+	// the frame stays v1, identical to the same error without spans.
+	plainErr, err := AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Err: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spannedErr, err := AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Err: "boom",
+		Spans: &obs.SpanNode{Name: "total"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainErr, spannedErr) {
+		t.Fatal("error response with spans did not encode identically to one without")
+	}
+	if plainErr[2] != 1 {
+		t.Fatalf("error response encoded as version %d, want 1", plainErr[2])
+	}
+}
+
+// TestTracedRequestRoundTrip: the v2 trace flag survives the codec.
+func TestTracedRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{ID: 1, Kind: KindTotal, Trace: true},
+		{ID: 2, Kind: KindGroupBy, Keep: []string{"product", "region"}, Trace: true},
+		{ID: 3, Kind: KindRangeSum, Ranges: []DimRange{{Dim: "day", Lo: "a", Hi: "z"}}, Trace: true},
+	}
+	for _, req := range reqs {
+		b, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", req, err)
+		}
+		got, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", req, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("round trip: got %+v, want %+v", got, req)
+		}
+	}
+}
+
+// randSpanTree builds a deterministic pseudo-random span subtree with at
+// most the given node budget (always using at least one node).
+func randSpanTree(rng *rand.Rand, budget *int, depth int) *obs.SpanNode {
+	*budget--
+	n := &obs.SpanNode{
+		Name:       fmt.Sprintf("span-%d", rng.Intn(1000)),
+		DurationUS: rng.Int63n(1 << 40),
+	}
+	if k := rng.Intn(4); k > 0 {
+		n.Attrs = make(map[string]int64, k)
+		for i := 0; i < k; i++ {
+			n.Attrs[fmt.Sprintf("attr%d", i)] = rng.Int63n(1<<50) - (1 << 49)
+		}
+	}
+	if depth < 8 {
+		for kids := rng.Intn(4); kids > 0 && *budget > 0; kids-- {
+			n.Children = append(n.Children, randSpanTree(rng, budget, depth+1))
+		}
+	}
+	return n
+}
+
+// TestSpanSubtreeRoundTripBitExact is the property test pinning the span
+// codec across the version bump: for arbitrary subtrees, decode∘encode is
+// the identity and re-encoding the decoded tree reproduces the exact same
+// bytes (the canonical encoding is stable).
+func TestSpanSubtreeRoundTripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		budget := 1 + rng.Intn(64)
+		want := &Response{
+			ID:    uint64(i),
+			Kind:  KindGroupBy,
+			Sum:   rng.NormFloat64(),
+			Spans: randSpanTree(rng, &budget, 1),
+		}
+		if rng.Intn(2) == 0 {
+			want.Groups = map[string]float64{"a": 1, "b": rng.Float64()}
+		}
+		enc, err := AppendResponse(nil, want)
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v", i, err)
+		}
+		got, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: round trip:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		enc2, err := AppendResponse(nil, got)
+		if err != nil {
+			t.Fatalf("iter %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("iter %d: span encoding is not bit-stable", i)
+		}
+	}
+}
+
+// TestSpanDecodeHardening: hostile span subtrees — too deep, too many
+// nodes, duplicate attrs, spans on an error response — are rejected, never
+// crash the decoder.
+func TestSpanDecodeHardening(t *testing.T) {
+	deep := &obs.SpanNode{Name: "leaf"}
+	for i := 0; i < maxSpanDepth+4; i++ {
+		deep = &obs.SpanNode{Name: "n", Children: []*obs.SpanNode{deep}}
+	}
+	b, err := AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Spans: deep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResponse(b); err == nil {
+		t.Error("over-deep span tree accepted")
+	}
+
+	wide := &obs.SpanNode{Name: "root"}
+	for i := 0; i < obs.MaxSpans; i++ {
+		wide.Children = append(wide.Children, &obs.SpanNode{Name: "c"})
+	}
+	b, err = AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Spans: wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResponse(b); err == nil {
+		t.Error("span tree over the node cap accepted")
+	}
+
+	// Hand-build a payload with a duplicate attr key: the encoder cannot
+	// produce one, so splice it together from primitives.
+	p := []byte{1}                 // ID
+	p = append(p, byte(KindTotal)) // kind
+	p = append(p, respFlagSpans)   // flags
+	p = appendFloat(p, 0)          // sum
+	p = append(p, 0)               // group count
+	p = appendString(p, "span")    // span name
+	p = append(p, 0)               // duration
+	p = append(p, 2)               // 2 attrs
+	p = appendString(p, "dup")
+	p = append(p, 2) // varint 1
+	p = appendString(p, "dup")
+	p = append(p, 4) // varint 2
+	p = append(p, 0) // 0 children
+	frame, err := appendFrame(nil, 2, frameResponse, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResponse(frame); err == nil {
+		t.Error("duplicate span attr accepted")
+	}
+
+	// A v1 frame cannot carry the spans flag at all.
+	good, err := AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Sum: 1,
+		Spans: &obs.SpanNode{Name: "total"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), good...)
+	v1[2] = 1
+	if _, err := DecodeResponse(v1); err == nil {
+		t.Error("v1 frame with spans flag accepted")
+	}
+}

@@ -131,30 +131,64 @@ type ClusterMetrics struct {
 	Partials    *Counter // degraded answers returned with shards missing
 	ShardsLive  *Gauge   // shards that answered the most recent query
 	ShardsKnown *Gauge   // shards configured
+	// RPCDuration observes each shard attempt's round-trip latency at the
+	// coordinator (including retries and hedges).
+	RPCDuration *Histogram
+	// QueryDuration observes whole scatter-gather query latency at the
+	// coordinator, by query kind.
+	QueryDuration map[string]*Histogram
 	// Shard-server side.
 	Served       *Counter // requests executed by this shard server
 	ServedErrors *Counter // requests that returned a shard-side error
 	Conns        *Gauge   // open shard-protocol connections
 	InFlight     *Gauge   // requests currently executing
+	// StageDecode/StageExecute/StageWrite observe per-request time the
+	// shard server spends in each handling stage.
+	StageDecode  *Histogram
+	StageExecute *Histogram
+	StageWrite   *Histogram
 }
 
 // NewClusterMetrics registers the cluster instrument set.
 func NewClusterMetrics(r *Registry) *ClusterMetrics {
-	return &ClusterMetrics{
-		Queries:      r.Counter("viewcube_cluster_queries_total", "Scatter-gather queries started by the coordinator."),
-		ShardCalls:   r.Counter("viewcube_cluster_shard_requests_total", "Shard requests sent by the coordinator, including retries and hedges."),
-		ShardErrors:  r.Counter("viewcube_cluster_shard_errors_total", "Shard requests that failed in transport or timed out."),
-		Retries:      r.Counter("viewcube_cluster_retries_total", "Shard requests re-sent after backoff."),
-		Hedges:       r.Counter("viewcube_cluster_hedges_total", "Speculative duplicate shard requests launched after the hedge delay."),
-		HedgeWins:    r.Counter("viewcube_cluster_hedge_wins_total", "Hedged shard requests that answered before the primary."),
-		Partials:     r.Counter("viewcube_cluster_partial_results_total", "Degraded answers returned with one or more shards missing."),
-		ShardsLive:   r.Gauge("viewcube_cluster_shards_live", "Shards that contributed to the most recent scatter-gather query."),
-		ShardsKnown:  r.Gauge("viewcube_cluster_shards_known", "Shards configured at the coordinator."),
-		Served:       r.Counter("viewcube_cluster_shard_served_total", "Requests executed by this shard server."),
-		ServedErrors: r.Counter("viewcube_cluster_shard_served_errors_total", "Shard-server requests that returned an execution error."),
-		Conns:        r.Gauge("viewcube_cluster_shard_connections", "Open shard-protocol connections at this shard server."),
-		InFlight:     r.Gauge("viewcube_cluster_shard_in_flight_requests", "Requests currently executing at this shard server."),
+	queryDur := make(map[string]*Histogram, 3)
+	for _, kind := range []string{"groupby", "total", "range"} {
+		queryDur[kind] = r.Histogram("viewcube_cluster_query_seconds",
+			"Whole scatter-gather query latency at the coordinator, by query kind.", nil, "kind", kind)
 	}
+	return &ClusterMetrics{
+		Queries:     r.Counter("viewcube_cluster_queries_total", "Scatter-gather queries started by the coordinator."),
+		ShardCalls:  r.Counter("viewcube_cluster_shard_requests_total", "Shard requests sent by the coordinator, including retries and hedges."),
+		ShardErrors: r.Counter("viewcube_cluster_shard_errors_total", "Shard requests that failed in transport or timed out."),
+		Retries:     r.Counter("viewcube_cluster_retries_total", "Shard requests re-sent after backoff."),
+		Hedges:      r.Counter("viewcube_cluster_hedges_total", "Speculative duplicate shard requests launched after the hedge delay."),
+		HedgeWins:   r.Counter("viewcube_cluster_hedge_wins_total", "Hedged shard requests that answered before the primary."),
+		Partials:    r.Counter("viewcube_cluster_partial_results_total", "Degraded answers returned with one or more shards missing."),
+		ShardsLive:  r.Gauge("viewcube_cluster_shards_live", "Shards that contributed to the most recent scatter-gather query."),
+		ShardsKnown: r.Gauge("viewcube_cluster_shards_known", "Shards configured at the coordinator."),
+		RPCDuration: r.Histogram("viewcube_cluster_rpc_duration_seconds",
+			"Round-trip latency of individual shard attempts at the coordinator, including retries and hedges.", nil),
+		QueryDuration: queryDur,
+		Served:        r.Counter("viewcube_cluster_shard_served_total", "Requests executed by this shard server."),
+		ServedErrors:  r.Counter("viewcube_cluster_shard_served_errors_total", "Shard-server requests that returned an execution error."),
+		Conns:         r.Gauge("viewcube_cluster_shard_connections", "Open shard-protocol connections at this shard server."),
+		InFlight:      r.Gauge("viewcube_cluster_shard_in_flight_requests", "Requests currently executing at this shard server."),
+		StageDecode: r.Histogram("viewcube_cluster_shard_stage_seconds",
+			"Per-request time the shard server spends in each handling stage.", nil, "stage", "decode"),
+		StageExecute: r.Histogram("viewcube_cluster_shard_stage_seconds",
+			"Per-request time the shard server spends in each handling stage.", nil, "stage", "execute"),
+		StageWrite: r.Histogram("viewcube_cluster_shard_stage_seconds",
+			"Per-request time the shard server spends in each handling stage.", nil, "stage", "write"),
+	}
+}
+
+// ObserveQuery records one coordinator query's latency under its kind. Safe
+// on nil and on unknown kinds.
+func (m *ClusterMetrics) ObserveQuery(kind string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.QueryDuration[kind].Observe(seconds)
 }
 
 // RangeMetrics instruments §6 range aggregation.

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryLogRing(t *testing.T) {
+	l, err := NewQueryLog(QueryLogOptions{RingSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		l.Record(QueryEntry{Kind: "groupby", Shape: string(rune('a' + i))})
+	}
+	got := l.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("recent = %d entries", len(got))
+	}
+	// Newest first: e, d, c.
+	if got[0].Shape != "e" || got[1].Shape != "d" || got[2].Shape != "c" {
+		t.Fatalf("order = %s %s %s", got[0].Shape, got[1].Shape, got[2].Shape)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	if two := l.Recent(2); len(two) != 2 || two[0].Shape != "e" {
+		t.Fatalf("recent(2) = %+v", two)
+	}
+}
+
+func TestQueryLogFileAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "query.log")
+	l, err := NewQueryLog(QueryLogOptions{RingSize: 8, Path: path, MaxBytes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		l.Record(QueryEntry{Kind: "range", Shape: "product=widget", DurationUS: int64(i)})
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("expected rotation: %v", err)
+	}
+	// Every line in the live file must be valid JSON with the schema keys.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		var e QueryEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if e.Kind != "range" || !strings.Contains(sc.Text(), `"duration_us"`) {
+			t.Fatalf("line = %s", sc.Text())
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("live file empty after rotation")
+	}
+}
+
+func TestQueryLogNil(t *testing.T) {
+	var l *QueryLog
+	l.Record(QueryEntry{Kind: "total"})
+	if l.Recent(5) != nil || l.Total() != 0 || l.Close() != nil {
+		t.Fatal("nil query log must no-op")
+	}
+}
+
+func TestQueryLogStampsTime(t *testing.T) {
+	l, err := NewQueryLog(QueryLogOptions{RingSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(QueryEntry{Kind: "sql"})
+	if e := l.Recent(1)[0]; e.Time.IsZero() || time.Since(e.Time) > time.Minute {
+		t.Fatalf("time not stamped: %v", e.Time)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if NewSampler(0) != nil || NewSampler(-1) != nil {
+		t.Fatal("rate <= 0 must disable sampling")
+	}
+	var nilS *Sampler
+	if nilS.Sample() || nilS.Every() != 0 {
+		t.Fatal("nil sampler never samples")
+	}
+	all := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !all.Sample() {
+			t.Fatal("rate 1 samples everything")
+		}
+	}
+	tenth := NewSampler(0.1)
+	if tenth.Every() != 10 {
+		t.Fatalf("every = %d", tenth.Every())
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if tenth.Sample() {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("hits = %d, want deterministic 10", hits)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sampler decides which queries get a full trace when always-on sampled
+// tracing is enabled. It is deterministic — every Nth query samples, with N
+// derived from the configured rate — so overhead is a pure atomic increment
+// on the unsampled path and behaviour is reproducible in tests. A nil
+// *Sampler never samples.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler returns a sampler tracing approximately the given fraction of
+// queries: rate >= 1 samples everything, rate <= 0 disables sampling
+// (returns nil), and 0 < rate < 1 samples every round(1/rate)-th query.
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 || math.IsNaN(rate) {
+		return nil
+	}
+	if rate >= 1 {
+		return &Sampler{every: 1}
+	}
+	every := uint64(math.Round(1 / rate))
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{every: every}
+}
+
+// Sample reports whether this query should carry a trace. Safe on nil
+// (never samples).
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}
+
+// Every exposes the sampling period (0 for a nil sampler), for /info-style
+// introspection.
+func (s *Sampler) Every() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}

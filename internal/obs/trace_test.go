@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -12,7 +13,7 @@ func TestTraceNestingAndTree(t *testing.T) {
 	plan.SetAttr("ops", 24)
 	plan.End()
 	exec := tr.Start("execute")
-	child := tr.Start("stored view{product}")
+	child := exec.Start("stored view{product}")
 	child.SetAttr("cells", 8)
 	child.End()
 	exec.SetAttr("ops", 24)
@@ -77,8 +78,12 @@ func TestNilTraceNoops(t *testing.T) {
 	s.SetAttr("a", 1)
 	s.AddAttr("a", 1)
 	s.End()
+	if s.Start("child") != nil {
+		t.Fatal("nil span must hand out nil children")
+	}
+	s.Graft(&SpanNode{Name: "n"})
 	tr.Finish()
-	if tr.Tree() != nil || tr.String() != "" || tr.Dropped() != 0 {
+	if tr.Tree() != nil || tr.String() != "" || tr.Dropped() != 0 || tr.ID() != 0 {
 		t.Fatal("nil trace must render empty")
 	}
 }
@@ -95,5 +100,127 @@ func TestTraceSpanCap(t *testing.T) {
 	}
 	if !strings.Contains(tr.String(), "spans dropped") {
 		t.Fatal("render should mention dropped spans")
+	}
+}
+
+// TestTraceConcurrentAttach exercises the concurrency-safe span tree: many
+// goroutines open, annotate, and close children of the same parent at once.
+// Run under -race this pins that traced queries need no serial fallback.
+func TestTraceConcurrentAttach(t *testing.T) {
+	tr := NewTrace("query")
+	exec := tr.Start("execute")
+	const workers, perWorker = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := grandchild(exec)
+				sp.AddAttr("ops", 2)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	exec.End()
+	tr.Finish()
+
+	tree := tr.Tree()
+	execNode := tree.Children[0]
+	if len(execNode.Children) != workers*perWorker {
+		t.Fatalf("children = %d, want %d", len(execNode.Children), workers*perWorker)
+	}
+	if got := tree.SumAttr("ops"); got != workers*perWorker*2 {
+		t.Fatalf("SumAttr(ops) = %d", got)
+	}
+}
+
+func grandchild(parent *Span) *Span {
+	sp := parent.Start("synthesize")
+	inner := sp.Start("stored")
+	inner.End()
+	return sp
+}
+
+func TestSpanIDsAndParents(t *testing.T) {
+	tr := NewTrace("q")
+	if tr.Root().ID() != 1 || tr.Root().ParentID() != 0 {
+		t.Fatalf("root id/parent = %d/%d", tr.Root().ID(), tr.Root().ParentID())
+	}
+	a := tr.Start("a")
+	b := a.Start("b")
+	if a.ParentID() != 1 || b.ParentID() != a.ID() {
+		t.Fatalf("parent chain: a.parent=%d b.parent=%d a.id=%d", a.ParentID(), b.ParentID(), a.ID())
+	}
+	if tr.ID() == 0 || tr.ID() == NewTrace("q2").ID() {
+		t.Fatal("trace IDs must be unique and nonzero")
+	}
+}
+
+func TestGraft(t *testing.T) {
+	tr := NewTrace("coordinator")
+	leg := tr.Start("shard a")
+	sub := &SpanNode{
+		Name:       "groupby product",
+		DurationUS: 120,
+		Attrs:      map[string]int64{"ops": 24},
+		Children: []*SpanNode{
+			{Name: "stored", DurationUS: 40, Attrs: map[string]int64{"cells": 8}},
+		},
+	}
+	leg.Graft(sub)
+	leg.End()
+	tr.Finish()
+
+	tree := tr.Tree()
+	got := tree.Children[0].Children[0]
+	if got.Name != "groupby product" || got.DurationUS != 120 || got.Attrs["ops"] != 24 {
+		t.Fatalf("grafted node = %+v", got)
+	}
+	if len(got.Children) != 1 || got.Children[0].Attrs["cells"] != 8 {
+		t.Fatalf("grafted child = %+v", got.Children[0])
+	}
+	if tree.SumAttr("ops") != 24 || tree.SumAttr("cells") != 8 {
+		t.Fatalf("grafted attrs lost: %s", tr.String())
+	}
+}
+
+func TestGraftHonorsCap(t *testing.T) {
+	tr := NewTrace("root")
+	for tr.Spans() < maxSpans {
+		tr.Start("fill")
+	}
+	leg := tr.Root()
+	leg.Graft(&SpanNode{Name: "over", Children: []*SpanNode{{Name: "child"}}})
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestExecCtxUnder(t *testing.T) {
+	tr := NewTrace("q")
+	x := Traced(tr)
+	sp := x.Start("execute")
+	child := x.Under(sp).Start("synthesize")
+	if child.ParentID() != sp.ID() {
+		t.Fatalf("Under must nest: parent=%d want %d", child.ParentID(), sp.ID())
+	}
+	// Deriving under a nil span (e.g. dropped over the cap) is a no-op.
+	if got := x.Under(nil); got != x {
+		t.Fatal("Under(nil) must return the context unchanged")
+	}
+	var nilCtx *ExecCtx
+	if nilCtx.Under(sp) != nil {
+		t.Fatal("nil ctx stays nil")
+	}
+}
+
+func TestRenderNode(t *testing.T) {
+	n := &SpanNode{Name: "query", DurationUS: 1500, Attrs: map[string]int64{"ops": 3},
+		Children: []*SpanNode{{Name: "plan", DurationUS: 200}}}
+	out := RenderNode(n)
+	if !strings.Contains(out, "query (1.5ms) ops=3") || !strings.Contains(out, "  plan (") {
+		t.Fatalf("render:\n%s", out)
 	}
 }

@@ -153,7 +153,7 @@ func (q *Querier) element(x *obs.ExecCtx, depths []int) (*ndarray.Array, error) 
 	a, _, err := q.cache.GetOrCompute(r.Key(), func() (*ndarray.Array, error) {
 		sp := x.Start("element " + r.String())
 		defer sp.End()
-		a, err := q.fetch(x, r)
+		a, err := q.fetch(x.Under(sp), r)
 		if err != nil {
 			return nil, err
 		}
@@ -192,6 +192,7 @@ func (q *Querier) RangeSumCtx(x *obs.ExecCtx, box Box) (float64, error) {
 	sp := x.Start("range_sum")
 	sp.SetAttr("box_cells", int64(box.Cells()))
 	defer sp.End()
+	x = x.Under(sp)
 	d := len(shape)
 	// Lower through the shared plan IR: one leg of dyadic blocks per
 	// dimension (§6 decomposition).

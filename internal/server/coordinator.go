@@ -4,32 +4,40 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"viewcube"
 	"viewcube/internal/cluster"
+	"viewcube/internal/obs"
 )
 
 // CoordinatorServer is the HTTP face of a cluster coordinator — the same
 // read API the single-node server exposes, answered by scatter-gather over
 // the shard tier:
 //
-//	GET /groupby?keep=product,region        (?partial=1 tolerates dead shards)
-//	GET /range?dim=lo:hi&dim2=lo:hi         (?partial=1)
-//	GET /total                              (?partial=1)
+//	GET /groupby?keep=product,region        (?partial=1 tolerates dead shards, ?trace=1 adds the stitched trace)
+//	GET /range?dim=lo:hi&dim2=lo:hi         (?partial=1, ?trace=1)
+//	GET /total                              (?partial=1, ?trace=1)
 //	GET /shards
 //	GET /metrics
+//	GET /querylog?n=50
 //	GET /healthz
 //
 // Exact queries fail with 502 when any shard is unreachable; with
 // partial=1 the response carries a "partial" object naming the shards the
 // answer is missing, and the sums remain exact over the shards that did
-// answer.
+// answer. With trace=1 the query runs under a distributed trace and the
+// response carries the stitched span tree — one leg per shard with the
+// shard's own internal spans grafted underneath (traced queries always
+// tolerate dead shards, so a trace of a degraded answer shows which legs
+// failed).
 type CoordinatorServer struct {
 	coord *cluster.Coordinator
 	log   *slog.Logger
 	mux   *http.ServeMux
+	qlog  *obs.QueryLog
 }
 
 // CoordinatorOption configures the coordinator server.
@@ -39,6 +47,13 @@ type CoordinatorOption func(*CoordinatorServer)
 // slog.Default.
 func WithCoordinatorLogger(l *slog.Logger) CoordinatorOption {
 	return func(s *CoordinatorServer) { s.log = l }
+}
+
+// WithCoordinatorQueryLog serves the given query log through GET /querylog.
+// Pass the same log the coordinator was built with (cluster.Options
+// .QueryLog) — the coordinator records entries, this server exposes them.
+func WithCoordinatorQueryLog(l *obs.QueryLog) CoordinatorOption {
+	return func(s *CoordinatorServer) { s.qlog = l }
 }
 
 // NewCoordinator wraps a cluster coordinator into an HTTP handler.
@@ -53,6 +68,7 @@ func NewCoordinator(coord *cluster.Coordinator, opts ...CoordinatorOption) *Coor
 	s.mux.HandleFunc("GET /total", s.handleTotal)
 	s.mux.HandleFunc("GET /shards", s.handleShards)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /querylog", s.handleQueryLog)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for _, o := range opts {
 		o(s)
@@ -97,6 +113,17 @@ func queryStatus(err error) int {
 
 func (s *CoordinatorServer) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	keep := parseKeep(r)
+	if wantTrace(r) {
+		groups, pr, tr, err := s.coord.TraceGroupBy(r.Context(), keep...)
+		if err != nil {
+			s.writeErr(w, queryStatus(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"groups": splitGroups(groups), "partial": pr, "trace": tr.Tree(),
+		})
+		return
+	}
 	if wantPartial(r) {
 		groups, pr, err := s.coord.GroupByPartial(r.Context(), keep...)
 		if err != nil {
@@ -127,7 +154,7 @@ func splitGroups(groups map[string]float64) map[string]float64 {
 func (s *CoordinatorServer) handleRange(w http.ResponseWriter, r *http.Request) {
 	ranges := make(map[string]viewcube.ValueRange)
 	for dim, vals := range r.URL.Query() {
-		if dim == "partial" || len(vals) == 0 {
+		if dim == "partial" || dim == "trace" || len(vals) == 0 {
 			continue
 		}
 		lo, hi, ok := strings.Cut(vals[0], ":")
@@ -136,6 +163,15 @@ func (s *CoordinatorServer) handleRange(w http.ResponseWriter, r *http.Request) 
 			return
 		}
 		ranges[dim] = viewcube.ValueRange{Lo: lo, Hi: hi}
+	}
+	if wantTrace(r) {
+		sum, pr, tr, err := s.coord.TraceRangeSum(r.Context(), ranges)
+		if err != nil {
+			s.writeErr(w, queryStatus(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"sum": sum, "partial": pr, "trace": tr.Tree()})
+		return
 	}
 	if wantPartial(r) {
 		sum, pr, err := s.coord.RangeSumPartial(r.Context(), ranges)
@@ -155,6 +191,15 @@ func (s *CoordinatorServer) handleRange(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *CoordinatorServer) handleTotal(w http.ResponseWriter, r *http.Request) {
+	if wantTrace(r) {
+		sum, pr, tr, err := s.coord.TraceTotal(r.Context())
+		if err != nil {
+			s.writeErr(w, queryStatus(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"sum": sum, "partial": pr, "trace": tr.Tree()})
+		return
+	}
 	if wantPartial(r) {
 		sum, pr, err := s.coord.TotalPartial(r.Context())
 		if err != nil {
@@ -181,6 +226,18 @@ func (s *CoordinatorServer) handleMetrics(w http.ResponseWriter, r *http.Request
 	if err := s.coord.Registry().WriteText(w); err != nil {
 		s.log.Error("writing metrics", "error", err)
 	}
+}
+
+func (s *CoordinatorServer) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	entries := s.qlog.Recent(n)
+	if entries == nil {
+		entries = []obs.QueryEntry{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"total":   s.qlog.Total(),
+		"entries": entries,
+	})
 }
 
 func (s *CoordinatorServer) handleHealthz(w http.ResponseWriter, r *http.Request) {

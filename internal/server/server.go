@@ -8,6 +8,7 @@
 //	GET  /explain?keep=product
 //	GET  /stats
 //	GET  /metrics          (Prometheus text exposition)
+//	GET  /querylog?n=50    (recent query analytics entries, newest first)
 //	GET  /healthz
 //	GET  /debug/pprof/*    (only with WithPprof)
 //	POST /optimize {"views": [{"keep": ["product"], "freq": 0.7}, ...]}
@@ -25,6 +26,8 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,11 +37,13 @@ import (
 
 // Server is an http.Handler over one cube engine.
 type Server struct {
-	cube *viewcube.Cube
-	eng  *viewcube.SafeEngine
-	met  *viewcube.Metrics
-	log  *slog.Logger
-	mux  *http.ServeMux
+	cube    *viewcube.Cube
+	eng     *viewcube.SafeEngine
+	met     *viewcube.Metrics
+	log     *slog.Logger
+	mux     *http.ServeMux
+	qlog    *obs.QueryLog
+	sampler *obs.Sampler
 
 	reqLatency  *obs.Histogram
 	reqInFlight *obs.Gauge
@@ -62,6 +67,20 @@ func WithPprof() Option {
 // WithLogger sets the request logger; the default is slog.Default.
 func WithLogger(l *slog.Logger) Option {
 	return func(s *Server) { s.log = l }
+}
+
+// WithQueryLog records every /query, /groupby and /range into the given
+// query log (shape, duration, plan-cache outcome, per-query costs), served
+// back through GET /querylog.
+func WithQueryLog(l *obs.QueryLog) Option {
+	return func(s *Server) { s.qlog = l }
+}
+
+// WithTraceSampling traces approximately the given fraction of queries
+// (deterministically, every Nth) even when the client did not ask for a
+// trace; sampled trees land in the query log. Responses are unchanged.
+func WithTraceSampling(rate float64) Option {
+	return func(s *Server) { s.sampler = obs.NewSampler(rate) }
 }
 
 // New wraps a cube and its engine into an HTTP handler.
@@ -95,6 +114,7 @@ func NewSafe(cube *viewcube.Cube, eng *viewcube.SafeEngine, opts ...Option) *Ser
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /info", s.handleInfo)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /querylog", s.handleQueryLog)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for _, o := range opts {
 		o(s)
@@ -167,6 +187,57 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
 
 func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
 
+// logQuery records one finished query into the query log (no-op without
+// one): its shape, duration, plan-cache epoch and — when the query ran
+// traced — the costs mined from the span tree, plus the full tree for
+// sampled queries.
+func (s *Server) logQuery(kind, shape string, start time.Time, qt *viewcube.QueryTrace, sampled bool, qerr error) {
+	if s.qlog == nil {
+		return
+	}
+	e := obs.QueryEntry{
+		Kind:       kind,
+		Shape:      shape,
+		DurationUS: time.Since(start).Microseconds(),
+		Epoch:      s.eng.PlanCacheStats().Epoch,
+		Sampled:    sampled,
+	}
+	if qt != nil {
+		tree := qt.Tree()
+		e.TraceID = qt.TraceID()
+		e.Ops = tree.SumAttr("ops")
+		e.Cells = tree.SumAttr("cells")
+		if plan := tree.Find("plan "); plan != nil {
+			hit := plan.Attrs["cache_hit"] == 1
+			e.PlanCacheHit = &hit
+		}
+		if sampled {
+			e.Trace = tree
+		}
+	}
+	if qerr != nil {
+		e.Error = qerr.Error()
+	}
+	s.qlog.Record(e)
+}
+
+// sample reports whether this query should run under a sampled trace.
+func (s *Server) sample(explicit bool) bool {
+	return !explicit && s.sampler.Sample()
+}
+
+func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	entries := s.qlog.Recent(n)
+	if entries == nil {
+		entries = []obs.QueryEntry{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"total":   s.qlog.Total(),
+		"entries": entries,
+	})
+}
+
 type queryRequest struct {
 	SQL string `json:"sql"`
 }
@@ -193,16 +264,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tr  *viewcube.QueryTrace
 		err error
 	)
-	if wantTrace(r) {
+	explicit := wantTrace(r)
+	sampled := s.sample(explicit)
+	start := time.Now()
+	if explicit || sampled {
 		res, tr, err = s.eng.TraceQuery(req.SQL)
 	} else {
 		res, err = s.eng.Query(req.SQL)
 	}
+	s.logQuery("query", req.SQL, start, tr, sampled, err)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := queryResponse{Columns: res.Columns, Trace: tr}
+	resp := queryResponse{Columns: res.Columns}
+	if explicit {
+		// A sampled trace feeds the query log only; the response shape must
+		// not depend on the sampling decision.
+		resp.Trace = tr
+	}
 	for _, row := range res.Rows {
 		key := row.Key
 		if key == nil {
@@ -273,11 +353,15 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		tr  *viewcube.QueryTrace
 		err error
 	)
-	if wantTrace(r) {
+	explicit := wantTrace(r)
+	sampled := s.sample(explicit)
+	start := time.Now()
+	if explicit || sampled {
 		v, tr, err = s.eng.TraceGroupBy(keep...)
 	} else {
 		v, err = s.eng.GroupBy(keep...)
 	}
+	s.logQuery("groupby", strings.Join(keep, ","), start, tr, sampled, err)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
@@ -291,11 +375,26 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	for k, val := range groups {
 		out[strings.Join(viewcube.SplitGroupKey(k), "/")] = val
 	}
-	if tr != nil {
+	if explicit {
 		s.writeJSON(w, http.StatusOK, map[string]any{"groups": out, "trace": tr})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// rangeShape renders a range query's shape canonically (dimensions sorted)
+// for the query log.
+func rangeShape(ranges map[string]viewcube.ValueRange) string {
+	dims := make([]string, 0, len(ranges))
+	for dim := range ranges {
+		dims = append(dims, dim)
+	}
+	sort.Strings(dims)
+	parts := make([]string, len(dims))
+	for i, dim := range dims {
+		parts[i] = fmt.Sprintf("%s=[%s,%s]", dim, ranges[dim].Lo, ranges[dim].Hi)
+	}
+	return strings.Join(parts, " ")
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -316,16 +415,20 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		tr  *viewcube.QueryTrace
 		err error
 	)
-	if wantTrace(r) {
+	explicit := wantTrace(r)
+	sampled := s.sample(explicit)
+	start := time.Now()
+	if explicit || sampled {
 		sum, tr, err = s.eng.TraceRangeSum(ranges)
 	} else {
 		sum, err = s.eng.RangeSum(ranges)
 	}
+	s.logQuery("range", rangeShape(ranges), start, tr, sampled, err)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if tr != nil {
+	if explicit {
 		s.writeJSON(w, http.StatusOK, map[string]any{"sum": sum, "trace": tr})
 		return
 	}

@@ -1,0 +1,57 @@
+// The observability overhead gate: with sampling disabled, the serving path
+// must pay nothing measurable for the tracing machinery. CI runs this as
+//
+//	go test -run TestTracedQueryOverheadGate -overheadgate
+//
+// and fails the build if the sampling-off path is more than 5% slower than
+// the plain cached-plan GroupBy baseline. It is opt-in (skipped without the
+// flag) because each side is measured several times under testing.Benchmark,
+// which is far too slow for the ordinary test run.
+package viewcube_test
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+var overheadGate = flag.Bool("overheadgate", false, "measure sampling-off tracing overhead and fail above 5%")
+
+// benchCachedGroupBy is the baseline the gate compares against: the same
+// warmed fixture and query as benchTracedOff, minus the sampler check.
+func benchCachedGroupBy(b *testing.B) {
+	eng := tracedOverheadFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.GroupBy("product"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTracedQueryOverheadGate(t *testing.T) {
+	if !*overheadGate {
+		t.Skip("enable with -overheadgate")
+	}
+	// Best-of-N on each side filters scheduler noise: the true sampling-off
+	// overhead is one nil-sampler check per query, orders of magnitude under
+	// the 5% budget, so only a measurement artefact can trip the gate.
+	measure := func(fn func(*testing.B)) time.Duration {
+		var best time.Duration
+		for i := 0; i < 5; i++ {
+			r := testing.Benchmark(fn)
+			if d := time.Duration(r.NsPerOp()); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	baseline := measure(benchCachedGroupBy)
+	off := measure(benchTracedOff)
+	overhead := 100 * (float64(off)/float64(baseline) - 1)
+	t.Logf("cached-plan baseline %v/op, sampling-off %v/op (%+.2f%% overhead)", baseline, off, overhead)
+	if limit := baseline + baseline/20; off > limit {
+		t.Errorf("sampling-off path %v/op exceeds 105%% of baseline %v/op (%+.2f%%)", off, baseline, overhead)
+	}
+}

@@ -272,6 +272,34 @@ func (s *SafeEngine) TraceRangeSum(ranges map[string]ValueRange) (float64, *Quer
 	return sum, tr, nil
 }
 
+// TraceTotal is Engine.TraceTotal under the read lock.
+func (s *SafeEngine) TraceTotal() (float64, *QueryTrace, error) {
+	s.mu.RLock()
+	total, tr, err := s.eng.traceTotal()
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return total, tr, nil
+}
+
+// TraceRangeSumWithin is Engine.TraceRangeSumWithin under the read lock.
+func (s *SafeEngine) TraceRangeSumWithin(ranges map[string]ValueRange) (float64, bool, *QueryTrace, error) {
+	s.mu.RLock()
+	sum, ok, tr, err := s.eng.traceRangeSumWithin(ranges)
+	s.mu.RUnlock()
+	if err == nil {
+		err = s.reselectIfDue()
+	}
+	if err != nil {
+		return 0, false, nil, err
+	}
+	return sum, ok, tr, nil
+}
+
 // SaveState is Engine.SaveState under the read lock.
 func (s *SafeEngine) SaveState(w io.Writer) error {
 	s.mu.RLock()

@@ -24,6 +24,15 @@ func (qt *QueryTrace) String() string {
 	return qt.t.String()
 }
 
+// TraceID renders the trace's process-unique identifier the way the query
+// log exposes it.
+func (qt *QueryTrace) TraceID() string {
+	if qt == nil {
+		return ""
+	}
+	return obs.FormatTraceID(qt.t.ID())
+}
+
 // Tree returns the span tree in its JSON-able shape.
 func (qt *QueryTrace) Tree() *obs.SpanNode {
 	if qt == nil {
@@ -106,6 +115,30 @@ func (e *Engine) traceGroupBy(keep ...string) (*View, *QueryTrace, error) {
 	return v, tr, nil
 }
 
+// TraceTotal is Total with per-span tracing.
+func (e *Engine) TraceTotal() (float64, *QueryTrace, error) {
+	total, tr, err := e.traceTotal()
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return total, tr, nil
+}
+
+func (e *Engine) traceTotal() (float64, *QueryTrace, error) {
+	var total float64
+	tr, err := e.withTrace("total", func(x *obs.ExecCtx) (err error) {
+		total, err = e.totalObserved(x)
+		return err
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return total, tr, nil
+}
+
 // TraceRangeSum is RangeSum with per-span tracing.
 func (e *Engine) TraceRangeSum(ranges map[string]ValueRange) (float64, *QueryTrace, error) {
 	sum, tr, err := e.traceRangeSum(ranges)
@@ -128,4 +161,33 @@ func (e *Engine) traceRangeSum(ranges map[string]ValueRange) (float64, *QueryTra
 		return 0, nil, err
 	}
 	return sum, tr, nil
+}
+
+// TraceRangeSumWithin is RangeSumWithin with per-span tracing (the shard
+// servers' traced range path: out-of-domain ranges report ok=false rather
+// than erroring).
+func (e *Engine) TraceRangeSumWithin(ranges map[string]ValueRange) (float64, bool, *QueryTrace, error) {
+	sum, ok, tr, err := e.traceRangeSumWithin(ranges)
+	if err == nil {
+		err = e.maybeReselect()
+	}
+	if err != nil {
+		return 0, false, nil, err
+	}
+	return sum, ok, tr, nil
+}
+
+func (e *Engine) traceRangeSumWithin(ranges map[string]ValueRange) (float64, bool, *QueryTrace, error) {
+	var (
+		sum float64
+		ok  bool
+	)
+	tr, err := e.withTrace("range", func(x *obs.ExecCtx) (err error) {
+		sum, ok, err = e.rangeSumWithinObserved(x, ranges)
+		return err
+	})
+	if err != nil {
+		return 0, false, nil, err
+	}
+	return sum, ok, tr, nil
 }
