@@ -1,0 +1,464 @@
+package viewcube
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"viewcube/internal/assembly"
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+	"viewcube/internal/obs"
+	"viewcube/internal/plan"
+	"viewcube/internal/rangeagg"
+	"viewcube/internal/relation"
+	"viewcube/internal/velement"
+)
+
+// AggKind names an aggregate function servable by an AggEngine. SUM is the
+// paper's native function; COUNT is SUM of the constant 1 (Gray et al.),
+// and AVG, VAR and STDDEV are algebraic finalisers over the distributive
+// component vector [Σv, Σv², Σ1].
+type AggKind = plan.AggKind
+
+// The aggregate kinds.
+const (
+	AggSum    = plan.AggSum
+	AggCount  = plan.AggCount
+	AggAvg    = plan.AggAvg
+	AggVar    = plan.AggVar
+	AggStdDev = plan.AggStdDev
+)
+
+// AggEngine answers SUM, COUNT, AVG, VAR and STDDEV queries from ONE
+// measure-vector cube: every cell carries the component vector
+// [Σv, Σv², Σ1], every Haar operator (fold, partial, residual, synthesis)
+// applies per component — the operators are linear, so they distribute over
+// the components — and each aggregate is a per-group finaliser applied
+// after assembly. One stored element set, one Procedure 3 plan and one
+// execution serve every aggregate kind, where the historical design needed
+// one full engine (store + planner + executor) per distributive ingredient.
+//
+// Two scalar *Engine views (Sum, Count) remain available over the same
+// storage: each adapts the classic Engine API onto one component plane of
+// the shared vector store via assembly.ComponentStore, so workload
+// optimisation, adaptive reselection, Explain and incremental maintenance
+// keep working unchanged — backed by the same bytes the vector executor
+// reads. Component 0 of every assembled vector is bit-identical to what a
+// scalar SUM engine over the same element set produces (identical kernels,
+// identical iteration order, per plane), which is what lets AvgEngine sit
+// on top of AggEngine without changing a single answered value.
+//
+// Like a plain Engine, an AggEngine is not safe for concurrent mutation;
+// concurrent reads are safe while no Optimize/Update is in flight.
+type AggEngine struct {
+	cube  *Cube // sum-plane cube: dimension metadata, encoding, workloads
+	mdata *ndarray.MultiArray
+	spec  plan.MeasureSpec
+
+	mst  *assembly.MemMultiStore
+	veng *assembly.VectorEngine
+	pl   *plan.Planner
+	vq   *rangeagg.VecQuerier
+
+	sum *Engine
+	cnt *Engine
+}
+
+// NewAggEngine builds the measure-vector cube [Σv, Σv², Σ1] from the
+// relation and attaches the vector engine plus its two scalar component
+// views. The vector store is in-memory; DiskDir is not supported.
+func NewAggEngine(t *Table, opts EngineOptions) (*AggEngine, error) {
+	if opts.DiskDir != "" {
+		return nil, fmt.Errorf("viewcube: AggEngine does not support DiskDir (the vector store is in-memory)")
+	}
+	mdata, enc, err := relation.BuildMultiCube(t.t)
+	if err != nil {
+		return nil, err
+	}
+	space, err := velement.NewSpace(enc.Shape)
+	if err != nil {
+		return nil, err
+	}
+	spec := plan.StatsMeasure()
+	a := &AggEngine{mdata: mdata, spec: spec}
+	a.cube = &Cube{
+		space:   space,
+		data:    mdata.Component(spec.Sum),
+		dims:    append([]string(nil), enc.Dimensions...),
+		measure: t.Measure(),
+		enc:     enc,
+	}
+	cntCube := &Cube{
+		space:   space,
+		data:    mdata.Component(spec.Count),
+		dims:    append([]string(nil), enc.Dimensions...),
+		measure: "count_" + t.Measure(),
+		enc:     enc,
+	}
+	a.mst = assembly.NewMemMultiStore()
+	if err := a.mst.Put(space.Root(), mdata.Clone()); err != nil {
+		return nil, fmt.Errorf("viewcube: storing the vector cube: %w", err)
+	}
+	a.veng = assembly.NewVectorEngine(space, a.mst, spec.Width)
+	a.veng.SetExecutor(opts.ExecWorkers, opts.ParallelExecCells)
+	a.pl = plan.NewPlannerFor(a.veng, spec)
+	a.vq = rangeagg.NewVecQuerier(space, aggElementSource{a}, spec.Width)
+
+	assemble := func(r freq.Rect) (*ndarray.MultiArray, error) { return a.veng.Answer(nil, r) }
+	sumStore := &assembly.ComponentStore{MS: a.mst, Comp: spec.Sum, Assemble: assemble, OnMutate: a.invalidate}
+	cntStore := &assembly.ComponentStore{MS: a.mst, Comp: spec.Count, Assemble: assemble, OnMutate: a.invalidate}
+	if a.sum, err = newEngineWith(a.cube, sumStore, opts); err != nil {
+		return nil, err
+	}
+	if a.cnt, err = newEngineWith(cntCube, cntStore, opts); err != nil {
+		return nil, err
+	}
+	a.veng.SetMetrics(a.sum.met.assembly)
+	a.pl.SetMetrics(a.sum.met.plans)
+	a.vq.SetMetrics(a.sum.met.ranges)
+	return a, nil
+}
+
+// Cube returns the SUM-plane cube (dimension metadata, workloads, ...).
+func (a *AggEngine) Cube() *Cube { return a.cube }
+
+// Width returns the measure-vector component width.
+func (a *AggEngine) Width() int { return a.spec.Width }
+
+// SumEngine returns the scalar SUM-plane view of the engine.
+func (a *AggEngine) SumEngine() *Engine { return a.sum }
+
+// CountEngine returns the scalar COUNT-plane view of the engine.
+func (a *AggEngine) CountEngine() *Engine { return a.cnt }
+
+// invalidate drops every plan and element cache layered over the vector
+// store: the vector planner and range querier, plus both scalar component
+// views' plan caches and range caches. ComponentStore calls it after every
+// store mutation (adaptive migration, incremental updates).
+func (a *AggEngine) invalidate() {
+	a.pl.Invalidate()
+	a.vq.Reset()
+	// Nil during construction: the component stores exist before the twins.
+	if a.sum != nil {
+		a.sum.inner.InvalidatePlans()
+		a.sum.rq.Reset()
+	}
+	if a.cnt != nil {
+		a.cnt.inner.InvalidatePlans()
+		a.cnt.rq.Reset()
+	}
+}
+
+// observeServed folds one vector-path query into both scalar views'
+// adaptive recorders, so reselection statistics stay meaningful no matter
+// which path served the query.
+func (a *AggEngine) observeServed(r freq.Rect, cost int) {
+	a.sum.inner.ObserveServed(r, cost)
+	a.cnt.inner.ObserveServed(r, cost)
+}
+
+// maybeReselect runs any due automatic reselection on both component views
+// (they share the vector store, so the second reconfiguration is a no-op).
+func (a *AggEngine) maybeReselect() error {
+	if err := a.sum.maybeReselect(); err != nil {
+		return err
+	}
+	return a.cnt.maybeReselect()
+}
+
+// Optimize selects and materialises the best vector element set for an
+// anticipated workload (expressed against the SUM-plane cube). One shared
+// store serves every aggregate, so one optimisation covers them all.
+func (a *AggEngine) Optimize(w *Workload) error {
+	if err := a.sum.Optimize(w); err != nil {
+		return err
+	}
+	// Mirror the workload into the count view's recorder: element identities
+	// are shape-level and both views share a shape. Its reconfiguration sees
+	// the store already migrated and changes nothing.
+	cw := a.cnt.cube.NewWorkload()
+	if w != nil {
+		for _, ent := range w.entries {
+			cw.entries = append(cw.entries, workloadEntry{rect: ent.rect.Clone(), freq: ent.freq})
+		}
+	}
+	return a.cnt.Optimize(cw)
+}
+
+// aggElementSource feeds the vector range querier with assembled vector
+// elements, recording accesses so adaptation sees range workloads too.
+type aggElementSource struct{ a *AggEngine }
+
+func (s aggElementSource) ElementMulti(x *obs.ExecCtx, r freq.Rect) (*ndarray.MultiArray, error) {
+	ph, err := s.a.pl.Element(x, r)
+	if err != nil {
+		return nil, err
+	}
+	ma, err := s.a.veng.Execute(x, ph.Assembly)
+	if err != nil {
+		return nil, err
+	}
+	s.a.observeServed(r, ph.Cost)
+	return ma, nil
+}
+
+// groupByVector assembles the measure-vector view keeping the named
+// dimensions and returns it with its physical plan. The caller owns the
+// array (recycle it via ndarray.RecycleMulti).
+func (a *AggEngine) groupByVector(x *obs.ExecCtx, kind AggKind, keep ...string) (*ndarray.MultiArray, Element, error) {
+	el, err := a.cube.ViewKeeping(keep...)
+	if err != nil {
+		return nil, Element{}, err
+	}
+	ph, err := a.pl.Element(x, el.rect)
+	if err != nil {
+		return nil, Element{}, err
+	}
+	ph.Agg = kind
+	ma, err := a.veng.Execute(x, ph.Assembly)
+	if err != nil {
+		return nil, Element{}, err
+	}
+	a.observeServed(el.rect, ph.Cost)
+	return ma, el, nil
+}
+
+// componentGroups interprets one component plane of an assembled vector
+// view relationally (group key → plane value).
+func (a *AggEngine) componentGroups(ma *ndarray.MultiArray, el Element, comp int) (map[string]float64, error) {
+	v, err := newView(a.cube, el, ma.Component(comp))
+	if err != nil {
+		return nil, err
+	}
+	return v.Groups()
+}
+
+// GroupByAgg answers GROUP BY keep... for any aggregate kind from one
+// assembled vector view. Zero-count semantics are uniform: groups with no
+// tuples are dropped for the count-dividing kinds (AVG, VAR, STDDEV) —
+// their finalisers are undefined there — while SUM and COUNT report every
+// group of the cube's group space (a zero where no tuples fall).
+func (a *AggEngine) GroupByAgg(kind AggKind, keep ...string) (map[string]float64, error) {
+	out, err := a.groupByAggObserved(nil, kind, keep...)
+	if err == nil {
+		err = a.maybeReselect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (a *AggEngine) groupByAggObserved(x *obs.ExecCtx, kind AggKind, keep ...string) (map[string]float64, error) {
+	start := time.Now()
+	out, err := a.groupByAggInner(x, kind, keep...)
+	a.sum.met.observe("groupby", start, err)
+	return out, err
+}
+
+func (a *AggEngine) groupByAggInner(x *obs.ExecCtx, kind AggKind, keep ...string) (map[string]float64, error) {
+	if err := a.spec.Supports(kind); err != nil {
+		return nil, err
+	}
+	ma, el, err := a.groupByVector(x, kind, keep...)
+	if err != nil {
+		return nil, err
+	}
+	defer ndarray.RecycleMulti(ma)
+	return a.finalizeGroups(kind, ma, el)
+}
+
+// finalizeGroups applies the aggregate's finaliser per group of the
+// assembled vector view. The count-dividing kinds finalise in ONE pass over
+// the group space (keys built once, no intermediate per-component maps), so
+// AVG/VAR/STDDEV carry the allocation profile of a single scalar GROUP BY
+// rather than one per ingredient.
+func (a *AggEngine) finalizeGroups(kind AggKind, ma *ndarray.MultiArray, el Element) (map[string]float64, error) {
+	switch kind {
+	case AggSum:
+		return a.componentGroups(ma, el, a.spec.Sum)
+	case AggCount:
+		return a.componentGroups(ma, el, a.spec.Count)
+	}
+	aggregated := make([]bool, len(a.cube.dims))
+	for m := range aggregated {
+		aggregated[m] = true
+	}
+	for m, node := range el.rect {
+		if node == freq.Root {
+			aggregated[m] = false
+		}
+	}
+	out := make(map[string]float64)
+	err := a.cube.enc.ViewGroupsVec(ma, aggregated, func(key string, vec []float64) {
+		if vec[a.spec.Count] == 0 {
+			return // no tuples: the finaliser is undefined, drop the group
+		}
+		if v, ok := a.spec.Finalize(kind, vec); ok {
+			out[key] = v
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RangeAgg answers the aggregate over the box selected by per-dimension
+// value ranges (unnamed dimensions unrestricted), through intermediate
+// vector view elements (§6). Count-dividing kinds (AVG, VAR, STDDEV) return
+// an error when the box holds no tuples; SUM and COUNT return 0.
+func (a *AggEngine) RangeAgg(kind AggKind, ranges map[string]ValueRange) (float64, error) {
+	v, err := a.rangeAggObserved(nil, kind, ranges)
+	if err == nil {
+		err = a.maybeReselect()
+	}
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (a *AggEngine) rangeAggObserved(x *obs.ExecCtx, kind AggKind, ranges map[string]ValueRange) (float64, error) {
+	start := time.Now()
+	v, err := a.rangeAggInner(x, kind, ranges)
+	a.sum.met.observe("range", start, err)
+	return v, err
+}
+
+func (a *AggEngine) rangeAggInner(x *obs.ExecCtx, kind AggKind, ranges map[string]ValueRange) (float64, error) {
+	if err := a.spec.Supports(kind); err != nil {
+		return 0, err
+	}
+	box, err := a.sum.resolveBox(ranges)
+	if err != nil {
+		return 0, err
+	}
+	vec := make([]float64, a.spec.Width)
+	if err := a.vq.RangeVecCtx(x, box, vec); err != nil {
+		return 0, err
+	}
+	v, ok := a.spec.Finalize(kind, vec)
+	if !ok {
+		return 0, fmt.Errorf("viewcube: no tuples in range")
+	}
+	return v, nil
+}
+
+// Update applies one new observation with the given measure to the cube
+// cell at idx: the component delta [v, v², 1] is folded into the base cube
+// and incrementally into every stored vector element (each changes in
+// exactly one cell per component). All plan and element caches are
+// invalidated across the vector engine and both scalar views.
+func (a *AggEngine) Update(measure float64, idx ...int) error {
+	delta := make([]float64, a.spec.Width)
+	delta[a.spec.Sum] = measure
+	delta[a.spec.SumSq] = measure * measure
+	delta[a.spec.Count] = 1
+	if err := assembly.UpdateCellMulti(a.cube.space, a.mst, delta, idx); err != nil {
+		return err
+	}
+	a.mdata.AddVec(delta, idx...)
+	a.invalidate()
+	a.sum.met.updates.Inc()
+	if a.cnt.met != a.sum.met {
+		a.cnt.met.updates.Inc()
+	}
+	return nil
+}
+
+// UpdateValue is Update addressed by dimension values: one new tuple with
+// the given measure, located through the dictionaries.
+func (a *AggEngine) UpdateValue(measure float64, values map[string]string) error {
+	if len(values) != len(a.cube.dims) {
+		return fmt.Errorf("viewcube: need a value for each of the %d dimensions", len(a.cube.dims))
+	}
+	idx := make([]int, len(a.cube.dims))
+	for name, val := range values {
+		m, err := a.cube.DimIndex(name)
+		if err != nil {
+			return err
+		}
+		code, ok := a.cube.enc.Dicts[m].Code(val)
+		if !ok {
+			return fmt.Errorf("viewcube: value %q not in dimension %q", val, name)
+		}
+		idx[m] = code
+	}
+	return a.Update(measure, idx...)
+}
+
+// ExplainAgg renders the current vector execution plan for GROUP BY keep...
+// under the given aggregate kind, without executing it. The header carries
+// the aggregate kind and measure width next to the epoch and cache status.
+func (a *AggEngine) ExplainAgg(kind AggKind, keep ...string) (string, error) {
+	if err := a.spec.Supports(kind); err != nil {
+		return "", err
+	}
+	el, err := a.cube.ViewKeeping(keep...)
+	if err != nil {
+		return "", err
+	}
+	ph, err := a.pl.Element(nil, el.rect)
+	if err != nil {
+		return "", err
+	}
+	ph.Agg = kind
+	var b strings.Builder
+	plan.Render(&b, el.String(), ph, a.sum.describer())
+	return b.String(), nil
+}
+
+// TraceGroupByAgg is GroupByAgg with per-span tracing: the root span
+// carries agg and measure_width attributes, and every assembly span below
+// it reports the vector execution.
+func (a *AggEngine) TraceGroupByAgg(kind AggKind, keep ...string) (map[string]float64, *QueryTrace, error) {
+	var out map[string]float64
+	tr, err := a.sum.withTrace("groupby_agg "+kind.String()+" "+strings.Join(keep, ","), func(x *obs.ExecCtx) (err error) {
+		sp := x.Start("aggregate " + kind.String())
+		sp.SetAttr("agg_kind", int64(kind))
+		sp.SetAttr("measure_width", int64(a.spec.Width))
+		defer sp.End()
+		out, err = a.groupByAggObserved(x.Under(sp), kind, keep...)
+		return err
+	})
+	if err == nil {
+		err = a.maybeReselect()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, tr, nil
+}
+
+// TraceRangeAgg is RangeAgg with per-span tracing.
+func (a *AggEngine) TraceRangeAgg(kind AggKind, ranges map[string]ValueRange) (float64, *QueryTrace, error) {
+	var v float64
+	tr, err := a.sum.withTrace("range_agg "+kind.String(), func(x *obs.ExecCtx) (err error) {
+		sp := x.Start("aggregate " + kind.String())
+		sp.SetAttr("agg_kind", int64(kind))
+		sp.SetAttr("measure_width", int64(a.spec.Width))
+		defer sp.End()
+		v, err = a.rangeAggObserved(x.Under(sp), kind, ranges)
+		return err
+	})
+	if err == nil {
+		err = a.maybeReselect()
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, tr, nil
+}
+
+// Stats returns the SUM-plane view's adaptive counters (both views serve
+// from the same store, so these describe the shared materialised set).
+func (a *AggEngine) Stats() Stats { return a.sum.Stats() }
+
+// MaterializedElements returns how many vector elements are materialised.
+func (a *AggEngine) MaterializedElements() int { return len(a.mst.Elements()) }
+
+// StorageCells returns the materialised volume in stored scalars
+// (width × cells summed over elements).
+func (a *AggEngine) StorageCells() int { return a.mst.Cells() }

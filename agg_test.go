@@ -1,0 +1,529 @@
+// Tests for the measure-vector AggEngine: aggregate correctness against
+// scan oracles, bit-identity of the vector AVG path against the historical
+// two-engine design, and the pinned zero-count semantics shared by every
+// entry point.
+package viewcube_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"viewcube"
+)
+
+// keyJoin rebuilds a comparison key from a result's composite group key so
+// oracle maps built in the test never depend on the library's separator.
+func keyJoin(parts []string) string { return strings.Join(parts, "\x00") }
+
+// randomTable builds a deterministic pseudo-random relation and returns it
+// together with the raw tuples for scan oracles.
+type tuple struct {
+	values  []string
+	measure float64
+}
+
+func randomTable(t *testing.T, seed int64, rows int) (*viewcube.Table, []tuple) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dims := []string{"product", "region", "day"}
+	card := []int{5, 3, 7}
+	tbl, err := viewcube.NewTable(dims, "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		vals := make([]string, len(dims))
+		for d := range dims {
+			vals[d] = fmt.Sprintf("%s-%02d", dims[d], rng.Intn(card[d]))
+		}
+		m := math.Round(rng.Float64()*2000)/100 - 5 // [-5, 15) with 2 decimals
+		if err := tbl.Append(vals, m); err != nil {
+			t.Fatal(err)
+		}
+		tuples = append(tuples, tuple{values: vals, measure: m})
+	}
+	return tbl, tuples
+}
+
+// scanStats computes per-group [Σv, Σv², n] by scanning tuples, keyed by
+// the kept dimension positions.
+func scanStats(tuples []tuple, keepPos []int) map[string][3]float64 {
+	out := make(map[string][3]float64)
+	for _, tp := range tuples {
+		parts := make([]string, len(keepPos))
+		for i, p := range keepPos {
+			parts[i] = tp.values[p]
+		}
+		k := keyJoin(parts)
+		s := out[k]
+		s[0] += tp.measure
+		s[1] += tp.measure * tp.measure
+		s[2]++
+		out[k] = s
+	}
+	return out
+}
+
+func TestGroupByAggAllKinds(t *testing.T) {
+	agg, err := viewcube.NewAggEngine(loadSalesTable(t), viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Width() != 3 {
+		t.Fatalf("measure width %d, want 3", agg.Width())
+	}
+	// ale: tuples 10, 5, 2 → sum 17, count 3, avg 17/3,
+	// var = (129 - 289/3)/3, stddev = sqrt(var).
+	aleVar := (129.0 - 289.0/3) / 3
+	checks := []struct {
+		kind viewcube.AggKind
+		want float64
+	}{
+		{viewcube.AggSum, 17},
+		{viewcube.AggCount, 3},
+		{viewcube.AggAvg, 17.0 / 3},
+		{viewcube.AggVar, aleVar},
+		{viewcube.AggStdDev, math.Sqrt(aleVar)},
+	}
+	for _, c := range checks {
+		groups, err := agg.GroupByAgg(c.kind, "product")
+		if err != nil {
+			t.Fatalf("%v: %v", c.kind, err)
+		}
+		if got := groups["ale"]; math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("%v(ale) = %g, want %g", c.kind, got, c.want)
+		}
+	}
+}
+
+// TestAggZeroCountSemantics pins the documented, uniform zero-count
+// behaviour of the count-dividing aggregates:
+//
+//   - GroupByAvg (and GroupByAgg with AVG/VAR/STDDEV) drops groups with no
+//     tuples, so AvgOf reports ok=false for them;
+//   - GroupByCount keeps every group of the group space, zeros included;
+//   - RangeAvg (and RangeAgg with a count-dividing kind) returns an error
+//     for a box holding no tuples, while SUM and COUNT return 0.
+func TestAggZeroCountSemantics(t *testing.T) {
+	// Two dimensions with a hole: no (b2, y1) tuple exists even though both
+	// values do.
+	tbl, err := viewcube.NewTable([]string{"a", "b"}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []struct {
+		a, b string
+		m    float64
+	}{
+		{"x1", "y1", 2}, {"x1", "y2", 4}, {"x2", "y1", 6}, {"x2", "y2", 8},
+		{"x1", "y2", 10},
+	} {
+		if err := tbl.Append([]string{row.a, row.b}, row.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := viewcube.NewAvgEngine(tbl, viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate a second b value only for x1, leaving (x2, y3) empty:
+	// grow the hole by grouping on both dimensions after filtering.
+	avgs, err := eng.GroupByAvg("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avgs) != 4 {
+		t.Fatalf("GroupByAvg kept %d groups, want 4 (every (a,b) pair has tuples)", len(avgs))
+	}
+	counts, err := eng.GroupByCount("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 4 {
+		t.Fatalf("GroupByCount %d groups, want 4", len(counts))
+	}
+
+	// Carve a real hole: a filtered grouped query via SQL keeps the
+	// zero-count group out of AVG results but COUNT still enumerates it.
+	// Simpler and fully public: drop to a table where a pair is absent.
+	tbl2, err := viewcube.NewTable([]string{"a", "b"}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []struct {
+		a, b string
+		m    float64
+	}{
+		{"x1", "y1", 2}, {"x1", "y2", 4}, {"x2", "y1", 6},
+	} {
+		if err := tbl2.Append([]string{row.a, row.b}, row.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng2, err := viewcube.NewAvgEngine(tbl2, viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgs2, err := eng2.GroupByAvg("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avgs2) != 3 {
+		t.Fatalf("GroupByAvg kept %d groups, want 3 (the empty (x2,y2) cell must be dropped)", len(avgs2))
+	}
+	if _, ok := viewcube.AvgOf(avgs2, "x2", "y2"); ok {
+		t.Fatal("AvgOf must miss a zero-count group")
+	}
+	if got, ok := viewcube.AvgOf(avgs2, "x1", "y2"); !ok || got != 4 {
+		t.Fatalf("AvgOf(x1,y2) = %g, %v; want 4, true", got, ok)
+	}
+	counts2, err := eng2.GroupByCount("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts2) != 4 {
+		t.Fatalf("GroupByCount %d groups, want 4 (zero groups stay)", len(counts2))
+	}
+	if c, ok := viewcube.AvgOf(counts2, "x2", "y2"); !ok || c != 0 {
+		t.Fatalf("count(x2,y2) = %g, %v; want 0, true", c, ok)
+	}
+
+	// The empty box: (a=x2, b=y2) holds no tuples.
+	emptyBox := map[string]viewcube.ValueRange{
+		"a": {Lo: "x2", Hi: "x2"}, "b": {Lo: "y2", Hi: "y2"},
+	}
+	if _, err := eng2.RangeAvg(emptyBox); err == nil ||
+		!strings.Contains(err.Error(), "no tuples in range") {
+		t.Fatalf("RangeAvg over an empty box: err = %v, want 'no tuples in range'", err)
+	}
+	for _, kind := range []viewcube.AggKind{viewcube.AggVar, viewcube.AggStdDev} {
+		if _, err := eng2.Agg().RangeAgg(kind, emptyBox); err == nil ||
+			!strings.Contains(err.Error(), "no tuples in range") {
+			t.Fatalf("RangeAgg(%v) over an empty box: err = %v", kind, err)
+		}
+	}
+	for _, kind := range []viewcube.AggKind{viewcube.AggSum, viewcube.AggCount} {
+		v, err := eng2.Agg().RangeAgg(kind, emptyBox)
+		if err != nil || v != 0 {
+			t.Fatalf("RangeAgg(%v) over an empty box = %g, %v; want 0, nil", kind, v, err)
+		}
+	}
+}
+
+// TestVectorAvgMatchesTwoEngineOracle pins the refactor's core promise:
+// the one-cube vector path answers AVG bit-identically (==, no tolerance)
+// to the historical two-engine design — a private SUM engine plus a private
+// COUNT engine over their own stores — on randomized relations, before and
+// after an update stream.
+func TestVectorAvgMatchesTwoEngineOracle(t *testing.T) {
+	tbl, _ := randomTable(t, 7, 400)
+
+	eng, err := viewcube.NewAvgEngine(tbl, viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The oracle: two full engines over private scalar cubes, exactly the
+	// seed AvgEngine layout.
+	sumCube, err := viewcube.FromRelation(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tbl.CountTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cntCube, err := viewcube.FromRelation(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumEng, err := sumCube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cntEng, err := cntCube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracleAvg := func(keep ...string) map[string]float64 {
+		t.Helper()
+		sv, err := sumEng.GroupBy(keep...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums, err := sv.Groups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, err := cntEng.GroupBy(keep...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := cv.Groups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]float64)
+		for k, c := range counts {
+			if c == 0 {
+				continue
+			}
+			out[k] = sums[k] / c
+		}
+		return out
+	}
+
+	compare := func(stage string) {
+		t.Helper()
+		for _, keep := range [][]string{{"product"}, {"region", "day"}, {"product", "region", "day"}, nil} {
+			got, err := eng.GroupByAvg(keep...)
+			if err != nil {
+				t.Fatalf("%s GroupByAvg(%v): %v", stage, keep, err)
+			}
+			want := oracleAvg(keep...)
+			if len(got) != len(want) {
+				t.Fatalf("%s keep=%v: %d groups, oracle %d", stage, keep, len(got), len(want))
+			}
+			for k, w := range want {
+				if g, ok := got[k]; !ok || g != w { // bit-identical, not almost-equal
+					t.Fatalf("%s keep=%v group %q: vector %v, two-engine %v", stage, keep, k, g, w)
+				}
+			}
+		}
+	}
+	compare("initial")
+
+	// A deterministic update stream applied to both designs.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 25; i++ {
+		vals := map[string]string{
+			"product": fmt.Sprintf("product-%02d", rng.Intn(5)),
+			"region":  fmt.Sprintf("region-%02d", rng.Intn(3)),
+			"day":     fmt.Sprintf("day-%02d", rng.Intn(7)),
+		}
+		m := math.Round(rng.Float64()*1000) / 100
+		if err := eng.UpdateValue(m, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := sumEng.UpdateValue(m, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := cntEng.UpdateValue(1, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare("after updates")
+}
+
+// TestVarMatchesScanOracle pins VAR and STDDEV against a naive full-scan
+// oracle over the raw tuples, grouped and ungrouped, before and after an
+// update stream.
+func TestVarMatchesScanOracle(t *testing.T) {
+	tbl, tuples := randomTable(t, 11, 300)
+	eng, err := viewcube.NewAggEngine(tbl, viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		// Grouped: VAR and STDDEV per product (dimension position 0) and
+		// per (region, day) (positions 1, 2).
+		for _, kp := range []struct {
+			keep []string
+			pos  []int
+		}{
+			{[]string{"product"}, []int{0}},
+			{[]string{"region", "day"}, []int{1, 2}},
+		} {
+			oracle := scanStats(tuples, kp.pos)
+			vars, err := eng.GroupByAgg(viewcube.AggVar, kp.keep...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stds, err := eng.GroupByAgg(viewcube.AggStdDev, kp.keep...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vars) != len(oracle) {
+				t.Fatalf("%s keep=%v: %d groups, oracle %d", stage, kp.keep, len(vars), len(oracle))
+			}
+			for k, v := range vars {
+				s := oracle[keyJoin(viewcube.SplitGroupKey(k))]
+				n := s[2]
+				mean := s[0] / n
+				wantVar := s[1]/n - mean*mean
+				if wantVar < 0 {
+					wantVar = 0
+				}
+				scale := math.Max(1, math.Abs(wantVar))
+				if math.Abs(v-wantVar) > 1e-8*scale {
+					t.Fatalf("%s VAR keep=%v group %q = %g, scan oracle %g", stage, kp.keep, k, v, wantVar)
+				}
+				if math.Abs(stds[k]-math.Sqrt(wantVar)) > 1e-8*math.Max(1, math.Sqrt(wantVar)) {
+					t.Fatalf("%s STDDEV keep=%v group %q = %g, want %g", stage, kp.keep, k, stds[k], math.Sqrt(wantVar))
+				}
+			}
+		}
+		// Ungrouped, via the range path over the full box.
+		all := scanStats(tuples, nil)[keyJoin(nil)]
+		n := all[2]
+		mean := all[0] / n
+		wantVar := all[1]/n - mean*mean
+		got, err := eng.RangeAgg(viewcube.AggVar, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-wantVar) > 1e-8*math.Max(1, math.Abs(wantVar)) {
+			t.Fatalf("%s RangeAgg(VAR, full box) = %g, scan oracle %g", stage, got, wantVar)
+		}
+	}
+	check("initial")
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		vals := []string{
+			fmt.Sprintf("product-%02d", rng.Intn(5)),
+			fmt.Sprintf("region-%02d", rng.Intn(3)),
+			fmt.Sprintf("day-%02d", rng.Intn(7)),
+		}
+		m := math.Round(rng.Float64()*500) / 100
+		if err := eng.UpdateValue(m, map[string]string{
+			"product": vals[0], "region": vals[1], "day": vals[2],
+		}); err != nil {
+			t.Fatal(err)
+		}
+		tuples = append(tuples, tuple{values: vals, measure: m})
+	}
+	check("after updates")
+}
+
+// TestVectorAggExplainAndTrace checks the observability surface of the
+// vector path: the Explain header names the aggregate kind and width, and
+// traced executions carry agg_kind/measure_width span attributes.
+func TestVectorAggExplainAndTrace(t *testing.T) {
+	eng, err := viewcube.NewAggEngine(loadSalesTable(t), viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := eng.ExplainAgg(viewcube.AggVar, "product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "agg var") || !strings.Contains(text, "width 3") {
+		t.Fatalf("ExplainAgg header must name aggregate and width:\n%s", text)
+	}
+	groups, tr, err := eng.TraceGroupByAgg(viewcube.AggAvg, "product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(groups["ale"]-17.0/3) > 1e-9 {
+		t.Fatalf("traced AVG(ale) = %g", groups["ale"])
+	}
+	tree := tr.Tree()
+	if w := tree.MaxAttr("measure_width"); w != 3 {
+		t.Fatalf("trace measure_width = %d, want 3", w)
+	}
+	if k := tree.MaxAttr("agg_kind"); viewcube.AggKind(k) != viewcube.AggAvg {
+		t.Fatalf("trace agg_kind = %d, want AVG", k)
+	}
+	v, tr, err := eng.TraceRangeAgg(viewcube.AggStdDev, map[string]viewcube.ValueRange{
+		"day": {Lo: "d1", Hi: "d2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Fatalf("stddev %g", v)
+	}
+	if w := tr.Tree().MaxAttr("measure_width"); w != 3 {
+		t.Fatalf("range trace measure_width = %d", w)
+	}
+}
+
+// TestVectorAggConcurrent hammers the vector read path from many
+// goroutines (CI runs it under -race): grouped aggregates, range
+// aggregates, SQL and traced queries against fixed oracles computed up
+// front. Reads share the plan cache, scratch pools and adaptive recorders.
+func TestVectorAggConcurrent(t *testing.T) {
+	tbl, _ := randomTable(t, 21, 1000)
+	eng, err := viewcube.NewAggEngine(tbl, viewcube.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleAvg, err := eng.GroupByAgg(viewcube.AggAvg, "product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleVar, err := eng.RangeAgg(viewcube.AggVar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT AVG(sales), COUNT(*) GROUP BY region"
+	oracleSQL, err := eng.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					got, err := eng.GroupByAgg(viewcube.AggAvg, "product")
+					if err != nil {
+						errc <- err
+						return
+					}
+					for k, w := range oracleAvg {
+						if got[k] != w {
+							errc <- fmt.Errorf("concurrent AVG %q = %g, want %g", k, got[k], w)
+							return
+						}
+					}
+				case 1:
+					got, err := eng.RangeAgg(viewcube.AggVar, nil)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got != oracleVar {
+						errc <- fmt.Errorf("concurrent VAR = %g, want %g", got, oracleVar)
+						return
+					}
+				case 2:
+					res, err := eng.Query(sql)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(res.Rows) != len(oracleSQL.Rows) {
+						errc <- fmt.Errorf("concurrent SQL rows %d, want %d", len(res.Rows), len(oracleSQL.Rows))
+						return
+					}
+				default:
+					if _, _, err := eng.TraceGroupByAgg(viewcube.AggStdDev, "region"); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

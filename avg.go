@@ -6,139 +6,92 @@ import (
 	"viewcube/internal/relation"
 )
 
-// AvgEngine answers AVG (and COUNT) aggregation queries by maintaining a
-// SUM cube and a COUNT cube over the same relation, each with its own view
-// element engine; AVG = SUM / COUNT cell-wise. The paper designs its
-// operators for the SUM function — COUNT is SUM of the constant measure 1,
-// and AVG is the algebraic combination of the two, so both inherit every
-// view-element property (perfect reconstruction, non-expansiveness,
-// dynamic assembly).
+// AvgEngine answers AVG (and COUNT) aggregation queries. It is a thin
+// compatibility wrapper over the measure-vector AggEngine: one vector cube
+// whose cells carry [Σv, Σv², Σ1] serves SUM, COUNT and AVG from one stored
+// element set, one plan and one execution — the historical design of two
+// full engines (a SUM cube and a COUNT cube, each with its own store,
+// planner and executor) survives only as the Sum and Count component views
+// below. The paper designs its operators for the SUM function — COUNT is
+// SUM of the constant measure 1, and AVG is the algebraic combination of
+// the two, so both inherit every view-element property (perfect
+// reconstruction, non-expansiveness, dynamic assembly). Results are
+// bit-identical to the two-engine design: the Haar operators are linear, so
+// they distribute over the vector components, and each component plane is
+// processed by the same kernels in the same order a private scalar engine
+// would use.
+//
+// Zero-count semantics (uniform across entry points):
+//
+//   - GroupByAvg drops groups with no tuples — AVG is undefined there — so
+//     AvgOf reports ok=false for them.
+//   - GroupByCount keeps every group of the group space (zero included).
+//   - RangeAvg returns an error for a box with no tuples ("no tuples in
+//     range"): unlike a dropped group there is no natural absent-key
+//     signal for a scalar result.
 type AvgEngine struct {
-	// Sum and Count expose the underlying engines for direct SUM/COUNT
-	// queries, workload optimisation and statistics.
+	// Sum and Count expose scalar engine views over the sum and count
+	// component planes of the shared vector store, for direct SUM/COUNT
+	// queries, workload optimisation and statistics. They are real *Engine
+	// values backed by the same storage the vector executor reads.
 	Sum   *Engine
 	Count *Engine
 
-	sumCube   *Cube
-	countCube *Cube
+	agg *AggEngine
 }
 
-// NewAvgEngine builds SUM and COUNT cubes from the relation and attaches an
-// engine to each. Both cubes share dimension encodings (identical
-// dictionaries, identical shapes), so a workload expressed on one applies
-// to the other.
+// NewAvgEngine builds the measure-vector cube from the relation and wires
+// the compatibility views. The dimension encodings are shared by
+// construction (one cube), so a workload expressed on one view applies to
+// the other.
 func NewAvgEngine(t *Table, opts EngineOptions) (*AvgEngine, error) {
 	if opts.DiskDir != "" {
 		return nil, fmt.Errorf("viewcube: AvgEngine does not support a shared DiskDir; give each engine its own store")
 	}
-	sumCube, err := FromRelation(t)
+	agg, err := NewAggEngine(t, opts)
 	if err != nil {
 		return nil, err
 	}
-	ct, err := t.CountTable()
-	if err != nil {
-		return nil, err
-	}
-	countCube, err := FromRelation(ct)
-	if err != nil {
-		return nil, err
-	}
-	sumEng, err := sumCube.NewEngine(opts)
-	if err != nil {
-		return nil, err
-	}
-	countEng, err := countCube.NewEngine(opts)
-	if err != nil {
-		return nil, err
-	}
-	return &AvgEngine{Sum: sumEng, Count: countEng, sumCube: sumCube, countCube: countCube}, nil
+	return &AvgEngine{Sum: agg.sum, Count: agg.cnt, agg: agg}, nil
 }
+
+// Agg returns the underlying measure-vector engine, for the full
+// GroupByAgg/RangeAgg surface (VAR, STDDEV, explain, traces).
+func (a *AvgEngine) Agg() *AggEngine { return a.agg }
 
 // Cube returns the SUM cube (for dimension metadata, workloads, etc.).
-func (a *AvgEngine) Cube() *Cube { return a.sumCube }
+func (a *AvgEngine) Cube() *Cube { return a.agg.cube }
 
-// Optimize applies the workload (expressed against the SUM cube) to both
-// engines, so the same views are cheap on both sides of the division.
-func (a *AvgEngine) Optimize(w *Workload) error {
-	if err := a.Sum.Optimize(w); err != nil {
-		return err
-	}
-	// Mirror the workload onto the count cube: element identities are
-	// shape-level, and both cubes share a shape.
-	cw := a.countCube.NewWorkload()
-	if w != nil {
-		for _, ent := range w.entries {
-			cw.entries = append(cw.entries, workloadEntry{rect: ent.rect.Clone(), freq: ent.freq})
-		}
-	}
-	return a.Count.Optimize(cw)
-}
+// Optimize applies the workload (expressed against the SUM cube) to the
+// shared vector store, so the same views are cheap for every aggregate.
+func (a *AvgEngine) Optimize(w *Workload) error { return a.agg.Optimize(w) }
 
 // GroupByAvg returns the average measure per group of the kept dimensions.
-// Groups with zero count are omitted.
+// Groups with zero count are omitted (see the zero-count semantics above).
 func (a *AvgEngine) GroupByAvg(keep ...string) (map[string]float64, error) {
-	sumView, err := a.Sum.GroupBy(keep...)
-	if err != nil {
-		return nil, err
-	}
-	countView, err := a.Count.GroupBy(keep...)
-	if err != nil {
-		return nil, err
-	}
-	sums, err := sumView.Groups()
-	if err != nil {
-		return nil, err
-	}
-	counts, err := countView.Groups()
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]float64, len(sums))
-	for k, c := range counts {
-		if c > 0 {
-			out[k] = sums[k] / c
-		}
-	}
-	return out, nil
+	return a.agg.GroupByAgg(AggAvg, keep...)
 }
 
 // GroupByCount returns tuple counts per group of the kept dimensions.
 func (a *AvgEngine) GroupByCount(keep ...string) (map[string]float64, error) {
-	v, err := a.Count.GroupBy(keep...)
-	if err != nil {
-		return nil, err
-	}
-	return v.Groups()
+	return a.agg.GroupByAgg(AggCount, keep...)
 }
 
 // RangeAvg returns the average measure over the value-range box, or an
 // error if the box contains no tuples.
 func (a *AvgEngine) RangeAvg(ranges map[string]ValueRange) (float64, error) {
-	sum, err := a.Sum.RangeSum(ranges)
-	if err != nil {
-		return 0, err
-	}
-	count, err := a.Count.RangeSum(ranges)
-	if err != nil {
-		return 0, err
-	}
-	if count == 0 {
-		return 0, fmt.Errorf("viewcube: no tuples in range")
-	}
-	return sum / count, nil
+	return a.agg.RangeAgg(AggAvg, ranges)
 }
 
-// UpdateValue records one new tuple: measure added to the SUM cube, 1 to
-// the COUNT cube, both maintained incrementally.
+// UpdateValue records one new tuple: the component delta [v, v², 1] is
+// applied to the vector cube and incrementally to every stored element.
 func (a *AvgEngine) UpdateValue(measure float64, values map[string]string) error {
-	if err := a.Sum.UpdateValue(measure, values); err != nil {
-		return err
-	}
-	return a.Count.UpdateValue(1, values)
+	return a.agg.UpdateValue(measure, values)
 }
 
 // AvgOf is a convenience for reading one group's average from GroupByAvg
-// output using dimension values in cube order.
+// output using dimension values in cube order. ok is false when the group
+// does not exist or holds no tuples (GroupByAvg omitted it).
 func AvgOf(groups map[string]float64, values ...string) (float64, bool) {
 	v, ok := groups[relation.GroupKey(values...)]
 	return v, ok

@@ -709,3 +709,103 @@ func BenchmarkRollUp(b *testing.B) {
 		}
 	}
 }
+
+// benchAvgTable builds a deterministic random relation sized for the AVG
+// benchmarks: 64 products × 8 regions × 32 days, rows tuples.
+func benchAvgTable(b *testing.B, rows int) *viewcube.Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	tbl, err := viewcube.NewTable([]string{"product", "region", "day"}, "sales")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		vals := []string{
+			fmt.Sprintf("product-%03d", rng.Intn(64)),
+			fmt.Sprintf("region-%d", rng.Intn(8)),
+			fmt.Sprintf("day-%02d", rng.Intn(32)),
+		}
+		if err := tbl.Append(vals, rng.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// BenchmarkGroupByAvgTwoEngine measures the historical AVG design this PR
+// replaced: two full engines — a SUM cube and a COUNT cube, each with its
+// own store, planner and executor — answering GROUP BY twice and dividing.
+func BenchmarkGroupByAvgTwoEngine(b *testing.B) {
+	tbl := benchAvgTable(b, 20000)
+	sumCube, err := viewcube.FromRelation(tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := tbl.CountTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cntCube, err := viewcube.FromRelation(ct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sumEng, err := sumCube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cntEng, err := cntCube.NewEngine(viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv, err := sumEng.GroupBy("product")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sums, err := sv.Groups()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cv, err := cntEng.GroupBy("product")
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts, err := cv.Groups()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgs := make(map[string]float64, len(counts))
+		for k, c := range counts {
+			if c == 0 {
+				continue
+			}
+			avgs[k] = sums[k] / c
+		}
+		if len(avgs) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkGroupByAvgVector measures the measure-vector AVG path: one
+// vector cube [Σv, Σv², Σ1], one plan, one pooled execution, finalised per
+// group. Compare allocs/op and B/op against BenchmarkGroupByAvgTwoEngine.
+func BenchmarkGroupByAvgVector(b *testing.B) {
+	eng, err := viewcube.NewAvgEngine(benchAvgTable(b, 20000), viewcube.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avgs, err := eng.GroupByAvg("product")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(avgs) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}

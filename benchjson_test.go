@@ -56,6 +56,8 @@ func TestBenchJSON(t *testing.T) {
 		{"PlanCacheHit", BenchmarkPlanCacheHit},
 		{"PlanCacheHitParallel", BenchmarkPlanCacheHitParallel},
 		{"RangeSumViaElements", BenchmarkRangeSumViaElements},
+		{"GroupByAvgTwoEngine", BenchmarkGroupByAvgTwoEngine},
+		{"GroupByAvgVector", BenchmarkGroupByAvgVector},
 		{"RangeAggregation", BenchmarkRangeAggregation},
 		{"FileStoreRoundTrip", BenchmarkFileStoreRoundTrip},
 		{"QueryLanguage", BenchmarkQueryLanguage},

@@ -311,7 +311,17 @@ func runTrace(eng *viewcube.Engine, args []string) error {
 		return err
 	}
 	fmt.Print(tr)
-	fmt.Printf("trace %s: %d ops, %d cells read\n", tr.TraceID(), tr.Ops(), tr.CellsRead())
+	summary := fmt.Sprintf("trace %s: %d ops, %d cells read", tr.TraceID(), tr.Ops(), tr.CellsRead())
+	// A measure-vector execution annotates its spans with the component
+	// width and aggregate kind; surface them so AVG/VAR traces are
+	// distinguishable from plain SUM at a glance.
+	if tree := tr.Tree(); tree != nil {
+		if w := tree.MaxAttr("measure_width"); w > 1 {
+			kind := viewcube.AggKind(tree.MaxAttr("agg_kind"))
+			summary += fmt.Sprintf(" (agg %s, width %d)", kind, w)
+		}
+	}
+	fmt.Println(summary)
 	return nil
 }
 

@@ -134,6 +134,15 @@ func (c *Cube) NewEngine(opts EngineOptions) (*Engine, error) {
 			return nil, fmt.Errorf("viewcube: storing the cube: %w", err)
 		}
 	}
+	return newEngineWith(c, st, opts)
+}
+
+// newEngineWith wires an Engine over an existing, already-seeded store: the
+// adaptive core, the range querier and all metric instruments. NewEngine
+// calls it after creating and seeding a private store; the measure-vector
+// AggEngine calls it directly with component-plane views of its shared
+// vector store.
+func newEngineWith(c *Cube, st assembly.Store, opts EngineOptions) (*Engine, error) {
 	inner, err := adaptive.New(c.space, st, adaptive.Options{
 		ReselectEvery: opts.ReselectEvery,
 		StorageBudget: opts.StorageBudget,
@@ -323,6 +332,18 @@ func (e *Engine) rangeSumInner(x *obs.ExecCtx, ranges map[string]ValueRange) (fl
 	if e.cube.enc == nil {
 		return 0, fmt.Errorf("viewcube: RangeSum by value needs a dictionary-encoded cube; use RangeSumIndex")
 	}
+	box, err := e.resolveBox(ranges)
+	if err != nil {
+		return 0, err
+	}
+	return e.rq.RangeSumCtx(x, box)
+}
+
+// resolveBox maps per-dimension value ranges onto the coordinate box the
+// range queriers consume: named dimensions resolve through resolveRange,
+// unnamed dimensions default to their real (non-padding) domain. The cube
+// must be dictionary-encoded.
+func (e *Engine) resolveBox(ranges map[string]ValueRange) (rangeagg.Box, error) {
 	shape := e.cube.Shape()
 	lo := make([]int, len(shape))
 	ext := make([]int, len(shape))
@@ -336,15 +357,15 @@ func (e *Engine) rangeSumInner(x *obs.ExecCtx, ranges map[string]ValueRange) (fl
 	for name, vr := range ranges {
 		m, err := e.cube.DimIndex(name)
 		if err != nil {
-			return 0, err
+			return rangeagg.Box{}, err
 		}
 		loCode, extCode, err := e.resolveRange(m, vr)
 		if err != nil {
-			return 0, err
+			return rangeagg.Box{}, err
 		}
 		lo[m], ext[m] = loCode, extCode
 	}
-	return e.rq.RangeSumCtx(x, rangeagg.Box{Lo: lo, Ext: ext})
+	return rangeagg.Box{Lo: lo, Ext: ext}, nil
 }
 
 // RangeSumWithin is RangeSum with lexicographic bounds: each restricted
@@ -440,15 +461,35 @@ func (e *Engine) groupByWhereInner(x *obs.ExecCtx, keep []string, ranges map[str
 	if e.cube.enc == nil {
 		return nil, fmt.Errorf("viewcube: GroupByWhere needs a dictionary-encoded cube")
 	}
+	keepMask, box, err := e.resolveGroupedBox(keep, ranges)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := e.rq.GroupedRangeSumCtx(x, box, keepMask)
+	if err != nil {
+		return nil, err
+	}
+	el, err := e.cube.ViewKeeping(keep...)
+	if err != nil {
+		return nil, err
+	}
+	return newView(e.cube, el, arr)
+}
+
+// resolveGroupedBox builds the keep mask and coordinate box of a grouped
+// "dice" query: kept dimensions are full-extent and unfiltered, filtered
+// dimensions resolve through resolveRange, remaining dimensions default to
+// their real (non-padding) domains.
+func (e *Engine) resolveGroupedBox(keep []string, ranges map[string]ValueRange) ([]bool, rangeagg.Box, error) {
 	shape := e.cube.Shape()
 	keepMask := make([]bool, len(shape))
 	for _, name := range keep {
 		m, err := e.cube.DimIndex(name)
 		if err != nil {
-			return nil, err
+			return nil, rangeagg.Box{}, err
 		}
 		if _, filtered := ranges[name]; filtered {
-			return nil, fmt.Errorf("viewcube: dimension %q cannot be both kept and filtered", name)
+			return nil, rangeagg.Box{}, fmt.Errorf("viewcube: dimension %q cannot be both kept and filtered", name)
 		}
 		keepMask[m] = true
 	}
@@ -468,23 +509,15 @@ func (e *Engine) groupByWhereInner(x *obs.ExecCtx, keep []string, ranges map[str
 	for name, vr := range ranges {
 		m, err := e.cube.DimIndex(name)
 		if err != nil {
-			return nil, err
+			return nil, rangeagg.Box{}, err
 		}
 		loCode, extCode, err := e.resolveRange(m, vr)
 		if err != nil {
-			return nil, err
+			return nil, rangeagg.Box{}, err
 		}
 		lo[m], ext[m] = loCode, extCode
 	}
-	arr, err := e.rq.GroupedRangeSumCtx(x, rangeagg.Box{Lo: lo, Ext: ext}, keepMask)
-	if err != nil {
-		return nil, err
-	}
-	el, err := e.cube.ViewKeeping(keep...)
-	if err != nil {
-		return nil, err
-	}
-	return newView(e.cube, el, arr)
+	return keepMask, rangeagg.Box{Lo: lo, Ext: ext}, nil
 }
 
 // resolveRange maps a ValueRange on dimension m to a coordinate interval.

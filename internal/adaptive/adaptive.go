@@ -175,6 +175,13 @@ func (e *Engine) observeQuery(r freq.Rect, cost int) {
 	}
 }
 
+// ObserveServed records a query that was answered outside the engine's own
+// Query path but against the same materialised set — e.g. by the
+// measure-vector executor over the shared vector store. It feeds the full
+// query-path bookkeeping (counts, stats, the reselection-due flag), unlike
+// Observe which only seeds frequencies.
+func (e *Engine) ObserveServed(r freq.Rect, cost int) { e.observeQuery(r, cost) }
+
 // ReselectDue reports whether enough queries have accumulated since the
 // last reconfiguration that an automatic reselection should run. It is a
 // lock-free read, safe from any goroutine.

@@ -191,8 +191,11 @@ func (e *Engine) get(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, bool) {
 // planner mirrors the Procedure 3 recursion of core.SetEvaluator but
 // records the argmin decisions so they can be executed. It is rebuilt per
 // Plan call; the memo makes repeated sub-elements cheap within one call.
+// It depends only on the space geometry and the stored rectangle set —
+// never on cell contents or measure width — so the scalar Engine and the
+// measure-vector VectorEngine share it unchanged.
 type planner struct {
-	e      *Engine
+	space  *velement.Space
 	stored []freq.Rect
 	vols   []int
 	memo   map[freq.Key]plannedEntry
@@ -203,18 +206,22 @@ type plannedEntry struct {
 	cost float64
 }
 
-func (e *Engine) planner() *planner {
-	stored := e.store.Elements()
+// newPlanner builds the Procedure 3 DP state for one stored set.
+func newPlanner(space *velement.Space, stored []freq.Rect) *planner {
 	pl := &planner{
-		e:      e,
+		space:  space,
 		stored: stored,
 		vols:   make([]int, len(stored)),
 		memo:   make(map[freq.Key]plannedEntry),
 	}
 	for i, r := range stored {
-		pl.vols[i] = e.space.Volume(r)
+		pl.vols[i] = space.Volume(r)
 	}
 	return pl
+}
+
+func (e *Engine) planner() *planner {
+	return newPlanner(e.space, e.store.Elements())
 }
 
 func (pl *planner) plan(r freq.Rect) (*Plan, float64) {
@@ -222,7 +229,7 @@ func (pl *planner) plan(r freq.Rect) (*Plan, float64) {
 	if got, ok := pl.memo[k]; ok {
 		return got.plan, got.cost
 	}
-	s := pl.e.space
+	s := pl.space
 	volR := s.Volume(r)
 	var best *Plan
 	bestCost := math.Inf(1)

@@ -1,0 +1,157 @@
+package assembly
+
+import (
+	"fmt"
+	"sort"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+)
+
+// MultiStore holds materialised measure-vector view elements keyed by their
+// frequency rectangle — the vector analogue of Store. Implementations must
+// return arrays that callers may read but not mutate.
+type MultiStore interface {
+	Get(r freq.Rect) (a *ndarray.MultiArray, ok bool)
+	Put(r freq.Rect, a *ndarray.MultiArray) error
+	Delete(r freq.Rect) error
+	Elements() []freq.Rect
+}
+
+// MemMultiStore is an in-memory MultiStore. Like MemStore it is safe for
+// concurrent reads while no mutation is in flight.
+type MemMultiStore struct {
+	items map[freq.Key]*ndarray.MultiArray
+	cells int
+}
+
+// NewMemMultiStore returns an empty in-memory vector element store.
+func NewMemMultiStore() *MemMultiStore {
+	return &MemMultiStore{items: make(map[freq.Key]*ndarray.MultiArray)}
+}
+
+// Get implements MultiStore.
+func (m *MemMultiStore) Get(r freq.Rect) (*ndarray.MultiArray, bool) {
+	a, ok := m.items[r.Key()]
+	return a, ok
+}
+
+// Put implements MultiStore.
+func (m *MemMultiStore) Put(r freq.Rect, a *ndarray.MultiArray) error {
+	k := r.Key()
+	if old, ok := m.items[k]; ok {
+		m.cells -= old.Size()
+	}
+	m.items[k] = a
+	m.cells += a.Size()
+	return nil
+}
+
+// Delete implements MultiStore.
+func (m *MemMultiStore) Delete(r freq.Rect) error {
+	k := r.Key()
+	if old, ok := m.items[k]; ok {
+		m.cells -= old.Size()
+		delete(m.items, k)
+	}
+	return nil
+}
+
+// Elements implements MultiStore (sorted, like MemStore).
+func (m *MemMultiStore) Elements() []freq.Rect {
+	out := make([]freq.Rect, 0, len(m.items))
+	for k := range m.items {
+		out = append(out, k.Rect())
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Cells returns the total number of stored scalars (width × cells summed
+// over elements) — the storage cost of the vector set.
+func (m *MemMultiStore) Cells() int { return m.cells }
+
+// ComponentStore adapts one component plane of a MultiStore to the scalar
+// Store interface. It is how the measure-vector engine keeps the classic
+// scalar machinery (adaptive reselection, the public Engine API, incremental
+// maintenance) alive without duplicating data: a scalar Engine over a
+// ComponentStore sees exactly the component-c plane of every stored vector
+// element, backed by the same memory.
+//
+// Semantics of the mutating methods are chosen for the adaptive
+// reconfiguration protocol:
+//
+//   - Get returns the fixed component header of the stored vector (zero
+//     copy). Callers may read it only.
+//   - Put of the very header Get returned (the incremental-maintenance
+//     write-back pattern of UpdateCell) is a no-op beyond notifying
+//     OnMutate: the mutation already happened in shared storage.
+//   - Any other Put (adaptive phase 1 materialising a missing element)
+//     triggers Assemble, which materialises the FULL vector element from
+//     the vector store and stores it — the scalar argument is discarded,
+//     because component c alone cannot represent the vector cell. Plan
+//     geometry is width-independent, so the element sets the scalar
+//     adaptive machinery selects remain exactly the sets it would select
+//     over a private scalar store.
+//   - Delete removes the whole vector element.
+//
+// OnMutate (if set) runs after every mutation so the owner can invalidate
+// plan/element caches across all component views at once.
+type ComponentStore struct {
+	MS   MultiStore
+	Comp int
+	// Assemble materialises the full vector element for r (typically
+	// VectorEngine.Answer over the current vector store) when a Put cannot
+	// be satisfied by write-back.
+	Assemble func(r freq.Rect) (*ndarray.MultiArray, error)
+	// OnMutate, if non-nil, runs after every successful Put/Delete.
+	OnMutate func()
+}
+
+// Get implements Store: the stored vector's component plane, shared.
+func (c *ComponentStore) Get(r freq.Rect) (*ndarray.Array, bool) {
+	ma, ok := c.MS.Get(r)
+	if !ok {
+		return nil, false
+	}
+	return ma.Component(c.Comp), true
+}
+
+// Put implements Store (see the type comment for the two cases).
+func (c *ComponentStore) Put(r freq.Rect, a *ndarray.Array) error {
+	if ma, ok := c.MS.Get(r); ok && ma.Component(c.Comp) == a {
+		// Write-back of our own shared header: storage already updated.
+		c.mutated()
+		return nil
+	}
+	if c.Assemble == nil {
+		return fmt.Errorf("assembly: component store cannot materialise %v (no assembler)", r)
+	}
+	ma, err := c.Assemble(r)
+	if err != nil {
+		return fmt.Errorf("assembly: materialising vector element %v: %w", r, err)
+	}
+	if err := c.MS.Put(r, ma); err != nil {
+		return err
+	}
+	c.mutated()
+	return nil
+}
+
+// Delete implements Store: the whole vector element goes.
+func (c *ComponentStore) Delete(r freq.Rect) error {
+	if err := c.MS.Delete(r); err != nil {
+		return err
+	}
+	c.mutated()
+	return nil
+}
+
+// Elements implements Store.
+func (c *ComponentStore) Elements() []freq.Rect { return c.MS.Elements() }
+
+func (c *ComponentStore) mutated() {
+	if c.OnMutate != nil {
+		c.OnMutate()
+	}
+}

@@ -1,0 +1,135 @@
+package haar
+
+import (
+	"fmt"
+
+	"viewcube/internal/freq"
+	"viewcube/internal/ndarray"
+)
+
+// Measure-vector forms of the cascade operators. The partial and residual
+// aggregations are linear with ±1 taps, so they distribute over the
+// components of a measure vector: applying a fold program to a MultiArray
+// is exactly applying it to each component plane independently, and every
+// algebraic property the paper proves for SUM (perfect reconstruction,
+// non-expansiveness, separability) holds component-wise. Each component of
+// a vector cascade therefore stays bit-identical to the scalar cascade of
+// that component alone — the invariant the AvgEngine compatibility wrapper
+// relies on.
+
+// PartialMulti applies P₁ᵐ along dimension m to every component.
+func PartialMulti(a *ndarray.MultiArray, m int) (*ndarray.MultiArray, error) {
+	out := ndarray.NewMulti(a.Width(), halvedShape(a, m)...)
+	if err := a.PairSumInto(m, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ResidualMulti applies R₁ᵐ along dimension m to every component.
+func ResidualMulti(a *ndarray.MultiArray, m int) (*ndarray.MultiArray, error) {
+	out := ndarray.NewMulti(a.Width(), halvedShape(a, m)...)
+	if err := a.PairDiffInto(m, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func halvedShape(a *ndarray.MultiArray, m int) []int {
+	shape := a.Shape()
+	shape[m] /= 2
+	if shape[m] == 0 {
+		shape[m] = 1
+	}
+	return shape
+}
+
+// ApplyFoldsMulti runs a sequence of fused cascades over every component of
+// a, ping-ponging through the multi-array scratch pool exactly as
+// ApplyFolds does for scalars. The result is caller-owned (pool-leased;
+// hand back with RecycleMulti) — except when folds is empty, in which case
+// a itself is returned. a is never recycled.
+func ApplyFoldsMulti(a *ndarray.MultiArray, folds []Fold) (*ndarray.MultiArray, error) {
+	cur := a
+	for _, f := range folds {
+		block := 1 << uint(f.K)
+		if f.K < 0 || cur.Dim(f.Dim)%block != 0 {
+			if cur != a {
+				ndarray.RecycleMulti(cur)
+			}
+			return nil, fmt.Errorf("haar: dimension %d extent %d is not divisible by 2^%d", f.Dim, cur.Dim(f.Dim), f.K)
+		}
+		outShape := cur.Shape()
+		outShape[f.Dim] /= block
+		dst, _ := ndarray.ScratchMulti(cur.Width(), outShape...)
+		err := cur.FoldKInto(f.Dim, f.K, f.Signs, dst)
+		if cur != a {
+			ndarray.RecycleMulti(cur)
+		}
+		if err != nil {
+			ndarray.RecycleMulti(dst)
+			return nil, err
+		}
+		cur = dst
+	}
+	return cur, nil
+}
+
+// ApplyRectMulti materialises the view element identified by the frequency
+// rectangle from the vector cube — the measure-vector form of ApplyRect.
+func ApplyRectMulti(a *ndarray.MultiArray, r freq.Rect) (*ndarray.MultiArray, error) {
+	if len(r) != a.Rank() {
+		return nil, fmt.Errorf("haar: rect rank %d does not match array rank %d", len(r), a.Rank())
+	}
+	folds := make([]Fold, 0, len(r))
+	for m, node := range r {
+		if node == 0 {
+			return nil, fmt.Errorf("haar: invalid zero node on dim %d", m)
+		}
+		if f := NodeFold(m, node); f.K > 0 {
+			folds = append(folds, f)
+		}
+	}
+	return ApplyFoldsMulti(a, folds)
+}
+
+// TransformMulti performs the full Haar wavelet decomposition of a copy of
+// the vector array, component by component through the same in-place axis
+// kernel the scalar Transform uses.
+func TransformMulti(a *ndarray.MultiArray) *ndarray.MultiArray {
+	out := a.Clone()
+	lv := levels(a.Shape())
+	for c := 0; c < out.Width(); c++ {
+		comp := out.Component(c)
+		buf, idx := axisScratch(comp)
+		for _, ext := range lv {
+			for m := range ext {
+				if ext[m] >= 2 {
+					haarAxisInPlace(comp, m, ext, false, buf, idx)
+				}
+			}
+		}
+		recycleAxisScratch(buf)
+	}
+	return out
+}
+
+// InverseMulti undoes TransformMulti, returning a reconstructed copy.
+func InverseMulti(a *ndarray.MultiArray) *ndarray.MultiArray {
+	out := a.Clone()
+	lv := levels(a.Shape())
+	for c := 0; c < out.Width(); c++ {
+		comp := out.Component(c)
+		buf, idx := axisScratch(comp)
+		for li := len(lv) - 1; li >= 0; li-- {
+			ext := lv[li]
+			for m := range ext {
+				if ext[m] >= 2 {
+					haarAxisInPlace(comp, m, ext, true, buf, idx)
+				}
+			}
+		}
+		recycleAxisScratch(buf)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package ndarray
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// MultiArray is a width-w vector of same-shaped arrays stored components-
+// major (structure of arrays): one contiguous []float64 holds component 0's
+// cells, then component 1's, and so on. It is the cell type of the
+// measure-vector engine — each logical cube cell carries w measure
+// components (e.g. [sum, sum-of-squares, count]) and every Haar operator
+// acts on each component independently, because the partial/residual
+// cascade is linear and therefore distributes component-wise.
+//
+// The components-major layout means each component plane is itself a valid,
+// fully contiguous Array: Component(c) returns a fixed header over plane c,
+// so the entire scalar kernel suite (and any consumer expecting an *Array,
+// such as the scalar assembly engine) runs on one component with zero
+// copying. Component headers alias the MultiArray's backing store — never
+// Recycle one (recycle the whole vector with RecycleMulti instead).
+type MultiArray struct {
+	width int
+	cells int
+	data  []float64 // len = width*cells, plane-major
+	comps []*Array  // comps[c] wraps data[c*cells : (c+1)*cells]
+}
+
+// NewMulti returns a zero-filled multi-array of the given component width
+// and per-component shape. Width must be positive; shape rules follow New.
+func NewMulti(width int, shape ...int) *MultiArray {
+	cells := checkShape(shape)
+	if width <= 0 {
+		panic(fmt.Sprintf("ndarray: non-positive measure width %d", width))
+	}
+	if cells > math.MaxInt/width {
+		panic(fmt.Sprintf("ndarray: width %d × shape %v overflows int", width, shape))
+	}
+	ma := &MultiArray{
+		width: width,
+		cells: cells,
+		data:  make([]float64, width*cells),
+		comps: make([]*Array, width),
+	}
+	for c := range ma.comps {
+		ma.comps[c] = &Array{
+			shape:   append([]int(nil), shape...),
+			strides: computeStrides(shape),
+			data:    ma.data[c*cells : (c+1)*cells : (c+1)*cells],
+		}
+	}
+	return ma
+}
+
+// Width returns the number of measure components per cell.
+func (a *MultiArray) Width() int { return a.width }
+
+// Rank returns the number of dimensions of each component.
+func (a *MultiArray) Rank() int { return len(a.comps[0].shape) }
+
+// Shape returns a copy of the per-component extents.
+func (a *MultiArray) Shape() []int { return a.comps[0].Shape() }
+
+// Dim returns the extent of dimension m.
+func (a *MultiArray) Dim(m int) int { return a.comps[0].shape[m] }
+
+// Cells returns the cell count of one component plane.
+func (a *MultiArray) Cells() int { return a.cells }
+
+// Size returns the total scalar count, width × cells.
+func (a *MultiArray) Size() int { return a.width * a.cells }
+
+// Data returns the plane-major backing slice. Mutating it mutates the array.
+func (a *MultiArray) Data() []float64 { return a.data }
+
+// Component returns the fixed Array header over component plane c. The
+// header aliases the vector's storage: writes through it are visible to the
+// vector and vice versa. Callers must not Recycle it.
+func (a *MultiArray) Component(c int) *Array { return a.comps[c] }
+
+// At returns component c of the cell at the multi-index.
+func (a *MultiArray) At(c int, idx ...int) float64 { return a.comps[c].At(idx...) }
+
+// AddVec accumulates vals (one value per component) into the cell at the
+// multi-index.
+func (a *MultiArray) AddVec(vals []float64, idx ...int) {
+	if len(vals) != a.width {
+		panic(fmt.Sprintf("ndarray: %d values for measure width %d", len(vals), a.width))
+	}
+	off := a.comps[0].Offset(idx)
+	for c, v := range vals {
+		a.data[c*a.cells+off] += v
+	}
+}
+
+// Clone returns a deep copy.
+func (a *MultiArray) Clone() *MultiArray {
+	b := NewMulti(a.width, a.comps[0].shape...)
+	copy(b.data, a.data)
+	return b
+}
+
+// SameShape reports whether b has the same width and per-component shape.
+func (a *MultiArray) SameShape(b *MultiArray) bool {
+	return a.width == b.width && a.comps[0].SameShape(b.comps[0])
+}
+
+// checkWidth verifies the destination's component width.
+func (a *MultiArray) checkWidth(dst *MultiArray) error {
+	if dst.width != a.width {
+		return fmt.Errorf("%w: destination width %d does not match source width %d", ErrShape, dst.width, a.width)
+	}
+	return nil
+}
+
+// PairSumInto applies the scalar PairSumInto kernel to every component
+// plane: one fused pass per component over its contiguous slab.
+func (a *MultiArray) PairSumInto(m int, dst *MultiArray) error {
+	if err := a.checkWidth(dst); err != nil {
+		return err
+	}
+	for c := range a.comps {
+		if err := a.comps[c].PairSumInto(m, dst.comps[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PairDiffInto applies the scalar PairDiffInto kernel per component.
+func (a *MultiArray) PairDiffInto(m int, dst *MultiArray) error {
+	if err := a.checkWidth(dst); err != nil {
+		return err
+	}
+	for c := range a.comps {
+		if err := a.comps[c].PairDiffInto(m, dst.comps[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FoldKInto applies the fused signed block-reduction kernel per component.
+// Each component runs the identical strided loop the scalar engine runs, so
+// component 0 of a vector fold is bit-identical to the scalar fold of
+// component 0.
+func (a *MultiArray) FoldKInto(m, k int, signs uint, dst *MultiArray) error {
+	if err := a.checkWidth(dst); err != nil {
+		return err
+	}
+	for c := range a.comps {
+		if err := a.comps[c].FoldKInto(m, k, signs, dst.comps[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubArrayInto copies the box [lo, lo+ext) of every component plane into
+// dst, which must have shape ext and matching width.
+func (a *MultiArray) SubArrayInto(lo, ext []int, dst *MultiArray) error {
+	if err := a.checkWidth(dst); err != nil {
+		return err
+	}
+	for c := range a.comps {
+		if err := a.comps[c].SubArrayInto(lo, ext, dst.comps[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InterleaveMultiInto reconstructs a parent vector from partial (p) and
+// residual (r) children along dimension m, component by component (the
+// perfect-reconstruction identities hold per component).
+func InterleaveMultiInto(m int, p, r, dst *MultiArray) error {
+	if p.width != r.width || p.width != dst.width {
+		return fmt.Errorf("%w: interleave widths %d/%d/%d differ", ErrShape, p.width, r.width, dst.width)
+	}
+	for c := range p.comps {
+		if err := InterleaveInto(m, p.comps[c], r.comps[c], dst.comps[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Multi-array scratch pool. The vector execution path wants the same
+// zero-allocation steady state as the scalar path (DESIGN §10), so leased
+// MultiArrays are size-classed by the next power of two of width × cells
+// and recycled whole — headers, component headers and the backing slab.
+// Component widths and cube extents are both fixed per engine, so pooled
+// vectors almost always come back with the exact width and shape requested
+// and the release is pure header reslicing.
+var multiPools [maxScratchClass + 1]sync.Pool
+
+// ScratchMulti leases a multi-array of the given width and shape, reporting
+// whether a recycled buffer served it. Contents are undefined; the caller
+// must fully overwrite every component (the Into kernels do). Ownership
+// rules mirror Scratch/Recycle: keep it forever or hand it back with
+// RecycleMulti, and never recycle individual component headers.
+func ScratchMulti(width int, shape ...int) (*MultiArray, bool) {
+	cells := checkShape(shape)
+	if width <= 0 {
+		panic(fmt.Sprintf("ndarray: non-positive measure width %d", width))
+	}
+	if cells > math.MaxInt/width {
+		panic(fmt.Sprintf("ndarray: width %d × shape %v overflows int", width, shape))
+	}
+	n := width * cells
+	c, poolable := scratchClass(n)
+	if poolable {
+		if v := multiPools[c].Get(); v != nil {
+			ma := v.(*MultiArray)
+			ma.reshape(width, cells, shape)
+			scratchHits.Add(1)
+			return ma, true
+		}
+	}
+	scratchMisses.Add(1)
+	ma := &MultiArray{width: width, cells: cells, comps: make([]*Array, width)}
+	if poolable {
+		ma.data = make([]float64, n, 1<<uint(c))
+	} else {
+		ma.data = make([]float64, n)
+	}
+	for i := range ma.comps {
+		ma.comps[i] = &Array{
+			shape:   append([]int(nil), shape...),
+			strides: computeStrides(shape),
+			data:    ma.data[i*cells : (i+1)*cells : (i+1)*cells],
+		}
+	}
+	return ma, false
+}
+
+// reshape repurposes a pooled multi-array for a new width/shape in place,
+// reusing headers and index slices wherever capacity allows.
+func (a *MultiArray) reshape(width, cells int, shape []int) {
+	a.data = a.data[:width*cells]
+	for len(a.comps) < width {
+		a.comps = append(a.comps, &Array{})
+	}
+	a.comps = a.comps[:width]
+	a.width, a.cells = width, cells
+	for c, comp := range a.comps {
+		comp.data = a.data[c*cells : (c+1)*cells : (c+1)*cells]
+		comp.shape = append(comp.shape[:0], shape...)
+		comp.strides = stridesInto(comp.strides[:0], comp.shape)
+	}
+}
+
+// RecycleMulti returns a multi-array to the pool. Like Recycle it accepts
+// any vector whose backing capacity is exactly a pool class and silently
+// drops the rest. The caller must own a exclusively — including every
+// header Component ever returned — and must not use it after the call.
+func RecycleMulti(a *MultiArray) {
+	if a == nil {
+		return
+	}
+	cap_ := cap(a.data)
+	c, poolable := scratchClass(cap_)
+	if !poolable || cap_ != 1<<uint(c) {
+		return
+	}
+	a.data = a.data[:cap_]
+	multiPools[c].Put(a)
+}

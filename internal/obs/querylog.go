@@ -13,14 +13,20 @@ import (
 // wants to mine. Trace is only set for sampled queries (and is the stitched
 // cluster tree for coordinator queries).
 type QueryEntry struct {
-	Time          time.Time       `json:"time"`
-	Kind          string          `json:"kind"`
-	Shape         string          `json:"shape"`
-	DurationUS    int64           `json:"duration_us"`
-	Epoch         uint64          `json:"epoch,omitempty"`
-	PlanCacheHit  *bool           `json:"plan_cache_hit,omitempty"`
-	Ops           int64           `json:"ops,omitempty"`
-	Cells         int64           `json:"cells,omitempty"`
+	Time         time.Time `json:"time"`
+	Kind         string    `json:"kind"`
+	Shape        string    `json:"shape"`
+	DurationUS   int64     `json:"duration_us"`
+	Epoch        uint64    `json:"epoch,omitempty"`
+	PlanCacheHit *bool     `json:"plan_cache_hit,omitempty"`
+	Ops          int64     `json:"ops,omitempty"`
+	Cells        int64     `json:"cells,omitempty"`
+	// Agg and MeasureWidth identify the aggregate function and the
+	// measure-vector component width of the serving engine, so log mining
+	// can distinguish SUM queries from AVG/VAR queries over a vector cube.
+	// Scalar SUM queries leave both empty (width 1 is implied).
+	Agg           string          `json:"agg,omitempty"`
+	MeasureWidth  int             `json:"measure_width,omitempty"`
 	TraceID       string          `json:"trace_id,omitempty"`
 	Sampled       bool            `json:"sampled,omitempty"`
 	Error         string          `json:"error,omitempty"`

@@ -359,6 +359,22 @@ func (n *SpanNode) SumAttr(key string) int64 {
 	return total
 }
 
+// MaxAttr returns the largest value of the named attribute over the node
+// and its subtree, 0 when the attribute never appears. Safe on nil. Use it
+// for attributes that annotate rather than accumulate (e.g. measure_width).
+func (n *SpanNode) MaxAttr(key string) int64 {
+	if n == nil {
+		return 0
+	}
+	best := n.Attrs[key]
+	for _, c := range n.Children {
+		if v := c.MaxAttr(key); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
 // Find returns the first node (pre-order) whose name starts with the given
 // prefix, or nil. Safe on nil.
 func (n *SpanNode) Find(prefix string) *SpanNode {

@@ -24,12 +24,21 @@ type Cache[V any] struct {
 	epoch atomic.Uint64
 
 	mu      sync.RWMutex
-	entries map[freq.Key]entry[V]
+	entries map[cacheKey]entry[V]
 
 	fmu      sync.Mutex
 	inflight map[flightKey]*flight[V]
 
 	met *obs.PlanMetrics
+}
+
+// cacheKey is the composite cache key: the element's frequency-plane
+// identity plus the measure layout it was compiled for (MeasureSpec.Key).
+// The scalar layout encodes to measure 0, so callers that never name a
+// measure keep their historical key space.
+type cacheKey struct {
+	elem    freq.Key
+	measure uint32
 }
 
 type entry[V any] struct {
@@ -41,7 +50,7 @@ type entry[V any] struct {
 // invalidation is never joined by callers from the new epoch.
 type flightKey struct {
 	epoch uint64
-	key   freq.Key
+	key   cacheKey
 }
 
 type flight[V any] struct {
@@ -53,7 +62,7 @@ type flight[V any] struct {
 // NewCache returns an empty cache at epoch 0 with no-op metrics.
 func NewCache[V any]() *Cache[V] {
 	return &Cache[V]{
-		entries:  make(map[freq.Key]entry[V]),
+		entries:  make(map[cacheKey]entry[V]),
 		inflight: make(map[flightKey]*flight[V]),
 		met:      obs.NewPlanMetrics(nil),
 	}
@@ -88,14 +97,14 @@ func (c *Cache[V]) Len() int {
 func (c *Cache[V]) Invalidate() uint64 {
 	c.mu.Lock()
 	n := c.epoch.Add(1)
-	c.entries = make(map[freq.Key]entry[V])
+	c.entries = make(map[cacheKey]entry[V])
 	c.mu.Unlock()
 	c.met.Invalidations.Inc()
 	return n
 }
 
 // get returns the entry for key if it exists at the given epoch.
-func (c *Cache[V]) get(epoch uint64, key freq.Key) (V, bool) {
+func (c *Cache[V]) get(epoch uint64, key cacheKey) (V, bool) {
 	c.mu.RLock()
 	e, ok := c.entries[key]
 	c.mu.RUnlock()
@@ -110,8 +119,18 @@ func (c *Cache[V]) get(epoch uint64, key freq.Key) (V, bool) {
 // computing and caching it on a miss. hit reports whether compute was
 // skipped entirely (a cache hit or a coalesced wait on another caller's
 // in-flight computation — either way the caller did no work). Errors are
-// propagated to every coalesced caller and nothing is cached.
+// propagated to every coalesced caller and nothing is cached. The value is
+// keyed under the scalar measure layout; vector callers use
+// GetOrComputeMeasure.
 func (c *Cache[V]) GetOrCompute(key freq.Key, compute func() (V, error)) (val V, hit bool, err error) {
+	return c.GetOrComputeMeasure(key, 0, compute)
+}
+
+// GetOrComputeMeasure is GetOrCompute under a composite {element, measure
+// layout} key, so one cache can hold plans (or elements) for several
+// measure widths without collision.
+func (c *Cache[V]) GetOrComputeMeasure(elem freq.Key, measure uint32, compute func() (V, error)) (val V, hit bool, err error) {
+	key := cacheKey{elem: elem, measure: measure}
 	epoch := c.epoch.Load()
 	if v, ok := c.get(epoch, key); ok {
 		c.met.Hits.Inc()

@@ -165,6 +165,14 @@ type Physical struct {
 	// Legs is the per-dimension decomposition for the range kinds.
 	Legs []Leg
 
+	// Measure is the component layout the plan's cells carry; a scalar
+	// plan has Width ≤ 1 and renders exactly as it always did.
+	Measure MeasureSpec
+	// Agg is the aggregate finaliser the caller will apply to the
+	// assembled vector (annotation for Explain/trace rendering; execution
+	// is finaliser-agnostic).
+	Agg AggKind
+
 	// Cost is the modelled cost: add/subtract operations for an element
 	// plan (assembly.PlanCost), element cells touched for a range plan
 	// (the §6 estimate Π_m #blocks(m)).
@@ -235,14 +243,20 @@ func Render(b *strings.Builder, target string, ph *Physical, d Describer) {
 	if ph.CacheHit {
 		status = "hit"
 	}
+	// Vector plans carry the aggregate kind and measure width in the
+	// header; scalar plans keep the historical format untouched.
+	measure := ""
+	if ph.Measure.Width > 1 {
+		measure = fmt.Sprintf(", agg %s, width %d", ph.Agg, ph.Measure.Width)
+	}
 	switch {
 	case ph.Assembly != nil:
-		fmt.Fprintf(b, "plan for %s (total cost %d ops) [epoch %d, plan cache %s]\n",
-			target, ph.Cost, ph.Epoch, status)
+		fmt.Fprintf(b, "plan for %s (total cost %d ops) [epoch %d, plan cache %s%s]\n",
+			target, ph.Cost, ph.Epoch, status, measure)
 		RenderAssembly(b, ph.Assembly, 0, d)
 	default:
-		fmt.Fprintf(b, "plan for %s (%d element cells) [epoch %d, plan cache %s]\n",
-			target, ph.Cost, ph.Epoch, status)
+		fmt.Fprintf(b, "plan for %s (%d element cells) [epoch %d, plan cache %s%s]\n",
+			target, ph.Cost, ph.Epoch, status, measure)
 		for _, leg := range ph.Legs {
 			if leg.Keep {
 				fmt.Fprintf(b, "  keep %s (whole axis)\n", d.dim(leg.Dim))

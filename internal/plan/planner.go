@@ -19,14 +19,35 @@ import (
 // engine does this on Optimize/Reconfigure/Update, under SafeEngine's
 // write lock when shared).
 type Planner struct {
-	eng   *assembly.Engine
+	src   PlanSource
+	spec  MeasureSpec
 	cache *Cache[*assembly.Plan]
 }
 
-// NewPlanner returns a planner over the assembly engine with a fresh cache.
-func NewPlanner(eng *assembly.Engine) *Planner {
-	return &Planner{eng: eng, cache: NewCache[*assembly.Plan]()}
+// PlanSource compiles a Procedure 3 assembly plan for one view element.
+// Both the scalar assembly.Engine and the measure-vector engine implement
+// it: plan geometry depends only on the stored rectangle set, never on the
+// component width, so the planner is shared.
+type PlanSource interface {
+	ComputePlan(r freq.Rect) (*assembly.Plan, error)
 }
+
+// NewPlanner returns a planner over the assembly engine with a fresh cache
+// and the scalar measure layout.
+func NewPlanner(eng *assembly.Engine) *Planner {
+	return NewPlannerFor(eng, ScalarMeasure())
+}
+
+// NewPlannerFor returns a planner over any plan source whose stored cells
+// carry the given measure layout. Plans are cached under the composite
+// {element, layout} key, so planners of different widths may even share a
+// cache without collision.
+func NewPlannerFor(src PlanSource, spec MeasureSpec) *Planner {
+	return &Planner{src: src, spec: spec, cache: NewCache[*assembly.Plan]()}
+}
+
+// Measure returns the measure layout the planner compiles for.
+func (p *Planner) Measure() MeasureSpec { return p.spec }
 
 // SetMetrics attaches plan-cache instruments; nil restores the no-op set.
 func (p *Planner) SetMetrics(m *obs.PlanMetrics) { p.cache.SetMetrics(m) }
@@ -53,8 +74,8 @@ func (p *Planner) Element(x *obs.ExecCtx, r freq.Rect) (*Physical, error) {
 	sp := x.Start("plan " + r.String())
 	defer sp.End()
 	epoch := p.cache.Epoch()
-	pl, hit, err := p.cache.GetOrCompute(r.Key(), func() (*assembly.Plan, error) {
-		return p.eng.ComputePlan(r)
+	pl, hit, err := p.cache.GetOrComputeMeasure(r.Key(), p.spec.Key(), func() (*assembly.Plan, error) {
+		return p.src.ComputePlan(r)
 	})
 	if err != nil {
 		return nil, err
@@ -64,12 +85,16 @@ func (p *Planner) Element(x *obs.ExecCtx, r freq.Rect) (*Physical, error) {
 	} else {
 		sp.SetAttr("cache_hit", 0)
 	}
+	if p.spec.Width > 1 {
+		sp.SetAttr("measure_width", int64(p.spec.Width))
+	}
 	sp.SetAttr("plan_ops", int64(pl.Ops))
 	return &Physical{
 		Logical:  Element(r),
 		Epoch:    epoch,
 		CacheHit: hit,
 		Assembly: pl,
+		Measure:  p.spec,
 		Cost:     assembly.PlanCost(pl),
 	}, nil
 }

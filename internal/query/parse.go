@@ -15,6 +15,10 @@ const (
 	AggCount
 	// AggAvg is AVG(measure).
 	AggAvg
+	// AggVar is VAR(measure) — population variance.
+	AggVar
+	// AggStdDev is STDDEV(measure).
+	AggStdDev
 )
 
 func (k AggKind) String() string {
@@ -25,6 +29,10 @@ func (k AggKind) String() string {
 		return "COUNT"
 	case AggAvg:
 		return "AVG"
+	case AggVar:
+		return "VAR"
+	case AggStdDev:
+		return "STDDEV"
 	default:
 		return fmt.Sprintf("AggKind(%d)", int(k))
 	}
@@ -189,8 +197,12 @@ func (p *parser) parseAggregate() (Aggregate, error) {
 		kind = AggCount
 	case "AVG":
 		kind = AggAvg
+	case "VAR", "VARIANCE":
+		kind = AggVar
+	case "STDDEV", "STDEV":
+		kind = AggStdDev
 	default:
-		return Aggregate{}, fmt.Errorf("query: unknown aggregate %q (want SUM, COUNT or AVG)", t.text)
+		return Aggregate{}, fmt.Errorf("query: unknown aggregate %q (want SUM, COUNT, AVG, VAR or STDDEV)", t.text)
 	}
 	if _, err := p.expect(tokLParen, "'('"); err != nil {
 		return Aggregate{}, err

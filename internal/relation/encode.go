@@ -111,12 +111,11 @@ func (e *Encoding) Index(values []string) ([]int, error) {
 	return idx, nil
 }
 
-// BuildCube loads the relation into a dense data cube. Each dimension's
-// values are dictionary-encoded in sorted order (so cube coordinates are
-// deterministic for a given table) and padded to a power of two; tuples
-// mapping to the same cell are SUM-aggregated. It returns the cube and the
-// encoding needed to interpret its coordinates.
-func BuildCube(t *Table) (*ndarray.Array, *Encoding, error) {
+// buildEncoding dictionary-encodes every dimension of the relation in
+// sorted value order and pads each domain to a power of two. BuildCube and
+// BuildMultiCube share it, so a scalar cube and a measure-vector cube built
+// from the same table always agree on coordinates.
+func buildEncoding(t *Table) *Encoding {
 	d := len(t.Schema().Dimensions)
 	enc := &Encoding{
 		Dimensions: append([]string(nil), t.Schema().Dimensions...),
@@ -131,6 +130,16 @@ func BuildCube(t *Table) (*ndarray.Array, *Encoding, error) {
 		enc.Dicts[m] = dict
 		enc.Shape[m] = dict.PaddedLen()
 	}
+	return enc
+}
+
+// BuildCube loads the relation into a dense data cube. Each dimension's
+// values are dictionary-encoded in sorted order (so cube coordinates are
+// deterministic for a given table) and padded to a power of two; tuples
+// mapping to the same cell are SUM-aggregated. It returns the cube and the
+// encoding needed to interpret its coordinates.
+func BuildCube(t *Table) (*ndarray.Array, *Encoding, error) {
+	enc := buildEncoding(t)
 	cube := ndarray.New(enc.Shape...)
 	for i := 0; i < t.Len(); i++ {
 		row := t.Row(i)
@@ -139,6 +148,32 @@ func BuildCube(t *Table) (*ndarray.Array, *Encoding, error) {
 			return nil, nil, err
 		}
 		cube.Add(row.Measure, idx...)
+	}
+	return cube, enc, nil
+}
+
+// BuildMultiCube loads the relation into a width-3 measure-vector cube
+// carrying the Gray et al. algebraic components per cell: [sum, sum of
+// squares, count]. Every distributive/algebraic aggregate the engine serves
+// (SUM, COUNT, AVG, VAR, STDDEV) finalises from these three planes. Tuples
+// are accumulated in row order with the same encoding as BuildCube, so the
+// sum plane is bit-identical to the scalar cube BuildCube produces and the
+// count plane is bit-identical to the scalar cube of the "1 per tuple"
+// count table.
+func BuildMultiCube(t *Table) (*ndarray.MultiArray, *Encoding, error) {
+	enc := buildEncoding(t)
+	cube := ndarray.NewMulti(3, enc.Shape...)
+	var vec [3]float64
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		idx, err := enc.Index(row.Values)
+		if err != nil {
+			return nil, nil, err
+		}
+		vec[0] = row.Measure
+		vec[1] = row.Measure * row.Measure
+		vec[2] = 1
+		cube.AddVec(vec[:], idx...)
 	}
 	return cube, enc, nil
 }
@@ -191,6 +226,64 @@ func (e *Encoding) ViewGroups(view *ndarray.Array, aggregated []bool) (map[strin
 	// Sorting determinism is provided by the caller iterating keys; nothing
 	// further to do here.
 	return out, nil
+}
+
+// ViewGroupsVec is the measure-vector counterpart of ViewGroups: one pass
+// over the group space of an aggregated vector view, invoking fn with each
+// group's key and its full component vector. vec is reused between calls —
+// copy it if it must outlive fn. Building the keys once for all components
+// (instead of once per component plane) is what keeps multi-component
+// finalisers at the allocation profile of a single scalar GROUP BY.
+func (e *Encoding) ViewGroupsVec(view *ndarray.MultiArray, aggregated []bool, fn func(key string, vec []float64)) error {
+	if len(aggregated) != len(e.Dicts) {
+		return fmt.Errorf("relation: aggregated mask rank %d, want %d", len(aggregated), len(e.Dicts))
+	}
+	for m := range aggregated {
+		want := 1
+		if !aggregated[m] {
+			want = e.Shape[m]
+		}
+		if view.Dim(m) != want {
+			return fmt.Errorf("relation: view extent %d on dimension %d, want %d", view.Dim(m), m, want)
+		}
+	}
+	var (
+		bad   error
+		comp0 = view.Component(0)
+		width = view.Width()
+		cells = view.Cells()
+		data  = view.Data()
+		vec   = make([]float64, width)
+		parts = make([]string, 0, len(e.Dicts))
+	)
+	comp0.Each(func(idx []int, _ float64) {
+		if bad != nil {
+			return
+		}
+		off := comp0.Offset(idx)
+		parts = parts[:0]
+		for m, i := range idx {
+			if aggregated[m] {
+				continue
+			}
+			val, ok := e.Dicts[m].Value(i)
+			if !ok {
+				// Padding cell: every component must be empty.
+				for c := 0; c < width; c++ {
+					if data[c*cells+off] != 0 {
+						bad = fmt.Errorf("relation: nonzero padding cell at %v", idx)
+					}
+				}
+				return
+			}
+			parts = append(parts, val)
+		}
+		for c := 0; c < width; c++ {
+			vec[c] = data[c*cells+off]
+		}
+		fn(GroupKey(parts...), vec)
+	})
+	return bad
 }
 
 // SortedKeys returns a group map's keys in sorted order, for deterministic

@@ -33,7 +33,33 @@ import (
 
 	"viewcube"
 	"viewcube/internal/obs"
+	"viewcube/internal/query"
 )
+
+// aggLabel derives the aggregate label recorded in the query log. SQL
+// statements are parsed for their strongest aggregate (the same annotation
+// the vector planner uses); the other serving paths are native SUM reads.
+// Pure-SUM queries report "" — the QueryEntry convention for the scalar
+// default.
+func aggLabel(kind, shape string) string {
+	if kind != "query" {
+		return ""
+	}
+	q, err := query.Parse(shape)
+	if err != nil {
+		return ""
+	}
+	best := query.AggSum
+	for _, agg := range q.Aggregates {
+		if agg.Kind > best {
+			best = agg.Kind
+		}
+	}
+	if best == query.AggSum {
+		return ""
+	}
+	return strings.ToLower(best.String())
+}
 
 // Server is an http.Handler over one cube engine.
 type Server struct {
@@ -201,12 +227,16 @@ func (s *Server) logQuery(kind, shape string, start time.Time, qt *viewcube.Quer
 		DurationUS: time.Since(start).Microseconds(),
 		Epoch:      s.eng.PlanCacheStats().Epoch,
 		Sampled:    sampled,
+		Agg:        aggLabel(kind, shape),
 	}
 	if qt != nil {
 		tree := qt.Tree()
 		e.TraceID = qt.TraceID()
 		e.Ops = tree.SumAttr("ops")
 		e.Cells = tree.SumAttr("cells")
+		if w := tree.MaxAttr("measure_width"); w > 1 {
+			e.MeasureWidth = int(w)
+		}
 		if plan := tree.Find("plan "); plan != nil {
 			hit := plan.Attrs["cache_hit"] == 1
 			e.PlanCacheHit = &hit

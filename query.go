@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"viewcube/internal/ndarray"
 	"viewcube/internal/obs"
 	"viewcube/internal/query"
 )
@@ -63,20 +64,26 @@ func (e *Engine) queryInner(x *obs.ExecCtx, sql string) (*QueryResult, error) {
 }
 
 // Query parses and executes a SQL-like statement supporting SUM, COUNT(*)
-// (or COUNT(measure)) and AVG.
-func (a *AvgEngine) Query(sql string) (*QueryResult, error) {
+// (or COUNT(measure)), AVG, VAR and STDDEV. It delegates to the underlying
+// measure-vector engine: one assembled vector answers every aggregate in
+// the SELECT list.
+func (a *AvgEngine) Query(sql string) (*QueryResult, error) { return a.agg.Query(sql) }
+
+// Query parses and executes a SQL-like statement against the vector
+// engine. Every aggregate in the SELECT list finalises from the same
+// assembled component planes — one plan, one execution, however many
+// aggregates are selected.
+func (a *AggEngine) Query(sql string) (*QueryResult, error) {
 	start := time.Now()
 	q, err := query.Parse(sql)
 	if err != nil {
-		a.Sum.met.observe("sql", start, err)
+		a.sum.met.observe("sql", start, err)
 		return nil, err
 	}
-	res, err := executeQuery(nil, q, a.Sum, a.Count)
-	a.Sum.met.observe("sql", start, err)
+	res, err := a.executeVectorQuery(nil, q)
+	a.sum.met.observe("sql", start, err)
 	if err == nil {
-		if err = a.Sum.maybeReselect(); err == nil {
-			err = a.Count.maybeReselect()
-		}
+		err = a.maybeReselect()
 	}
 	if err != nil {
 		return nil, err
@@ -84,8 +91,155 @@ func (a *AvgEngine) Query(sql string) (*QueryResult, error) {
 	return res, nil
 }
 
+// executeVectorQuery runs the parsed query through the measure-vector
+// path: one vector GROUP BY (or grouped range query), then per-aggregate
+// finalisers over the component planes. Result semantics match the
+// historical two-engine executeQuery exactly: the canonical group set is
+// the count plane's, filtered groups with zero tuples are skipped, rows
+// are sorted by group key.
+func (a *AggEngine) executeVectorQuery(x *obs.ExecCtx, q *query.Query) (*QueryResult, error) {
+	cube := a.cube
+	for _, agg := range q.Aggregates {
+		if agg.Arg == "*" {
+			continue
+		}
+		if cube.measure != "" && agg.Arg != cube.measure {
+			return nil, fmt.Errorf("viewcube: unknown measure %q (cube measure is %q)", agg.Arg, cube.measure)
+		}
+	}
+
+	ranges := make(map[string]ValueRange, len(q.Where))
+	for _, r := range q.Where {
+		if _, err := cube.DimIndex(r.Dim); err != nil {
+			return nil, err
+		}
+		ranges[r.Dim] = ValueRange{Lo: r.Lo, Hi: r.Hi}
+	}
+
+	needVar := false
+	for _, agg := range q.Aggregates {
+		if agg.Kind == query.AggVar || agg.Kind == query.AggStdDev {
+			needVar = true
+		}
+	}
+
+	// One vector query materialises every component plane at once.
+	var (
+		ma  *ndarray.MultiArray
+		el  Element
+		err error
+	)
+	if len(ranges) == 0 {
+		ma, el, err = a.groupByVector(x, sqlAggKind(q), q.GroupBy...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		keepMask, box, berr := a.sum.resolveGroupedBox(q.GroupBy, ranges)
+		if berr != nil {
+			return nil, berr
+		}
+		if ma, err = a.vq.GroupedRangeVecCtx(x, box, keepMask); err != nil {
+			return nil, err
+		}
+		if el, err = cube.ViewKeeping(q.GroupBy...); err != nil {
+			return nil, err
+		}
+	}
+	defer ndarray.RecycleMulti(ma)
+
+	sums, err := a.componentGroups(ma, el, a.spec.Sum)
+	if err != nil {
+		return nil, err
+	}
+	var counts, sumsqs map[string]float64
+	if q.NeedsCount() {
+		if counts, err = a.componentGroups(ma, el, a.spec.Count); err != nil {
+			return nil, err
+		}
+	}
+	if needVar {
+		if sumsqs, err = a.componentGroups(ma, el, a.spec.SumSq); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &QueryResult{Columns: append([]string(nil), q.GroupBy...)}
+	for _, agg := range q.Aggregates {
+		res.Columns = append(res.Columns, agg.Label())
+	}
+
+	// Canonical group set: keys of counts when present (count > 0 means
+	// tuples exist), else keys of sums.
+	keySet := sums
+	if counts != nil {
+		keySet = counts
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	comps := make([]float64, a.spec.Width)
+	for _, k := range keys {
+		if counts != nil && counts[k] == 0 {
+			continue // no tuples in this group under the filter
+		}
+		row := QueryRow{Key: SplitGroupKey(k)}
+		for _, agg := range q.Aggregates {
+			switch agg.Kind {
+			case query.AggSum:
+				row.Values = append(row.Values, sums[k])
+			case query.AggCount:
+				row.Values = append(row.Values, counts[k])
+			case query.AggAvg:
+				row.Values = append(row.Values, sums[k]/counts[k])
+			case query.AggVar, query.AggStdDev:
+				comps[a.spec.Sum] = sums[k]
+				comps[a.spec.SumSq] = sumsqs[k]
+				comps[a.spec.Count] = counts[k]
+				kind := AggVar
+				if agg.Kind == query.AggStdDev {
+					kind = AggStdDev
+				}
+				v, _ := a.spec.Finalize(kind, comps)
+				row.Values = append(row.Values, v)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// sqlAggKind maps a parsed SELECT list to the aggregate kind annotated on
+// the vector plan (for Explain/trace/query-log rendering): the "strongest"
+// finaliser selected.
+func sqlAggKind(q *query.Query) AggKind {
+	kind := AggSum
+	for _, agg := range q.Aggregates {
+		var k AggKind
+		switch agg.Kind {
+		case query.AggCount:
+			k = AggCount
+		case query.AggAvg:
+			k = AggAvg
+		case query.AggVar:
+			k = AggVar
+		case query.AggStdDev:
+			k = AggStdDev
+		default:
+			continue
+		}
+		if k > kind {
+			kind = k
+		}
+	}
+	return kind
+}
+
 // executeQuery runs the parsed query against the SUM engine and, when
-// needed, the COUNT engine.
+// needed, the COUNT engine. It remains the scalar (width-1) SQL path of the
+// plain Engine; the measure-vector engines use executeVectorQuery.
 func executeQuery(x *obs.ExecCtx, q *query.Query, sumEng, countEng *Engine) (*QueryResult, error) {
 	cube := sumEng.cube
 	if cube.enc == nil && len(q.Where) > 0 {
