@@ -66,6 +66,8 @@ func TestBenchJSON(t *testing.T) {
 		{"HaarPartial", BenchmarkHaarPartial},
 		{"MaterializeWaveletBasis", BenchmarkMaterializeWaveletBasis},
 		{"ClusterScatterGather", BenchmarkClusterScatterGather},
+		{"LeasedGroupBy", BenchmarkLeasedGroupBy},
+		{"RegistryResolve", BenchmarkRegistryResolve},
 		{"TracedQueryOverheadOff", benchTracedOff},
 		{"TracedQueryOverheadSampled", benchTracedSampled},
 		{"TracedQueryOverheadTraced", benchTracedFull},

@@ -14,6 +14,15 @@
 //	cubectl -csv sales.csv -measure sales trace groupby product,region
 //	cubectl -gen 5000 info            (synthetic sales data, no CSV needed)
 //
+// With -catalog the shell builds every cube of a JSON catalog file and
+// scopes commands with -cube/-view, resolving view aliases and rejecting
+// excluded members exactly as cubed's HTTP surface would:
+//
+//	cubectl -catalog catalog.json cubes
+//	cubectl -catalog catalog.json -cube sales views
+//	cubectl -catalog catalog.json -cube sales -view public groupby region
+//	cubectl -catalog catalog.json -cube sales -view aliased trace groupby item
+//
 // Against a running shard cluster (see `cubed -shard`), -coordinator skips
 // the local cube entirely and scatter-gathers over the shard servers:
 //
@@ -44,11 +53,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"viewcube"
+	"viewcube/internal/catalog"
 	"viewcube/internal/cluster"
 	"viewcube/internal/obs"
 	"viewcube/internal/workload"
@@ -75,14 +87,23 @@ func run() error {
 	budget := flag.Float64("budget", 1.0, "storage budget as a multiple of the cube volume")
 	coordinator := flag.String("coordinator", "", "comma-separated shard addresses; query a cluster instead of loading a cube")
 	partial := flag.Bool("partial", false, "with -coordinator: tolerate unreachable shards and report them")
+	catalogPath := flag.String("catalog", "", "JSON catalog file; build every declared cube and scope commands with -cube/-view")
+	cubeName := flag.String("cube", "", "with -catalog: cube to query (default: the catalog's default cube)")
+	viewName := flag.String("view", "", "with -catalog: query through this named view")
 	flag.Var(&hot, "hot", "anticipated hot view: comma-separated kept dimensions (repeatable)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims> | trace <query>")
+		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims> | trace <query> | cubes | views")
 	}
 
 	if *coordinator != "" {
 		return runCluster(*coordinator, *partial, flag.Arg(0), flag.Args()[1:])
+	}
+	if *catalogPath != "" {
+		return runCatalogShell(*catalogPath, *cubeName, *viewName, hot, flag.Arg(0), flag.Args()[1:])
+	}
+	if cmd := flag.Arg(0); cmd == "cubes" || cmd == "views" {
+		return fmt.Errorf("%q needs -catalog <file>", cmd)
 	}
 
 	cube, err := loadCube(*csvPath, *measure, *gen, *seed)
@@ -213,6 +234,12 @@ func groupBy(eng *viewcube.Engine, keep []string) error {
 	if err != nil {
 		return err
 	}
+	printGroups(groups)
+	fmt.Printf("(%d groups; plan cost %d ops)\n", len(groups), eng.Stats().LastPlanCost)
+	return nil
+}
+
+func printGroups(groups map[string]float64) {
 	for _, k := range viewcube.SortedGroupKeys(groups) {
 		label := strings.Join(viewcube.SplitGroupKey(k), " / ")
 		if label == "" {
@@ -220,8 +247,6 @@ func groupBy(eng *viewcube.Engine, keep []string) error {
 		}
 		fmt.Printf("%-40s %12g\n", label, groups[k])
 	}
-	fmt.Printf("(%d groups; plan cost %d ops)\n", len(groups), eng.Stats().LastPlanCost)
-	return nil
 }
 
 func parseRanges(specs []string) (map[string]viewcube.ValueRange, error) {
@@ -258,6 +283,11 @@ func runQuery(eng *viewcube.Engine, sql string) error {
 	if err != nil {
 		return err
 	}
+	printResult(res)
+	return nil
+}
+
+func printResult(res *viewcube.QueryResult) {
 	for _, col := range res.Columns {
 		fmt.Printf("%-24s", col)
 	}
@@ -272,7 +302,6 @@ func runQuery(eng *viewcube.Engine, sql string) error {
 		fmt.Println()
 	}
 	fmt.Printf("(%d rows)\n", len(res.Rows))
-	return nil
 }
 
 // runTrace executes one query under a trace and pretty-prints the span
@@ -461,5 +490,289 @@ func topK(eng *viewcube.Engine, dim string, k int) error {
 	for i, gv := range top {
 		fmt.Printf("%2d. %-32s %12g\n", i+1, gv.Key, gv.Value)
 	}
+	return nil
+}
+
+// runCatalogShell answers commands against a locally built catalog: every
+// cube of the file is loaded into a registry and commands are scoped by
+// -cube/-view through a lease, so aliases resolve and excluded members are
+// rejected exactly as cubed's HTTP surface would.
+func runCatalogShell(path, cubeName, viewName string, hot hotFlags, cmd string, args []string) error {
+	f, err := catalog.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	reg := catalog.NewRegistry()
+	if err := f.Build(reg, filepath.Dir(path)); err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "cubes":
+		for _, cs := range reg.Cubes() {
+			mark := " "
+			if cs.Default {
+				mark = "*"
+			}
+			line := fmt.Sprintf("%s %-16s %-8s epoch %d", mark, cs.Name, cs.State, cs.Epoch)
+			if cs.Info != nil {
+				line += fmt.Sprintf("  dims %v  measure %s", cs.Info.Dimensions, cs.Info.Measure)
+			}
+			if len(cs.Views) > 0 {
+				line += "  views " + strings.Join(cs.Views, ",")
+			}
+			fmt.Println(line)
+		}
+		return nil
+	case "views":
+		views, err := reg.Views(cubeName)
+		if err != nil {
+			return err
+		}
+		if len(views) == 0 {
+			fmt.Println("(no views)")
+			return nil
+		}
+		for _, vs := range views {
+			members := make([]string, 0, len(vs.Members))
+			for _, m := range vs.Members {
+				if m.Name == m.Dimension {
+					members = append(members, m.Name)
+				} else {
+					members = append(members, m.Name+"->"+m.Dimension)
+				}
+			}
+			line := fmt.Sprintf("%-16s cube %-12s members %s", vs.Name, vs.Cube, strings.Join(members, ","))
+			if len(vs.Measures) > 0 {
+				line += "  measures " + strings.Join(vs.Measures, ",")
+			}
+			fmt.Println(line)
+		}
+		return nil
+	}
+
+	lease, err := reg.Acquire(cubeName, viewName)
+	if err != nil {
+		return err
+	}
+	defer lease.Release()
+	h, v := lease.Handle, lease.View
+
+	if len(hot) > 0 {
+		hws := make([]catalog.HotView, 0, len(hot))
+		for _, spec := range hot {
+			keep, err := v.ResolveKeep(splitList(spec))
+			if err != nil {
+				return err
+			}
+			hws = append(hws, catalog.HotView{Keep: keep, Freq: 1})
+		}
+		if err := h.Optimize(hws); err != nil {
+			return err
+		}
+		st := h.Stats()
+		fmt.Printf("optimized: %d elements materialised, %d cells\n",
+			st.MaterializedElements, st.StorageCells)
+	}
+
+	switch cmd {
+	case "info":
+		return catalogInfo(lease)
+	case "total":
+		groups, err := h.GroupBy()
+		if err != nil {
+			return err
+		}
+		var sum float64
+		for _, g := range groups {
+			sum += g
+		}
+		fmt.Printf("total(%s) = %g\n", h.Info().Measure, sum)
+		return nil
+	case "groupby":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: groupby dim1,dim2,...")
+		}
+		keep, err := v.ResolveKeep(splitList(args[0]))
+		if err != nil {
+			return err
+		}
+		groups, err := h.GroupBy(keep...)
+		if err != nil {
+			return err
+		}
+		printGroups(groups)
+		fmt.Printf("(%d groups; plan cost %d ops)\n", len(groups), h.Stats().Engine.LastPlanCost)
+		return nil
+	case "range":
+		ranges, err := parseRanges(args)
+		if err != nil {
+			return err
+		}
+		resolved, err := v.ResolveRanges(ranges)
+		if err != nil {
+			return err
+		}
+		got, err := h.RangeSum(resolved)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("range sum = %g\n", got)
+		return nil
+	case "query":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: query 'SELECT SUM(m) GROUP BY dim WHERE ...'")
+		}
+		sql, err := v.RewriteSQL(args[0])
+		if err != nil {
+			return err
+		}
+		res, err := h.Query(sql)
+		if err != nil {
+			return err
+		}
+		res.Columns = v.RewriteColumns(res.Columns)
+		printResult(res)
+		return nil
+	case "topk":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: topk <dim> <k>")
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad k %q: %w", args[1], err)
+		}
+		keep, err := v.ResolveKeep([]string{args[0]})
+		if err != nil {
+			return err
+		}
+		groups, err := h.GroupBy(keep...)
+		if err != nil {
+			return err
+		}
+		printTopK(groups, k)
+		return nil
+	case "explain":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: explain dim1,dim2,...")
+		}
+		keep, err := v.ResolveKeep(splitList(args[0]))
+		if err != nil {
+			return err
+		}
+		text, err := h.ExplainGroupBy(keep...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		pc := h.PlanCacheStats()
+		fmt.Printf("plan cache: %d hits, %d misses, %d invalidations (epoch %d, %d cached plans)\n",
+			pc.Hits, pc.Misses, pc.Invalidations, pc.Epoch, pc.Entries)
+		return nil
+	case "trace":
+		return runCatalogTrace(lease, args)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func catalogInfo(lease *catalog.Lease) error {
+	info := lease.Handle.Info()
+	if v := lease.View; v != nil {
+		dims := make([]string, 0, len(info.Dimensions))
+		for _, d := range info.Dimensions {
+			if name, ok := v.ExposedName(d); ok {
+				dims = append(dims, name)
+			}
+		}
+		info.Dimensions = dims
+	}
+	fmt.Printf("cube:       %s (epoch %d)\n", lease.Cube, lease.Epoch)
+	if lease.View != nil {
+		fmt.Printf("view:       %s\n", lease.View.Name())
+	}
+	fmt.Printf("dimensions: %v\n", info.Dimensions)
+	fmt.Printf("shape:      %v (%d cells)\n", info.Shape, info.Volume)
+	fmt.Printf("measure:    %s\n", info.Measure)
+	st := lease.Handle.Stats()
+	fmt.Printf("stored:     %d elements, %d cells\n", st.MaterializedElements, st.StorageCells)
+	return nil
+}
+
+func printTopK(groups map[string]float64, k int) {
+	keys := viewcube.SortedGroupKeys(groups)
+	sort.SliceStable(keys, func(i, j int) bool { return groups[keys[i]] > groups[keys[j]] })
+	if k > len(keys) {
+		k = len(keys)
+	}
+	for i, key := range keys[:k] {
+		label := strings.Join(viewcube.SplitGroupKey(key), " / ")
+		fmt.Printf("%2d. %-32s %12g\n", i+1, label, groups[key])
+	}
+}
+
+// runCatalogTrace traces one query through a catalog lease and stamps the
+// cube/view identity on the trace, so the printed span tree carries the
+// same labels the server's sampled traces do.
+func runCatalogTrace(lease *catalog.Lease, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: trace groupby <dims> | trace total | trace range <dim=lo:hi>... | trace query <sql>")
+	}
+	h, v := lease.Handle, lease.View
+	var (
+		tr  *viewcube.QueryTrace
+		err error
+	)
+	switch args[0] {
+	case "groupby":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: trace groupby dim1,dim2,...")
+		}
+		keep, rerr := v.ResolveKeep(splitList(args[1]))
+		if rerr != nil {
+			return rerr
+		}
+		_, tr, err = h.TraceGroupBy(keep...)
+	case "total":
+		_, tr, err = h.TraceGroupBy()
+	case "range":
+		ranges, rerr := parseRanges(args[1:])
+		if rerr != nil {
+			return rerr
+		}
+		resolved, rerr := v.ResolveRanges(ranges)
+		if rerr != nil {
+			return rerr
+		}
+		_, tr, err = h.TraceRangeSum(resolved)
+	case "query":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: trace query 'SELECT SUM(m) GROUP BY dim ...'")
+		}
+		sql, rerr := v.RewriteSQL(args[1])
+		if rerr != nil {
+			return rerr
+		}
+		_, tr, err = h.TraceQuery(sql)
+	default:
+		return fmt.Errorf("cannot trace %q (use groupby, total, range or query)", args[0])
+	}
+	if err != nil {
+		return err
+	}
+	if tr == nil {
+		fmt.Println("(query answered; this cube type does not produce traces)")
+		return nil
+	}
+	tr.SetLabel("cube", lease.Cube)
+	if v != nil {
+		tr.SetLabel("view", v.Name())
+	}
+	fmt.Print(tr)
+	scope := "cube " + lease.Cube
+	if v != nil {
+		scope += ", view " + v.Name()
+	}
+	fmt.Printf("trace %s: %d ops, %d cells read [%s]\n", tr.TraceID(), tr.Ops(), tr.CellsRead(), scope)
 	return nil
 }

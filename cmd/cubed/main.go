@@ -5,6 +5,17 @@
 //	cubed -csv sales.csv -measure sales -addr :8080
 //	cubed -gen 50000 -budget 1.5 -reselect 500
 //
+// Catalog mode serves several cubes (each with its own declarative views)
+// from one process; legacy single-cube routes keep working against the
+// catalog's default cube (see DESIGN.md §14):
+//
+//	cubed -catalog catalog.json -addr :8080
+//
+//	curl -s localhost:8080/cubes
+//	curl -s localhost:8080/cubes/sales/views
+//	curl -s localhost:8080/cubes/sales/views/public/groupby?keep=region
+//	curl -s -X POST localhost:8080/cubes/sales/rebuild
+//
 //	curl -s localhost:8080/info
 //	curl -s localhost:8080/groupby?keep=product
 //	curl -s 'localhost:8080/range?day=day-000:day-013'
@@ -30,11 +41,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"viewcube"
+	"viewcube/internal/catalog"
 	"viewcube/internal/cluster"
 	"viewcube/internal/obs"
 	"viewcube/internal/server"
@@ -45,6 +58,7 @@ import (
 // listen addresses (useful with ":0"), and logW redirects logs.
 type config struct {
 	csvPath     string
+	catalogPath string
 	measure     string
 	gen         int
 	seed        int64
@@ -71,6 +85,7 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.csvPath, "csv", "", "CSV file holding the relation")
+	flag.StringVar(&cfg.catalogPath, "catalog", "", "JSON catalog file; serve every declared cube and view from one process")
 	flag.StringVar(&cfg.measure, "measure", "sales", "measure column name")
 	flag.IntVar(&cfg.gen, "gen", 0, "generate this many synthetic sales rows instead of reading -csv")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -gen")
@@ -108,10 +123,98 @@ func (cfg *config) logger() *slog.Logger {
 }
 
 func run(cfg config) error {
-	if cfg.coordinator != "" {
+	switch {
+	case cfg.catalogPath != "":
+		return runCatalog(cfg)
+	case cfg.coordinator != "":
 		return runCoordinator(cfg)
+	default:
+		return runNode(cfg)
 	}
-	return runNode(cfg)
+}
+
+// runCatalog serves every cube of a catalog file behind one registry: the
+// multi-cube routes, declarative views and the lifecycle API
+// (load/unload/rebuild) all hang off a single HTTP listener, and legacy
+// single-cube routes resolve to the catalog's default cube.
+func runCatalog(cfg config) error {
+	switch {
+	case cfg.shard:
+		return fmt.Errorf("-shard is incompatible with -catalog: shard mode serves exactly one cube")
+	case cfg.coordinator != "":
+		return fmt.Errorf("-coordinator is incompatible with -catalog")
+	case cfg.csvPath != "" || cfg.gen > 0:
+		return fmt.Errorf("-csv/-gen are incompatible with -catalog: declare cube sources in the catalog file")
+	}
+	logger := cfg.logger()
+
+	f, err := catalog.LoadFile(cfg.catalogPath)
+	if err != nil {
+		return err
+	}
+	reg := catalog.NewRegistry()
+	if err := f.Build(reg, filepath.Dir(cfg.catalogPath)); err != nil {
+		return err
+	}
+	qlog, err := cfg.openQueryLog()
+	if err != nil {
+		return err
+	}
+	defer qlog.Close()
+	opts := []server.Option{server.WithLogger(logger), server.WithQueryLog(qlog)}
+	if cfg.traceSample > 0 {
+		opts = append(opts, server.WithTraceSampling(cfg.traceSample))
+		logger.Info("sampled tracing enabled", "rate", cfg.traceSample)
+	}
+	if cfg.enablePprof {
+		opts = append(opts, server.WithPprof())
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	httpLn, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.NewCatalog(reg, opts...)}
+	errCh := make(chan error, 1)
+	go func() {
+		cubes := reg.Cubes()
+		for _, cs := range cubes {
+			attrs := []any{"cube", cs.Name, "default", cs.Default}
+			if cs.Info != nil {
+				attrs = append(attrs, "dimensions", fmt.Sprint(cs.Info.Dimensions))
+			}
+			if len(cs.Views) > 0 {
+				attrs = append(attrs, "views", strings.Join(cs.Views, ","))
+			}
+			logger.Info("cube registered", attrs...)
+		}
+		logger.Info("serving catalog", "addr", httpLn.Addr().String(), "cubes", len(cubes))
+		errCh <- srv.Serve(httpLn)
+	}()
+	if cfg.ready != nil {
+		cfg.ready(httpLn.Addr().String(), "")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "grace", cfg.grace.String())
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("stopped")
+	return nil
 }
 
 // runNode serves a cube: always the HTTP API on -addr, plus the binary

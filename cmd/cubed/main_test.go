@@ -189,4 +189,83 @@ func TestRunErrors(t *testing.T) {
 	if err := run(config{gen: 10, addr: fmt.Sprintf("127.0.0.1:%d", -1)}); err == nil {
 		t.Fatal("bad listen address should fail")
 	}
+	if err := run(config{catalogPath: "x.json", shard: true}); err == nil || !strings.Contains(err.Error(), "-shard") {
+		t.Fatalf("-catalog with -shard: err = %v", err)
+	}
+	if err := run(config{catalogPath: "x.json", gen: 10}); err == nil || !strings.Contains(err.Error(), "-csv/-gen") {
+		t.Fatalf("-catalog with -gen: err = %v", err)
+	}
+	if err := run(config{catalogPath: "/does/not/exist.json"}); err == nil {
+		t.Fatal("missing catalog file should fail")
+	}
+}
+
+// TestCatalogMode boots cubed in -catalog mode with two cubes and checks
+// the multi-cube surface end to end: the listing, a per-cube query, a view
+// that hides a member, and the legacy default-cube route.
+func TestCatalogMode(t *testing.T) {
+	dir := t.TempDir()
+	csv := dir + "/sales.csv"
+	if err := os.WriteFile(csv, []byte("product,region,sales\nale,east,10\nale,west,5\nbock,east,7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := dir + "/catalog.json"
+	doc := `{
+	  "cubes": [
+	    {"name": "sales", "csv": "sales.csv", "default": true},
+	    {"name": "synth", "gen": 200, "seed": 3}
+	  ],
+	  "views": [
+	    {"name": "public", "cube": "sales", "includes": "*", "excludes": ["region"]}
+	  ]
+	}`
+	if err := os.WriteFile(cat, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	httpAddr, _, done := startCubed(t, config{catalogPath: cat, grace: 5 * time.Second})
+	base := "http://" + httpAddr
+
+	var listing struct {
+		Default string           `json:"default"`
+		Cubes   []map[string]any `json:"cubes"`
+	}
+	resp, err := http.Get(base + "/cubes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if listing.Default != "sales" || len(listing.Cubes) != 2 ||
+		listing.Cubes[0]["name"] != "sales" || listing.Cubes[1]["name"] != "synth" {
+		t.Fatalf("cube listing %+v", listing)
+	}
+
+	// Legacy route answers from the default cube; the scoped route agrees.
+	got := getGroups(t, base)
+	if got["ale"] != 15 || got["bock"] != 7 {
+		t.Fatalf("legacy groupby %v", got)
+	}
+	scoped := getGroups(t, base+"/cubes/sales")
+	if scoped["ale"] != got["ale"] || scoped["bock"] != got["bock"] {
+		t.Fatalf("scoped groupby %v differs from legacy %v", scoped, got)
+	}
+
+	// The view hides region: 404 with the unified error body.
+	resp, err = http.Get(base + "/cubes/sales/views/public/groupby?keep=region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBody map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || errBody["code"].(float64) != http.StatusNotFound {
+		t.Fatalf("excluded member: status %d body %v", resp.StatusCode, errBody)
+	}
+
+	sigterm(t)
+	waitStopped(t, done, "catalog cubed")
 }

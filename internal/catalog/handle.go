@@ -1,0 +1,294 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"viewcube"
+)
+
+// NewSafeHandle wraps a SafeEngine (and the cube it serves) as a
+// CubeHandle. The SafeEngine already provides the read/write split, so the
+// handle adds no locking of its own.
+func NewSafeHandle(cube *viewcube.Cube, eng *viewcube.SafeEngine) CubeHandle {
+	return &safeHandle{cube: cube, eng: eng}
+}
+
+type safeHandle struct {
+	cube *viewcube.Cube
+	eng  *viewcube.SafeEngine
+}
+
+func (h *safeHandle) Info() Info {
+	return Info{
+		Dimensions: h.cube.Dimensions(),
+		Shape:      h.cube.Shape(),
+		Volume:     h.cube.Volume(),
+		Measure:    h.cube.Measure(),
+	}
+}
+
+func (h *safeHandle) Query(sql string) (*viewcube.QueryResult, error) { return h.eng.Query(sql) }
+
+func (h *safeHandle) TraceQuery(sql string) (*viewcube.QueryResult, *viewcube.QueryTrace, error) {
+	return h.eng.TraceQuery(sql)
+}
+
+func (h *safeHandle) GroupBy(keep ...string) (map[string]float64, error) {
+	v, err := h.eng.GroupBy(keep...)
+	if err != nil {
+		return nil, err
+	}
+	return v.Groups()
+}
+
+func (h *safeHandle) TraceGroupBy(keep ...string) (map[string]float64, *viewcube.QueryTrace, error) {
+	v, tr, err := h.eng.TraceGroupBy(keep...)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups, err := v.Groups()
+	if err != nil {
+		return nil, nil, err
+	}
+	return groups, tr, nil
+}
+
+func (h *safeHandle) RangeSum(ranges map[string]viewcube.ValueRange) (float64, error) {
+	return h.eng.RangeSum(ranges)
+}
+
+func (h *safeHandle) TraceRangeSum(ranges map[string]viewcube.ValueRange) (float64, *viewcube.QueryTrace, error) {
+	return h.eng.TraceRangeSum(ranges)
+}
+
+func (h *safeHandle) UpdateValue(delta float64, values map[string]string) error {
+	return h.eng.UpdateValue(delta, values)
+}
+
+func (h *safeHandle) Optimize(views []HotView) error {
+	w, err := buildWorkload(h.cube, views)
+	if err != nil {
+		return err
+	}
+	return h.eng.Optimize(w)
+}
+
+func (h *safeHandle) ExplainGroupBy(keep ...string) (string, error) {
+	return h.eng.ExplainGroupBy(keep...)
+}
+
+func (h *safeHandle) Stats() Stats {
+	return Stats{
+		Engine:               h.eng.Stats(),
+		Store:                h.eng.StoreStats(),
+		PlanCache:            h.eng.PlanCacheStats(),
+		MaterializedElements: h.eng.MaterializedElements(),
+		StorageCells:         h.eng.StorageCells(),
+	}
+}
+
+func (h *safeHandle) PlanCacheStats() viewcube.PlanCacheStats { return h.eng.PlanCacheStats() }
+
+func (h *safeHandle) Metrics() *viewcube.Metrics { return h.eng.Metrics() }
+
+// NewAggHandle wraps a measure-vector AggEngine as a CubeHandle. AggEngine
+// is not internally synchronised, so the handle serialises every call on
+// one mutex — correct first; the scalar SafeEngine path stays the
+// concurrent fast path.
+func NewAggHandle(eng *viewcube.AggEngine) CubeHandle {
+	return &aggHandle{eng: eng}
+}
+
+type aggHandle struct {
+	mu  sync.Mutex
+	eng *viewcube.AggEngine
+}
+
+func (h *aggHandle) Info() Info {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.eng.Cube()
+	return Info{
+		Dimensions: c.Dimensions(),
+		Shape:      c.Shape(),
+		Volume:     c.Volume(),
+		Measure:    c.Measure(),
+	}
+}
+
+func (h *aggHandle) Query(sql string) (*viewcube.QueryResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.Query(sql)
+}
+
+// TraceQuery answers the query untraced (the vector SQL path has no traced
+// variant); callers treat a nil trace as "not traced".
+func (h *aggHandle) TraceQuery(sql string) (*viewcube.QueryResult, *viewcube.QueryTrace, error) {
+	res, err := h.Query(sql)
+	return res, nil, err
+}
+
+func (h *aggHandle) GroupBy(keep ...string) (map[string]float64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.GroupByAgg(viewcube.AggSum, keep...)
+}
+
+func (h *aggHandle) TraceGroupBy(keep ...string) (map[string]float64, *viewcube.QueryTrace, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.TraceGroupByAgg(viewcube.AggSum, keep...)
+}
+
+func (h *aggHandle) RangeSum(ranges map[string]viewcube.ValueRange) (float64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.RangeAgg(viewcube.AggSum, ranges)
+}
+
+func (h *aggHandle) TraceRangeSum(ranges map[string]viewcube.ValueRange) (float64, *viewcube.QueryTrace, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.TraceRangeAgg(viewcube.AggSum, ranges)
+}
+
+func (h *aggHandle) UpdateValue(delta float64, values map[string]string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.UpdateValue(delta, values)
+}
+
+func (h *aggHandle) Optimize(views []HotView) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w, err := buildWorkload(h.eng.Cube(), views)
+	if err != nil {
+		return err
+	}
+	return h.eng.Optimize(w)
+}
+
+func (h *aggHandle) ExplainGroupBy(keep ...string) (string, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.ExplainAgg(viewcube.AggSum, keep...)
+}
+
+func (h *aggHandle) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Stats{
+		Engine:               h.eng.Stats(),
+		Store:                h.eng.SumEngine().StoreStats(),
+		PlanCache:            h.eng.SumEngine().PlanCacheStats(),
+		MaterializedElements: h.eng.MaterializedElements(),
+		StorageCells:         h.eng.StorageCells(),
+	}
+}
+
+func (h *aggHandle) PlanCacheStats() viewcube.PlanCacheStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.SumEngine().PlanCacheStats()
+}
+
+func (h *aggHandle) Metrics() *viewcube.Metrics {
+	return h.eng.SumEngine().Metrics()
+}
+
+// NewPartitionedHandle wraps a sharded PartitionedEngine as a CubeHandle.
+// Distributive reads (GroupBy, RangeSum) fan out to the shards; SQL,
+// updates and explains are not distributive across shard encodings and
+// fail with ErrUnsupported. Shape/Volume are per-shard properties and are
+// left zero in Info.
+func NewPartitionedHandle(eng *viewcube.PartitionedEngine) CubeHandle {
+	return &partitionedHandle{eng: eng}
+}
+
+type partitionedHandle struct {
+	eng *viewcube.PartitionedEngine
+}
+
+func (h *partitionedHandle) Info() Info {
+	return Info{
+		Dimensions: h.eng.Dimensions(),
+		Measure:    h.eng.Measure(),
+	}
+}
+
+func (h *partitionedHandle) Query(string) (*viewcube.QueryResult, error) {
+	return nil, fmt.Errorf("sql over a partitioned cube: %w", ErrUnsupported)
+}
+
+func (h *partitionedHandle) TraceQuery(sql string) (*viewcube.QueryResult, *viewcube.QueryTrace, error) {
+	res, err := h.Query(sql)
+	return res, nil, err
+}
+
+func (h *partitionedHandle) GroupBy(keep ...string) (map[string]float64, error) {
+	return h.eng.GroupBy(keep...)
+}
+
+func (h *partitionedHandle) TraceGroupBy(keep ...string) (map[string]float64, *viewcube.QueryTrace, error) {
+	groups, err := h.eng.GroupBy(keep...)
+	return groups, nil, err
+}
+
+func (h *partitionedHandle) RangeSum(ranges map[string]viewcube.ValueRange) (float64, error) {
+	return h.eng.RangeSum(ranges)
+}
+
+func (h *partitionedHandle) TraceRangeSum(ranges map[string]viewcube.ValueRange) (float64, *viewcube.QueryTrace, error) {
+	sum, err := h.eng.RangeSum(ranges)
+	return sum, nil, err
+}
+
+func (h *partitionedHandle) UpdateValue(float64, map[string]string) error {
+	return fmt.Errorf("update over a partitioned cube: %w", ErrUnsupported)
+}
+
+func (h *partitionedHandle) Optimize(views []HotView) error {
+	keeps := make([][]string, len(views))
+	freqs := make([]float64, len(views))
+	for i, v := range views {
+		keeps[i] = v.Keep
+		freqs[i] = v.Freq
+	}
+	return h.eng.Optimize(keeps, freqs)
+}
+
+func (h *partitionedHandle) ExplainGroupBy(...string) (string, error) {
+	return "", fmt.Errorf("explain over a partitioned cube: %w", ErrUnsupported)
+}
+
+func (h *partitionedHandle) Stats() Stats {
+	s := Stats{PlanCache: h.eng.PlanCacheStats()}
+	for i := 0; i < h.eng.Shards(); i++ {
+		sh := h.eng.Shard(i)
+		s.MaterializedElements += sh.MaterializedElements()
+		s.StorageCells += sh.StorageCells()
+	}
+	return s
+}
+
+func (h *partitionedHandle) PlanCacheStats() viewcube.PlanCacheStats {
+	return h.eng.PlanCacheStats()
+}
+
+func (h *partitionedHandle) Metrics() *viewcube.Metrics {
+	return h.eng.Shard(0).Metrics()
+}
+
+// buildWorkload converts the serializable hot-view form into an engine
+// Workload against a concrete cube.
+func buildWorkload(c *viewcube.Cube, views []HotView) (*viewcube.Workload, error) {
+	w := c.NewWorkload()
+	for _, hv := range views {
+		if err := w.AddViewKeeping(hv.Freq, hv.Keep...); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidWorkload, err)
+		}
+	}
+	return w, nil
+}

@@ -13,14 +13,19 @@ import (
 // wants to mine. Trace is only set for sampled queries (and is the stitched
 // cluster tree for coordinator queries).
 type QueryEntry struct {
-	Time         time.Time `json:"time"`
-	Kind         string    `json:"kind"`
-	Shape        string    `json:"shape"`
-	DurationUS   int64     `json:"duration_us"`
-	Epoch        uint64    `json:"epoch,omitempty"`
-	PlanCacheHit *bool     `json:"plan_cache_hit,omitempty"`
-	Ops          int64     `json:"ops,omitempty"`
-	Cells        int64     `json:"cells,omitempty"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	// Cube and View name the catalog entry (and, when the query came in
+	// through a declarative view, the view) that served the query. Both are
+	// empty for engines served outside a catalog.
+	Cube         string `json:"cube,omitempty"`
+	View         string `json:"view,omitempty"`
+	Shape        string `json:"shape"`
+	DurationUS   int64  `json:"duration_us"`
+	Epoch        uint64 `json:"epoch,omitempty"`
+	PlanCacheHit *bool  `json:"plan_cache_hit,omitempty"`
+	Ops          int64  `json:"ops,omitempty"`
+	Cells        int64  `json:"cells,omitempty"`
 	// Agg and MeasureWidth identify the aggregate function and the
 	// measure-vector component width of the serving engine, so log mining
 	// can distinguish SUM queries from AVG/VAR queries over a vector cube.

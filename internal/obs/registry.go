@@ -149,7 +149,20 @@ type family struct {
 // Registry holds named instruments and renders them in the Prometheus text
 // exposition format. The zero value is not usable; construct with
 // NewRegistry. All methods are safe for concurrent use.
+//
+// A Registry is a view over a shared instrument store: Sub derives a
+// registry that stamps fixed base labels onto every instrument registered
+// through it while writing into the same exposition, which is how one
+// process serving many cubes gets a per-cube label dimension on shared
+// metric families.
 type Registry struct {
+	core *registryCore
+	base []string // label pairs prepended to every registration
+}
+
+// registryCore is the instrument store shared by a registry and all its
+// Sub views.
+type registryCore struct {
 	mu      sync.Mutex
 	ordered []*family
 	byName  map[string]*family
@@ -157,17 +170,32 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*family)}
+	return &Registry{core: &registryCore{byName: make(map[string]*family)}}
+}
+
+// Sub returns a registry view that adds the given label key/value pairs to
+// every instrument registered through it. The returned registry shares the
+// parent's instrument store, so WriteText on either renders both. Safe on a
+// nil receiver (returns nil).
+func (r *Registry) Sub(labels ...string) *Registry {
+	if r == nil {
+		return nil
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	base := append(append([]string(nil), r.base...), labels...)
+	return &Registry{core: r.core, base: base}
 }
 
 func labelKey(labels []string) string { return strings.Join(labels, "\x00") }
 
-func (r *Registry) family(name, help, typ string) *family {
-	f, ok := r.byName[name]
+func (c *registryCore) family(name, help, typ string) *family {
+	f, ok := c.byName[name]
 	if !ok {
 		f = &family{name: name, help: help, typ: typ, byLabel: make(map[string]*series)}
-		r.byName[name] = f
-		r.ordered = append(r.ordered, f)
+		c.byName[name] = f
+		c.ordered = append(c.ordered, f)
 	}
 	return f
 }
@@ -176,9 +204,13 @@ func (r *Registry) lookup(name, help, typ string, labels []string) *series {
 	if len(labels)%2 != 0 {
 		panic("obs: labels must be key/value pairs")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.family(name, help, typ)
+	if len(r.base) > 0 {
+		labels = append(append([]string(nil), r.base...), labels...)
+	}
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.family(name, help, typ)
 	lk := labelKey(labels)
 	s, ok := f.byLabel[lk]
 	if !ok {
@@ -267,13 +299,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	fams := append([]*family(nil), r.ordered...)
+	c := r.core
+	c.mu.Lock()
+	fams := append([]*family(nil), c.ordered...)
 	snap := make([][]*series, len(fams))
 	for i, f := range fams {
 		snap[i] = append([]*series(nil), f.series...)
 	}
-	r.mu.Unlock()
+	c.mu.Unlock()
 	for i, f := range fams {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {

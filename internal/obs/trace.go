@@ -40,6 +40,15 @@ type Attr struct {
 	Val int64
 }
 
+// Label is one string annotation on a span — identity rather than cost
+// (cube name, view name). Labels are kept apart from the integer Attrs so
+// the hot-path attr slice stays allocation-light and the wire codec (which
+// carries Attrs only) is unchanged; labels are a serving-tier annotation
+// stamped onto locally owned traces.
+type Label struct {
+	Key, Val string
+}
+
 // Span is one timed region of a trace. Spans form an explicit tree: each
 // span carries its parent and a trace-scoped ID, and children attach under
 // the trace mutex — so any number of goroutines may open children of the
@@ -57,6 +66,7 @@ type Span struct {
 	dur      time.Duration
 	ended    bool
 	attrs    []Attr
+	labels   []Label
 	children []*Span
 }
 
@@ -109,6 +119,22 @@ func (s *Span) SetAttr(key string, v int64) {
 		}
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// SetLabel sets (or replaces) a string annotation. Safe on nil.
+func (s *Span) SetLabel(key, val string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	for i := range s.labels {
+		if s.labels[i].Key == key {
+			s.labels[i].Val = val
+			return
+		}
+	}
+	s.labels = append(s.labels, Label{Key: key, Val: val})
 }
 
 // AddAttr accumulates into an integer annotation. Safe on nil.
@@ -242,6 +268,12 @@ func (t *Trace) graftLocked(parent *Span, n *SpanNode) {
 			s.attrs = append(s.attrs, Attr{Key: k, Val: n.Attrs[k]})
 		}
 	}
+	if len(n.Labels) > 0 {
+		s.labels = make([]Label, 0, len(n.Labels))
+		for _, k := range sortedLabelKeys(n.Labels) {
+			s.labels = append(s.labels, Label{Key: k, Val: n.Labels[k]})
+		}
+	}
 	parent.children = append(parent.children, s)
 	t.spans++
 	for _, c := range n.Children {
@@ -307,7 +339,30 @@ type SpanNode struct {
 	Name       string           `json:"name"`
 	DurationUS int64            `json:"duration_us"`
 	Attrs      map[string]int64 `json:"attrs,omitempty"`
-	Children   []*SpanNode      `json:"children,omitempty"`
+	// Labels are string annotations (cube, view). They ride in API
+	// responses and the query log but not the binary wire protocol, whose
+	// span payload is pinned by codec goldens; shard-side subtrees carry
+	// cost attrs only and identity labels are stamped by the serving tier.
+	Labels   map[string]string `json:"labels,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// Label returns the named string annotation on the node or, failing that,
+// the first occurrence in its subtree (pre-order); "" when absent. Safe on
+// nil.
+func (n *SpanNode) Label(key string) string {
+	if n == nil {
+		return ""
+	}
+	if v, ok := n.Labels[key]; ok {
+		return v
+	}
+	for _, c := range n.Children {
+		if v := c.Label(key); v != "" {
+			return v
+		}
+	}
+	return ""
 }
 
 // count returns the number of nodes in the subtree.
@@ -338,6 +393,12 @@ func toNode(s *Span) *SpanNode {
 		n.Attrs = make(map[string]int64, len(s.attrs))
 		for _, a := range s.attrs {
 			n.Attrs[a.Key] = a.Val
+		}
+	}
+	if len(s.labels) > 0 {
+		n.Labels = make(map[string]string, len(s.labels))
+		for _, l := range s.labels {
+			n.Labels[l.Key] = l.Val
 		}
 	}
 	for _, c := range s.children {
@@ -411,6 +472,9 @@ func (t *Trace) String() string {
 func renderSpan(b *strings.Builder, s *Span, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
 	fmt.Fprintf(b, "%s (%s)", s.name, s.dur.Round(time.Microsecond))
+	for _, l := range s.labels {
+		fmt.Fprintf(b, " %s=%s", l.Key, l.Val)
+	}
 	for _, a := range s.attrs {
 		fmt.Fprintf(b, " %s=%d", a.Key, a.Val)
 	}
@@ -434,6 +498,20 @@ func sortedAttrKeys(attrs map[string]int64) []string {
 	return keys
 }
 
+// sortedLabelKeys returns a node's label keys in sorted order for stable
+// rendering.
+func sortedLabelKeys(labels map[string]string) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // RenderNode renders a SpanNode tree in the same indented style String
 // uses, for clients that receive trees rather than live traces (cubectl
 // trace). Safe on nil (returns "").
@@ -449,6 +527,9 @@ func renderNode(b *strings.Builder, n *SpanNode, depth int) {
 	}
 	b.WriteString(strings.Repeat("  ", depth))
 	fmt.Fprintf(b, "%s (%s)", n.Name, (time.Duration(n.DurationUS) * time.Microsecond).String())
+	for _, k := range sortedLabelKeys(n.Labels) {
+		fmt.Fprintf(b, " %s=%s", k, n.Labels[k])
+	}
 	for _, k := range sortedAttrKeys(n.Attrs) {
 		fmt.Fprintf(b, " %s=%d", k, n.Attrs[k])
 	}

@@ -62,6 +62,38 @@ type Query struct {
 	Where      []Range
 }
 
+// String renders the AST back to query text that Parse accepts and parses
+// to an identical AST. Member-rewriting layers (the catalog's declarative
+// views) parse a statement, substitute dimension and measure names, and
+// re-render it for the engine, so rendering must round-trip exactly.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, a := range q.Aggregates {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Label())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(q.GroupBy, ", "))
+	}
+	for i, r := range q.Where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		if r.Lo == r.Hi {
+			fmt.Fprintf(&b, "%s = '%s'", r.Dim, r.Lo)
+		} else {
+			fmt.Fprintf(&b, "%s BETWEEN '%s' AND '%s'", r.Dim, r.Lo, r.Hi)
+		}
+	}
+	return b.String()
+}
+
 // NeedsCount reports whether execution requires a COUNT cube (any COUNT or
 // AVG aggregate).
 func (q *Query) NeedsCount() bool {

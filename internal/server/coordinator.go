@@ -96,7 +96,7 @@ func (s *CoordinatorServer) writeJSON(w http.ResponseWriter, status int, v any) 
 }
 
 func (s *CoordinatorServer) writeErr(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorBody{Error: err.Error(), Status: status})
+	s.writeJSON(w, status, errorBody{Error: err.Error(), Code: status})
 }
 
 func wantPartial(r *http.Request) bool { return r.URL.Query().Get("partial") == "1" }

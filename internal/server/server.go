@@ -1,5 +1,9 @@
-// Package server exposes a viewcube engine over HTTP with a small JSON API
-// — the daemon face of the library:
+// Package server exposes a catalog of viewcube engines over HTTP with a
+// small JSON API — the daemon face of the library. Legacy single-cube
+// routes address the catalog's default cube; /cubes/{cube}/... addresses
+// any cube, and /cubes/{cube}/views/{view}/... queries through a
+// declarative view (member aliases rewritten, excluded members rejected
+// with 404 before any planning):
 //
 //	POST /query    {"sql": "SELECT SUM(sales) GROUP BY product"}   (?trace=1 adds a span tree)
 //	POST /update   {"delta": 5, "values": {"product": "ale", ...}}
@@ -7,21 +11,27 @@
 //	GET  /range?dim=lo:hi&dim2=lo:hi                               (?trace=1 adds a span tree)
 //	GET  /explain?keep=product
 //	GET  /stats
-//	GET  /metrics          (Prometheus text exposition)
+//	GET  /info
+//	POST /optimize {"views": [{"keep": ["product"], "freq": 0.7}, ...]}
+//	GET  /cubes                      (catalog listing: states, epochs, views)
+//	GET  /cubes/{cube}/views         (view listing: members, measures)
+//	POST /cubes/{cube}/query         (and groupby/range/explain/stats/info/update/optimize)
+//	POST /cubes/{cube}/views/{view}/query   (read routes only, through the view)
+//	POST /cubes/{cube}/load|unload|rebuild  (lifecycle: drain-gated, zero-downtime rebuild)
+//	GET  /metrics          (one Prometheus exposition for all cubes, cube-labelled)
 //	GET  /querylog?n=50    (recent query analytics entries, newest first)
 //	GET  /healthz
 //	GET  /debug/pprof/*    (only with WithPprof)
-//	POST /optimize {"views": [{"keep": ["product"], "freq": 0.7}, ...]}
 //
-// The handler shares the engine through a SafeEngine, so one server serves
-// concurrent clients with overlapping reads: queries run under the read
-// lock, while updates, optimisation and automatic reselection serialise on
-// the write lock. Every request is logged through slog with its method,
-// path, status and latency, and counted in the engine's metrics registry.
+// Every query holds a catalog lease for its whole execution, so an unload
+// drains in-flight queries instead of racing them; errors share one JSON
+// shape, {"error": ..., "code": ...}, with unknown cubes, views and view
+// members mapped to 404 and lifecycle conflicts to 409.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"viewcube"
+	"viewcube/internal/catalog"
 	"viewcube/internal/obs"
 	"viewcube/internal/query"
 )
@@ -61,10 +72,9 @@ func aggLabel(kind, shape string) string {
 	return strings.ToLower(best.String())
 }
 
-// Server is an http.Handler over one cube engine.
+// Server is an http.Handler over a catalog of cubes.
 type Server struct {
-	cube    *viewcube.Cube
-	eng     *viewcube.SafeEngine
+	reg     *catalog.Registry
 	met     *viewcube.Metrics
 	log     *slog.Logger
 	mux     *http.ServeMux
@@ -96,8 +106,8 @@ func WithLogger(l *slog.Logger) Option {
 }
 
 // WithQueryLog records every /query, /groupby and /range into the given
-// query log (shape, duration, plan-cache outcome, per-query costs), served
-// back through GET /querylog.
+// query log (cube, view, shape, duration, plan-cache outcome, per-query
+// costs), served back through GET /querylog.
 func WithQueryLog(l *obs.QueryLog) Option {
 	return func(s *Server) { s.qlog = l }
 }
@@ -109,36 +119,79 @@ func WithTraceSampling(rate float64) Option {
 	return func(s *Server) { s.sampler = obs.NewSampler(rate) }
 }
 
-// New wraps a cube and its engine into an HTTP handler.
+// New wraps a cube and its engine into an HTTP handler serving it as the
+// catalog's default cube.
 func New(cube *viewcube.Cube, eng *viewcube.Engine, opts ...Option) *Server {
 	return NewSafe(cube, eng.Safe(), opts...)
 }
 
-// NewSafe builds the handler over an existing SafeEngine. Use this when
-// another subsystem (the cluster shard server) serves the same engine: both
-// must share one SafeEngine so reads and writes serialise on one lock.
+// NewSafe builds the handler over an existing SafeEngine, registered as the
+// default cube of a one-entry catalog. Use this when another subsystem (the
+// cluster shard server) serves the same engine: both must share one
+// SafeEngine so reads and writes serialise on one lock. HTTP instruments
+// land in the engine's own metrics registry, exactly as before the catalog
+// existed.
 func NewSafe(cube *viewcube.Cube, eng *viewcube.SafeEngine, opts ...Option) *Server {
-	met := eng.Metrics()
-	s := &Server{
-		cube: cube,
-		eng:  eng,
-		met:  met,
-		log:  slog.Default(),
-		mux:  http.NewServeMux(),
+	reg := catalog.NewRegistry()
+	if err := reg.RegisterHandle("default", catalog.NewSafeHandle(cube, eng)); err != nil {
+		panic(err) // unreachable: fresh registry, fixed name
 	}
-	reg := met.Registry()
-	s.reqLatency = reg.Histogram("viewcube_http_request_seconds",
+	return newCatalogServer(reg, eng.Metrics(), opts...)
+}
+
+// NewCatalog builds the handler over a prepared catalog registry. The
+// registry's root metrics (which the per-cube engine registries feed,
+// labelled by cube) back /metrics.
+func NewCatalog(reg *catalog.Registry, opts ...Option) *Server {
+	return newCatalogServer(reg, reg.Metrics(), opts...)
+}
+
+func newCatalogServer(reg *catalog.Registry, met *viewcube.Metrics, opts ...Option) *Server {
+	s := &Server{
+		reg: reg,
+		met: met,
+		log: slog.Default(),
+		mux: http.NewServeMux(),
+	}
+	mreg := met.Registry()
+	s.reqLatency = mreg.Histogram("viewcube_http_request_seconds",
 		"HTTP request latency in seconds.", nil)
-	s.reqInFlight = reg.Gauge("viewcube_http_in_flight_requests",
+	s.reqInFlight = mreg.Gauge("viewcube_http_in_flight_requests",
 		"HTTP requests currently being served.")
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /update", s.handleUpdate)
-	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
-	s.mux.HandleFunc("GET /groupby", s.handleGroupBy)
-	s.mux.HandleFunc("GET /range", s.handleRange)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /info", s.handleInfo)
+
+	// Legacy single-cube routes resolve the catalog's default cube; their
+	// success responses are byte-identical to the pre-catalog server.
+	s.mux.HandleFunc("POST /query", s.routed(s.handleQuery))
+	s.mux.HandleFunc("POST /update", s.routed(s.handleUpdate))
+	s.mux.HandleFunc("POST /optimize", s.routed(s.handleOptimize))
+	s.mux.HandleFunc("GET /groupby", s.routed(s.handleGroupBy))
+	s.mux.HandleFunc("GET /range", s.routed(s.handleRange))
+	s.mux.HandleFunc("GET /explain", s.routed(s.handleExplain))
+	s.mux.HandleFunc("GET /stats", s.routed(s.handleStats))
+	s.mux.HandleFunc("GET /info", s.routed(s.handleInfo))
+
+	// Catalog surface: explicit cube routing plus view-scoped reads.
+	s.mux.HandleFunc("GET /cubes", s.handleCubes)
+	s.mux.HandleFunc("GET /cubes/{cube}/views", s.handleViewList)
+	s.mux.HandleFunc("POST /cubes/{cube}/query", s.routed(s.handleQuery))
+	s.mux.HandleFunc("POST /cubes/{cube}/update", s.routed(s.handleUpdate))
+	s.mux.HandleFunc("POST /cubes/{cube}/optimize", s.routed(s.handleOptimize))
+	s.mux.HandleFunc("GET /cubes/{cube}/groupby", s.routed(s.handleGroupBy))
+	s.mux.HandleFunc("GET /cubes/{cube}/range", s.routed(s.handleRange))
+	s.mux.HandleFunc("GET /cubes/{cube}/explain", s.routed(s.handleExplain))
+	s.mux.HandleFunc("GET /cubes/{cube}/stats", s.routed(s.handleStats))
+	s.mux.HandleFunc("GET /cubes/{cube}/info", s.routed(s.handleInfo))
+	s.mux.HandleFunc("POST /cubes/{cube}/views/{view}/query", s.routed(s.handleQuery))
+	s.mux.HandleFunc("GET /cubes/{cube}/views/{view}/groupby", s.routed(s.handleGroupBy))
+	s.mux.HandleFunc("GET /cubes/{cube}/views/{view}/range", s.routed(s.handleRange))
+	s.mux.HandleFunc("GET /cubes/{cube}/views/{view}/explain", s.routed(s.handleExplain))
+	s.mux.HandleFunc("GET /cubes/{cube}/views/{view}/info", s.routed(s.handleInfo))
+
+	// Lifecycle: drain-gated unload, reload, zero-downtime rebuild.
+	s.mux.HandleFunc("POST /cubes/{cube}/load", s.lifecycle(reg.Load))
+	s.mux.HandleFunc("POST /cubes/{cube}/unload", s.lifecycle(reg.Unload))
+	s.mux.HandleFunc("POST /cubes/{cube}/rebuild", s.lifecycle(reg.Rebuild))
+
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /querylog", s.handleQueryLog)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -187,6 +240,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	)
 }
 
+// routed acquires the catalog lease a cube-scoped handler runs under: the
+// {cube} and {view} path values (both empty on legacy routes, resolving the
+// default cube raw) pin a serving handle for the whole request, so a
+// concurrent unload drains instead of racing. Routed requests are counted
+// per cube, giving /metrics its cube label dimension.
+func (s *Server) routed(h func(http.ResponseWriter, *http.Request, *catalog.Lease)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lease, err := s.reg.Acquire(r.PathValue("cube"), r.PathValue("view"))
+		if err != nil {
+			s.writeErr(w, statusFor(err), err)
+			return
+		}
+		defer lease.Release()
+		s.met.Registry().Counter("viewcube_http_cube_requests_total",
+			"HTTP requests routed, by cube.", "cube", lease.Cube).Inc()
+		h(w, r, lease)
+	}
+}
+
+// lifecycle wraps a registry lifecycle operation as a handler.
+func (s *Server) lifecycle(op func(string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("cube")
+		if err := op(name); err != nil {
+			s.writeErr(w, statusFor(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "cube": name})
+	}
+}
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	writeJSONWith(s.log, w, status, v)
 }
@@ -200,32 +284,67 @@ func writeJSONWith(log *slog.Logger, w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// errorBody is the JSON shape of every error response; Status echoes the
-// HTTP status code so clients reading buffered bodies can disambiguate.
+// errorBody is the one JSON shape of every error response, server and
+// coordinator alike; Code echoes the HTTP status code so clients reading
+// buffered bodies can disambiguate.
 type errorBody struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Error string `json:"error"`
+	Code  int    `json:"code"`
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorBody{Error: err.Error(), Status: status})
+	s.writeJSON(w, status, errorBody{Error: err.Error(), Code: status})
+}
+
+// statusFor maps catalog errors onto the HTTP taxonomy: names that do not
+// resolve (cubes, views, view members) and unloaded cubes are 404, a
+// lifecycle transition in progress is 409, and everything else — malformed
+// requests included — is 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrUnknownCube),
+		errors.Is(err, catalog.ErrUnknownView),
+		errors.Is(err, catalog.ErrUnknownMember),
+		errors.Is(err, catalog.ErrCubeUnloaded):
+		return http.StatusNotFound
+	case errors.Is(err, catalog.ErrCubeBusy):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
 
+// labelTrace stamps the serving cube (and view, if any) onto a trace's root
+// span, so sampled trees in the query log and explicit ?trace=1 responses
+// identify their catalog entry.
+func labelTrace(tr *viewcube.QueryTrace, lease *catalog.Lease) {
+	if tr == nil {
+		return
+	}
+	tr.SetLabel("cube", lease.Cube)
+	if lease.View != nil {
+		tr.SetLabel("view", lease.View.Name())
+	}
+}
+
 // logQuery records one finished query into the query log (no-op without
-// one): its shape, duration, plan-cache epoch and — when the query ran
-// traced — the costs mined from the span tree, plus the full tree for
-// sampled queries.
-func (s *Server) logQuery(kind, shape string, start time.Time, qt *viewcube.QueryTrace, sampled bool, qerr error) {
+// one): its cube and view, shape, duration, plan-cache epoch and — when the
+// query ran traced — the costs mined from the span tree, plus the full tree
+// for sampled queries. Shape is the client-facing form: view aliases are
+// logged as the client wrote them.
+func (s *Server) logQuery(lease *catalog.Lease, kind, shape string, start time.Time, qt *viewcube.QueryTrace, sampled bool, qerr error) {
 	if s.qlog == nil {
 		return
 	}
 	e := obs.QueryEntry{
 		Kind:       kind,
+		Cube:       lease.Cube,
+		View:       lease.View.Name(),
 		Shape:      shape,
 		DurationUS: time.Since(start).Microseconds(),
-		Epoch:      s.eng.PlanCacheStats().Epoch,
+		Epoch:      lease.Handle.PlanCacheStats().Epoch,
 		Sampled:    sampled,
 		Agg:        aggLabel(kind, shape),
 	}
@@ -268,6 +387,25 @@ func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"default": s.reg.Default(),
+		"cubes":   s.reg.Cubes(),
+	})
+}
+
+func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
+	views, err := s.reg.Views(r.PathValue("cube"))
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	if views == nil {
+		views = []catalog.ViewStatus{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"views": views})
+}
+
 type queryRequest struct {
 	SQL string `json:"sql"`
 }
@@ -283,31 +421,38 @@ type queryRow struct {
 	Values []float64 `json:"values"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	// Resolve view aliases and reject excluded members before planning; the
+	// engine only ever sees underlying dimension names.
+	sql, err := lease.View.RewriteSQL(req.SQL)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
 	var (
 		res *viewcube.QueryResult
 		tr  *viewcube.QueryTrace
-		err error
 	)
 	explicit := wantTrace(r)
 	sampled := s.sample(explicit)
 	start := time.Now()
 	if explicit || sampled {
-		res, tr, err = s.eng.TraceQuery(req.SQL)
+		res, tr, err = lease.Handle.TraceQuery(sql)
 	} else {
-		res, err = s.eng.Query(req.SQL)
+		res, err = lease.Handle.Query(sql)
 	}
-	s.logQuery("query", req.SQL, start, tr, sampled, err)
+	labelTrace(tr, lease)
+	s.logQuery(lease, "query", req.SQL, start, tr, sampled, err)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	resp := queryResponse{Columns: res.Columns}
+	resp := queryResponse{Columns: lease.View.RewriteColumns(res.Columns)}
 	if explicit {
 		// A sampled trace feeds the query log only; the response shape must
 		// not depend on the sampling decision.
@@ -328,41 +473,37 @@ type updateRequest struct {
 	Values map[string]string `json:"values"`
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if err := s.eng.UpdateValue(req.Delta, req.Values); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+	if err := lease.Handle.UpdateValue(req.Delta, req.Values); err != nil {
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 type optimizeRequest struct {
-	Views []struct {
-		Keep []string `json:"keep"`
-		Freq float64  `json:"freq"`
-	} `json:"views"`
+	Views []catalog.HotView `json:"views"`
 }
 
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
 	var req optimizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	wl := s.cube.NewWorkload()
-	for _, v := range req.Views {
-		if err := wl.AddViewKeeping(v.Freq, v.Keep...); err != nil {
-			s.writeErr(w, http.StatusBadRequest, err)
-			return
+	if err := lease.Handle.Optimize(req.Views); err != nil {
+		// A hot-view list the schema rejects is the client's fault; an
+		// engine failure during re-selection is ours.
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrInvalidWorkload) || errors.Is(err, catalog.ErrUnsupported) {
+			status = http.StatusBadRequest
 		}
-	}
-	if err := s.eng.Optimize(wl); err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, status, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -376,29 +517,29 @@ func parseKeep(r *http.Request) []string {
 	return strings.Split(keepParam, ",")
 }
 
-func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
 	keep := parseKeep(r)
+	resolved, err := lease.View.ResolveKeep(keep)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
 	var (
-		v   *viewcube.View
-		tr  *viewcube.QueryTrace
-		err error
+		groups map[string]float64
+		tr     *viewcube.QueryTrace
 	)
 	explicit := wantTrace(r)
 	sampled := s.sample(explicit)
 	start := time.Now()
 	if explicit || sampled {
-		v, tr, err = s.eng.TraceGroupBy(keep...)
+		groups, tr, err = lease.Handle.TraceGroupBy(resolved...)
 	} else {
-		v, err = s.eng.GroupBy(keep...)
+		groups, err = lease.Handle.GroupBy(resolved...)
 	}
-	s.logQuery("groupby", strings.Join(keep, ","), start, tr, sampled, err)
+	labelTrace(tr, lease)
+	s.logQuery(lease, "groupby", strings.Join(keep, ","), start, tr, sampled, err)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	groups, err := v.Groups()
-	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
 	out := make(map[string]float64, len(groups))
@@ -427,7 +568,7 @@ func rangeShape(ranges map[string]viewcube.ValueRange) string {
 	return strings.Join(parts, " ")
 }
 
-func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
 	ranges := make(map[string]viewcube.ValueRange)
 	for dim, vals := range r.URL.Query() {
 		if dim == "trace" || len(vals) == 0 {
@@ -440,22 +581,27 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		}
 		ranges[dim] = viewcube.ValueRange{Lo: lo, Hi: hi}
 	}
+	resolved, err := lease.View.ResolveRanges(ranges)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
 	var (
 		sum float64
 		tr  *viewcube.QueryTrace
-		err error
 	)
 	explicit := wantTrace(r)
 	sampled := s.sample(explicit)
 	start := time.Now()
 	if explicit || sampled {
-		sum, tr, err = s.eng.TraceRangeSum(ranges)
+		sum, tr, err = lease.Handle.TraceRangeSum(resolved)
 	} else {
-		sum, err = s.eng.RangeSum(ranges)
+		sum, err = lease.Handle.RangeSum(resolved)
 	}
-	s.logQuery("range", rangeShape(ranges), start, tr, sampled, err)
+	labelTrace(tr, lease)
+	s.logQuery(lease, "range", rangeShape(ranges), start, tr, sampled, err)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
 	if explicit {
@@ -465,18 +611,23 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]float64{"sum": sum})
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	// SafeEngine proxies Explain through the engine's shared planner, so
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
+	keep, err := lease.View.ResolveKeep(parseKeep(r))
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	// The handle proxies Explain through the engine's shared planner, so
 	// the rendered text is exactly the plan IR a query for the same view
 	// executes — no query is run, and the shared plan cache is warmed.
-	text, err := s.eng.ExplainGroupBy(parseKeep(r)...)
+	text, err := lease.Handle.ExplainGroupBy(keep...)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"text":       text,
-		"plan_cache": s.eng.PlanCacheStats(),
+		"plan_cache": lease.Handle.PlanCacheStats(),
 	})
 }
 
@@ -490,21 +641,33 @@ type fullStats struct {
 	StorageCellsNow      int                 `json:"storage_cells"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
+	st := lease.Handle.Stats()
 	s.writeJSON(w, http.StatusOK, fullStats{
-		Stats:                s.eng.Stats(),
-		Store:                s.eng.StoreStats(),
-		MaterializedElements: s.eng.MaterializedElements(),
-		StorageCellsNow:      s.eng.StorageCells(),
+		Stats:                st.Engine,
+		Store:                st.Store,
+		MaterializedElements: st.MaterializedElements,
+		StorageCellsNow:      st.StorageCells,
 	})
 }
 
-func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
+	info := lease.Handle.Info()
+	dims := info.Dimensions
+	if lease.View != nil {
+		// Through a view, /info reports the members the view exposes under
+		// their exposed names; shape and volume remain the cube's.
+		members := lease.View.Members()
+		dims = make([]string, len(members))
+		for i, m := range members {
+			dims[i] = m.Name
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"dimensions": s.cube.Dimensions(),
-		"shape":      s.cube.Shape(),
-		"volume":     s.cube.Volume(),
-		"measure":    s.cube.Measure(),
+		"dimensions": dims,
+		"shape":      info.Shape,
+		"volume":     info.Volume,
+		"measure":    info.Measure,
 	})
 }
 

@@ -126,7 +126,7 @@ func TestGroupByAndRangeEndpoints(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/range?day=oops", &errOut); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed range: status %d", resp.StatusCode)
 	}
-	if errOut["status"].(float64) != http.StatusBadRequest {
+	if errOut["code"].(float64) != http.StatusBadRequest {
 		t.Fatalf("error body should echo the status code: %v", errOut)
 	}
 }

@@ -57,6 +57,33 @@ func NewMetrics() *Metrics {
 	return m
 }
 
+// Sub derives a Metrics whose every instrument carries the given label
+// key/value pairs, writing into the same exposition as the parent. A
+// multi-cube process gives each engine NewMetrics().Sub("cube", name)-style
+// metrics so one /metrics endpoint serves a per-cube label dimension over
+// shared metric families.
+func (m *Metrics) Sub(labels ...string) *Metrics {
+	reg := m.reg.Sub(labels...)
+	sub := &Metrics{
+		reg:        reg,
+		queryKinds: make(map[string]*obs.Counter),
+		errKinds:   make(map[string]*obs.Counter),
+	}
+	sub.latency = reg.Histogram("viewcube_query_seconds",
+		"Per-query wall-clock latency of engine queries, in seconds.", nil)
+	sub.updates = reg.Counter("viewcube_updates_total",
+		"Incremental cell updates applied to the cube and its materialised elements.")
+	for _, kind := range []string{"view", "groupby", "groupby_where", "range", "sql", "total"} {
+		sub.queryCounter(kind)
+	}
+	sub.store = obs.NewStoreMetrics(reg)
+	sub.assembly = obs.NewAssemblyMetrics(reg)
+	sub.adaptive = obs.NewAdaptiveMetrics(reg)
+	sub.ranges = obs.NewRangeMetrics(reg)
+	sub.plans = obs.NewPlanMetrics(reg)
+	return sub
+}
+
 func (m *Metrics) queryCounter(kind string) *obs.Counter {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -54,4 +54,15 @@ func TestTracedQueryOverheadGate(t *testing.T) {
 	if limit := baseline + baseline/20; off > limit {
 		t.Errorf("sampling-off path %v/op exceeds 105%% of baseline %v/op (%+.2f%%)", off, baseline, overhead)
 	}
+
+	// The multi-cube routing tax — lease acquire, view alias resolution,
+	// release — must stay under 1% of the query it wraps. Both sides run
+	// the identical handle query; only the catalog bookkeeping differs.
+	leased := measure(BenchmarkLeasedGroupBy)
+	routed := measure(BenchmarkRegistryResolve)
+	routing := 100 * (float64(routed)/float64(leased) - 1)
+	t.Logf("leased baseline %v/op, registry+view routed %v/op (%+.2f%% overhead)", leased, routed, routing)
+	if limit := leased + leased/100; routed > limit {
+		t.Errorf("routed path %v/op exceeds 101%% of leased baseline %v/op (%+.2f%%)", routed, leased, routing)
+	}
 }

@@ -121,6 +121,12 @@ func NewPartitionedEngine(tables []*Table, opts EngineOptions) (*PartitionedEngi
 	return p, nil
 }
 
+// Dimensions returns the shared shard schema's dimension names.
+func (p *PartitionedEngine) Dimensions() []string { return append([]string(nil), p.dims...) }
+
+// Measure returns the shared measure name.
+func (p *PartitionedEngine) Measure() string { return p.cubes[0].Measure() }
+
 // Shards returns the number of live (non-empty) shards.
 func (p *PartitionedEngine) Shards() int { return len(p.engines) }
 

@@ -33,6 +33,17 @@ func (qt *QueryTrace) TraceID() string {
 	return obs.FormatTraceID(qt.t.ID())
 }
 
+// SetLabel stamps a string annotation (cube or view identity, typically)
+// onto the trace's root span. Labels render in String, marshal under
+// "labels" in the JSON tree and ride into the query log with sampled
+// traces. Safe on nil.
+func (qt *QueryTrace) SetLabel(key, val string) {
+	if qt == nil {
+		return
+	}
+	qt.t.Root().SetLabel(key, val)
+}
+
 // Tree returns the span tree in its JSON-able shape.
 func (qt *QueryTrace) Tree() *obs.SpanNode {
 	if qt == nil {
