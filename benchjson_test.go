@@ -66,8 +66,12 @@ func TestBenchJSON(t *testing.T) {
 		{"HaarPartial", BenchmarkHaarPartial},
 		{"MaterializeWaveletBasis", BenchmarkMaterializeWaveletBasis},
 		{"ClusterScatterGather", BenchmarkClusterScatterGather},
+		{"ClusterReplicaFanOut", BenchmarkClusterReplicaFanOut},
 		{"LeasedGroupBy", BenchmarkLeasedGroupBy},
 		{"RegistryResolve", BenchmarkRegistryResolve},
+		{"ResultCacheHit", BenchmarkResultCacheHit},
+		{"ResultCacheHitParallel", BenchmarkResultCacheHitParallel},
+		{"ResultCacheMiss", BenchmarkResultCacheMiss},
 		{"TracedQueryOverheadOff", benchTracedOff},
 		{"TracedQueryOverheadSampled", benchTracedSampled},
 		{"TracedQueryOverheadTraced", benchTracedFull},

@@ -11,10 +11,16 @@ import (
 	"viewcube/internal/workload"
 )
 
-// benchCoordinator builds a loopback cluster — coordinator plus n in-process
-// shards behind the binary codec — so the benchmark measures scatter-gather
-// and wire encode/decode without socket noise.
-func benchCoordinator(b *testing.B, rows, n int) *cluster.Coordinator {
+// benchShard is one loopback shard plus the engine behind it, so a replica
+// benchmark can point a second loopback at the same data.
+type benchShard struct {
+	cluster.Shard
+	engine *cluster.ShardEngine
+}
+
+// benchShards partitions a generated sales table into n in-process shard
+// engines behind the binary codec.
+func benchShards(b *testing.B, rows, n int) []benchShard {
 	b.Helper()
 	raw, err := workload.SalesTable(rand.New(rand.NewSource(17)), 40, 6, 30, rows)
 	if err != nil {
@@ -32,7 +38,7 @@ func benchCoordinator(b *testing.B, rows, n int) *cluster.Coordinator {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var shards []cluster.Shard
+	var shards []benchShard
 	for _, st := range tables {
 		if st.Len() == 0 {
 			continue
@@ -46,17 +52,38 @@ func benchCoordinator(b *testing.B, rows, n int) *cluster.Coordinator {
 			b.Fatal(err)
 		}
 		sh := cluster.NewShardEngine(cube, eng.Safe())
-		shards = append(shards, cluster.Shard{
-			Name:   "s" + string(rune('0'+len(shards))),
-			Client: cluster.NewLoopback(sh),
+		shards = append(shards, benchShard{
+			Shard: cluster.Shard{
+				Name:   "s" + string(rune('0'+len(shards))),
+				Client: cluster.NewLoopback(sh),
+			},
+			engine: sh,
 		})
 	}
-	coord, err := cluster.NewCoordinator(shards, cluster.Options{Timeout: 5 * time.Second})
+	return shards
+}
+
+// benchCoordinatorOver wires prepared shards into a coordinator.
+func benchCoordinatorOver(b *testing.B, shards []benchShard) *cluster.Coordinator {
+	b.Helper()
+	plain := make([]cluster.Shard, len(shards))
+	for i, s := range shards {
+		plain[i] = s.Shard
+	}
+	coord, err := cluster.NewCoordinator(plain, cluster.Options{Timeout: 5 * time.Second})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { coord.Close() })
 	return coord
+}
+
+// benchCoordinator builds a loopback cluster — coordinator plus n in-process
+// shards behind the binary codec — so the benchmark measures scatter-gather
+// and wire encode/decode without socket noise.
+func benchCoordinator(b *testing.B, rows, n int) *cluster.Coordinator {
+	b.Helper()
+	return benchCoordinatorOver(b, benchShards(b, rows, n))
 }
 
 // BenchmarkClusterScatterGather measures one distributed GROUP BY: encode

@@ -63,6 +63,7 @@ import (
 	"viewcube/internal/catalog"
 	"viewcube/internal/cluster"
 	"viewcube/internal/obs"
+	"viewcube/internal/rescache"
 	"viewcube/internal/workload"
 )
 
@@ -340,7 +341,7 @@ func runTrace(eng *viewcube.Engine, args []string) error {
 		return err
 	}
 	fmt.Print(tr)
-	summary := fmt.Sprintf("trace %s: %d ops, %d cells read", tr.TraceID(), tr.Ops(), tr.CellsRead())
+	summary := fmt.Sprintf("trace %s: %d ops, %d cells read%s", tr.TraceID(), tr.Ops(), tr.CellsRead(), resultCacheNote(tr))
 	// A measure-vector execution annotates its spans with the component
 	// width and aggregate kind; surface them so AVG/VAR traces are
 	// distinguishable from plain SUM at a glance.
@@ -358,11 +359,25 @@ func runTrace(eng *viewcube.Engine, args []string) error {
 // shard tier instead of a local engine. With partial, unreachable shards
 // are dropped from the (still exact) merge and reported.
 func runCluster(addrs string, partial bool, cmd string, args []string) error {
+	// Shards are comma-separated; replicas of one shard ride pipe-separated
+	// after the primary, exactly as cubed's -coordinator flag accepts them.
 	var shards []cluster.Shard
-	for _, addr := range strings.Split(addrs, ",") {
-		if addr = strings.TrimSpace(addr); addr != "" {
-			shards = append(shards, cluster.Shard{Name: addr, Client: cluster.DialShard(addr, 2*time.Second)})
+	for _, one := range strings.Split(addrs, ",") {
+		if one = strings.TrimSpace(one); one == "" {
+			continue
 		}
+		copies := strings.Split(one, "|")
+		addr := strings.TrimSpace(copies[0])
+		if addr == "" {
+			continue
+		}
+		sh := cluster.Shard{Name: addr, Client: cluster.DialShard(addr, 2*time.Second)}
+		for _, rep := range copies[1:] {
+			if rep = strings.TrimSpace(rep); rep != "" {
+				sh.Replicas = append(sh.Replicas, cluster.DialShard(rep, 2*time.Second))
+			}
+		}
+		shards = append(shards, sh)
 	}
 	coord, err := cluster.NewCoordinator(shards, cluster.Options{})
 	if err != nil {
@@ -503,6 +518,9 @@ func runCatalogShell(path, cubeName, viewName string, hot hotFlags, cmd string, 
 		return err
 	}
 	reg := catalog.NewRegistry()
+	// The shell serves through the same cached read path as cubed, so traced
+	// queries carry the result_cache label the server's sampled traces do.
+	reg.EnableResultCache(rescache.Options{})
 	if err := f.Build(reg, filepath.Dir(path)); err != nil {
 		return err
 	}
@@ -718,7 +736,7 @@ func runCatalogTrace(lease *catalog.Lease, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: trace groupby <dims> | trace total | trace range <dim=lo:hi>... | trace query <sql>")
 	}
-	h, v := lease.Handle, lease.View
+	v := lease.View
 	var (
 		tr  *viewcube.QueryTrace
 		err error
@@ -732,9 +750,9 @@ func runCatalogTrace(lease *catalog.Lease, args []string) error {
 		if rerr != nil {
 			return rerr
 		}
-		_, tr, err = h.TraceGroupBy(keep...)
+		_, tr, _, err = lease.ServeGroupBy(true, keep...)
 	case "total":
-		_, tr, err = h.TraceGroupBy()
+		_, tr, _, err = lease.ServeGroupBy(true)
 	case "range":
 		ranges, rerr := parseRanges(args[1:])
 		if rerr != nil {
@@ -744,7 +762,7 @@ func runCatalogTrace(lease *catalog.Lease, args []string) error {
 		if rerr != nil {
 			return rerr
 		}
-		_, tr, err = h.TraceRangeSum(resolved)
+		_, tr, _, err = lease.ServeRangeSum(true, resolved)
 	case "query":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: trace query 'SELECT SUM(m) GROUP BY dim ...'")
@@ -753,7 +771,7 @@ func runCatalogTrace(lease *catalog.Lease, args []string) error {
 		if rerr != nil {
 			return rerr
 		}
-		_, tr, err = h.TraceQuery(sql)
+		_, tr, _, err = lease.ServeQuery(true, sql)
 	default:
 		return fmt.Errorf("cannot trace %q (use groupby, total, range or query)", args[0])
 	}
@@ -773,6 +791,18 @@ func runCatalogTrace(lease *catalog.Lease, args []string) error {
 	if v != nil {
 		scope += ", view " + v.Name()
 	}
-	fmt.Printf("trace %s: %d ops, %d cells read [%s]\n", tr.TraceID(), tr.Ops(), tr.CellsRead(), scope)
+	fmt.Printf("trace %s: %d ops, %d cells read%s [%s]\n",
+		tr.TraceID(), tr.Ops(), tr.CellsRead(), resultCacheNote(tr), scope)
 	return nil
+}
+
+// resultCacheNote renders the trace's result_cache label (hit on a query
+// answered without executing, miss on a computing execution) for the
+// one-line summary; empty when the serving path had no cache.
+func resultCacheNote(tr *viewcube.QueryTrace) string {
+	tree := tr.Tree()
+	if tree == nil || tree.Labels["result_cache"] == "" {
+		return ""
+	}
+	return ", result cache " + tree.Labels["result_cache"]
 }

@@ -28,6 +28,14 @@
 //	cubed -gen 50000 -shard -shardaddr :9001          # shard server: binary protocol on
 //	                                                  # -shardaddr, obs HTTP on -addr
 //	cubed -coordinator localhost:9001,localhost:9002  # scatter-gather front end on -addr
+//
+// Serving-tier performance flags (see DESIGN.md §15): -rescache bounds an
+// epoch-invalidated answer cache on any serving mode, -maxinflight sheds
+// coordinator load past a concurrency bound, replicas ride pipe-separated
+// inside -coordinator, and -catalogreload hot-reloads the catalog file:
+//
+//	cubed -catalog catalog.json -rescache 64 -catalogreload 5s
+//	cubed -coordinator 'h1:9001|h2:9001,h3:9002' -rescache 64 -maxinflight 256
 package main
 
 import (
@@ -50,6 +58,7 @@ import (
 	"viewcube/internal/catalog"
 	"viewcube/internal/cluster"
 	"viewcube/internal/obs"
+	"viewcube/internal/rescache"
 	"viewcube/internal/server"
 	"viewcube/internal/workload"
 )
@@ -74,6 +83,11 @@ type config struct {
 	coordinator string        // comma-separated shard addrs; coordinator mode
 	grace       time.Duration // shutdown grace period
 
+	resCacheMB    int           // result-cache byte bound in MiB (0 = off)
+	maxInFlight   int           // coordinator admission: concurrent queries (0 = unlimited)
+	queueTimeout  time.Duration // coordinator admission: max queue wait before 429
+	catalogReload time.Duration // poll the -catalog file and hot-reload (0 = off)
+
 	queryLog    string  // JSONL query-log path ("" = in-memory ring only)
 	queryLogMax int64   // rotate the query-log file past this many bytes
 	traceSample float64 // fraction of queries traced by sampling (0 = off)
@@ -97,8 +111,12 @@ func main() {
 	flag.BoolVar(&cfg.logJSON, "logjson", false, "emit request logs as JSON instead of text")
 	flag.BoolVar(&cfg.shard, "shard", false, "serve this cube as a cluster shard (binary protocol on -shardaddr)")
 	flag.StringVar(&cfg.shardAddr, "shardaddr", ":9090", "shard-protocol listen address in -shard mode")
-	flag.StringVar(&cfg.coordinator, "coordinator", "", "comma-separated shard addresses; run as a scatter-gather coordinator instead of loading a cube")
+	flag.StringVar(&cfg.coordinator, "coordinator", "", "comma-separated shard addresses; run as a scatter-gather coordinator instead of loading a cube (replicas of one shard pipe-separated: addr|replica)")
 	flag.DurationVar(&cfg.grace, "grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	flag.IntVar(&cfg.resCacheMB, "rescache", 0, "cache query answers, bounded to this many MiB; epoch-invalidated on any cube change (0 = off)")
+	flag.IntVar(&cfg.maxInFlight, "maxinflight", 0, "coordinator mode: admit at most this many concurrent queries, shed the rest with 429 (0 = unlimited)")
+	flag.DurationVar(&cfg.queueTimeout, "queuetimeout", 100*time.Millisecond, "coordinator mode: how long an over-admission query may queue before it is shed")
+	flag.DurationVar(&cfg.catalogReload, "catalogreload", 0, "catalog mode: poll the catalog file at this interval and hot-reload cube/view changes (0 = off)")
 	flag.StringVar(&cfg.queryLog, "querylog", "", "append query analytics as JSON lines to this file (served at /querylog either way)")
 	flag.Int64Var(&cfg.queryLogMax, "querylogmax", 8<<20, "rotate the -querylog file once it exceeds this many bytes")
 	flag.Float64Var(&cfg.traceSample, "tracesample", 0, "fraction of queries to trace by sampling into the query log (0 = off, 1 = all)")
@@ -148,11 +166,19 @@ func runCatalog(cfg config) error {
 	}
 	logger := cfg.logger()
 
-	f, err := catalog.LoadFile(cfg.catalogPath)
+	raw, err := os.ReadFile(cfg.catalogPath)
 	if err != nil {
 		return err
 	}
+	f, err := catalog.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", cfg.catalogPath, err)
+	}
 	reg := catalog.NewRegistry()
+	if cfg.resCacheMB > 0 {
+		reg.EnableResultCache(rescache.Options{MaxBytes: int64(cfg.resCacheMB) << 20})
+		logger.Info("result cache enabled", "max_mb", cfg.resCacheMB)
+	}
 	if err := f.Build(reg, filepath.Dir(cfg.catalogPath)); err != nil {
 		return err
 	}
@@ -192,6 +218,15 @@ func runCatalog(cfg config) error {
 		logger.Info("serving catalog", "addr", httpLn.Addr().String(), "cubes", len(cubes))
 		errCh <- srv.Serve(httpLn)
 	}()
+	var stopReload chan struct{}
+	if cfg.catalogReload > 0 {
+		stopReload = make(chan struct{})
+		rl := catalog.NewReloader(reg, cfg.catalogPath, f, raw)
+		go rl.Run(cfg.catalogReload, stopReload, func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		})
+		logger.Info("catalog hot-reload enabled", "interval", cfg.catalogReload.String())
+	}
 	if cfg.ready != nil {
 		cfg.ready(httpLn.Addr().String(), "")
 	}
@@ -200,8 +235,14 @@ func runCatalog(cfg config) error {
 	defer stop()
 	select {
 	case err := <-errCh:
+		if stopReload != nil {
+			close(stopReload)
+		}
 		return err
 	case <-ctx.Done():
+	}
+	if stopReload != nil {
+		close(stopReload)
 	}
 
 	logger.Info("shutting down", "grace", cfg.grace.String())
@@ -243,6 +284,10 @@ func runNode(cfg config) error {
 	}
 	defer qlog.Close()
 	opts := []server.Option{server.WithLogger(logger), server.WithQueryLog(qlog)}
+	if cfg.resCacheMB > 0 {
+		opts = append(opts, server.WithResultCache(rescache.Options{MaxBytes: int64(cfg.resCacheMB) << 20}))
+		logger.Info("result cache enabled", "max_mb", cfg.resCacheMB)
+	}
 	if cfg.traceSample > 0 {
 		opts = append(opts, server.WithTraceSampling(cfg.traceSample))
 		logger.Info("sampled tracing enabled", "rate", cfg.traceSample)
@@ -325,36 +370,44 @@ func runNode(cfg config) error {
 }
 
 // runCoordinator serves the scatter-gather HTTP front end over a set of
-// shard servers; no cube is loaded locally.
+// shard servers; no cube is loaded locally. Shards are comma-separated;
+// within one shard, extra replicas holding the same data follow the primary
+// pipe-separated ("host1:9001|host2:9001"), and fan-out balances across
+// copies by outstanding load.
 func runCoordinator(cfg config) error {
 	logger := cfg.logger()
 
-	var shards []cluster.Shard
-	for _, addr := range strings.Split(cfg.coordinator, ",") {
-		addr = strings.TrimSpace(addr)
-		if addr == "" {
-			continue
-		}
-		shards = append(shards, cluster.Shard{
-			Name:   addr,
-			Client: cluster.DialShard(addr, 2*time.Second),
-		})
+	shards, err := parseShardFlag(cfg.coordinator)
+	if err != nil {
+		return err
 	}
 	qlog, err := cfg.openQueryLog()
 	if err != nil {
 		return err
 	}
 	defer qlog.Close()
-	coord, err := cluster.NewCoordinator(shards, cluster.Options{
+	copts := cluster.Options{
 		TraceSampleRate: cfg.traceSample,
 		QueryLog:        qlog,
-	})
+		MaxInFlight:     cfg.maxInFlight,
+		QueueTimeout:    cfg.queueTimeout,
+	}
+	if cfg.resCacheMB > 0 {
+		copts.Cache = &rescache.Options{MaxBytes: int64(cfg.resCacheMB) << 20}
+	}
+	coord, err := cluster.NewCoordinator(shards, copts)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
 	if cfg.traceSample > 0 {
 		logger.Info("sampled tracing enabled", "rate", cfg.traceSample)
+	}
+	if cfg.resCacheMB > 0 {
+		logger.Info("result cache enabled", "max_mb", cfg.resCacheMB)
+	}
+	if cfg.maxInFlight > 0 {
+		logger.Info("admission control enabled", "max_in_flight", cfg.maxInFlight, "queue_timeout", cfg.queueTimeout.String())
 	}
 
 	httpLn, err := net.Listen("tcp", cfg.addr)
@@ -392,6 +445,33 @@ func runCoordinator(cfg config) error {
 	}
 	logger.Info("stopped")
 	return nil
+}
+
+// parseShardFlag turns the -coordinator value into the shard topology:
+// shards are comma-separated, and each shard may list replica addresses
+// after its primary, pipe-separated. Every address is dialled lazily, so a
+// down shard surfaces per-query, not at startup.
+func parseShardFlag(spec string) ([]cluster.Shard, error) {
+	var shards []cluster.Shard
+	for _, one := range strings.Split(spec, ",") {
+		if one = strings.TrimSpace(one); one == "" {
+			continue
+		}
+		copies := strings.Split(one, "|")
+		addr := strings.TrimSpace(copies[0])
+		if addr == "" {
+			return nil, fmt.Errorf("shard spec %q: empty primary address", one)
+		}
+		sh := cluster.Shard{Name: addr, Client: cluster.DialShard(addr, 2*time.Second)}
+		for _, rep := range copies[1:] {
+			if rep = strings.TrimSpace(rep); rep == "" {
+				return nil, fmt.Errorf("shard spec %q: empty replica address", one)
+			}
+			sh.Replicas = append(sh.Replicas, cluster.DialShard(rep, 2*time.Second))
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
 }
 
 // openQueryLog builds the query log shared by both serving modes: an

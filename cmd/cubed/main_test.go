@@ -178,6 +178,110 @@ func TestClusterEndToEnd(t *testing.T) {
 	waitStopped(t, doneC, "coordinator")
 }
 
+// TestCoordinatorServingFlags boots a replicated, cached, admission-bounded
+// coordinator the way the README quickstart does: each shard is listed with
+// itself as a replica (two connections to one server — a degenerate but real
+// replica set), the result cache answers the repeat query, and /shards
+// exposes the cache counters.
+func TestCoordinatorServingFlags(t *testing.T) {
+	_, shardA, doneA := startCubed(t, config{gen: 400, seed: 1, budget: 1, shard: true, grace: 5 * time.Second})
+	_, shardB, doneB := startCubed(t, config{gen: 400, seed: 2, budget: 1, shard: true, grace: 5 * time.Second})
+	topo := shardA + "|" + shardA + "," + shardB + "|" + shardB
+	httpC, _, doneC := startCubed(t, config{
+		coordinator:  topo,
+		resCacheMB:   16,
+		maxInFlight:  64,
+		queueTimeout: 100 * time.Millisecond,
+		grace:        5 * time.Second,
+	})
+
+	cold := getGroups(t, "http://"+httpC)
+	warm := getGroups(t, "http://"+httpC)
+	if len(cold) == 0 {
+		t.Fatal("empty coordinator answer")
+	}
+	for k, v := range cold {
+		if warm[k] != v {
+			t.Fatalf("cached answer differs: %q %v vs %v", k, warm[k], v)
+		}
+	}
+
+	resp, err := http.Get("http://" + httpC + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardsOut struct {
+		ResultCache *struct {
+			Hits    uint64 `json:"hits"`
+			Entries int    `json:"entries"`
+		} `json:"result_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shardsOut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if shardsOut.ResultCache == nil || shardsOut.ResultCache.Hits < 1 || shardsOut.ResultCache.Entries != 1 {
+		t.Fatalf("/shards result_cache %+v", shardsOut.ResultCache)
+	}
+
+	sigterm(t)
+	waitStopped(t, doneA, "shard A")
+	waitStopped(t, doneB, "shard B")
+	waitStopped(t, doneC, "coordinator")
+}
+
+// TestCatalogReloadFlag edits the catalog file under a running -catalogreload
+// cubed and watches the new cube appear without a restart.
+func TestCatalogReloadFlag(t *testing.T) {
+	dir := t.TempDir()
+	cat := dir + "/catalog.json"
+	doc := `{"cubes": [{"name": "sales", "gen": 200, "seed": 1, "default": true}]}`
+	if err := os.WriteFile(cat, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	httpAddr, _, done := startCubed(t, config{
+		catalogPath:   cat,
+		catalogReload: 20 * time.Millisecond,
+		resCacheMB:    16,
+		grace:         5 * time.Second,
+	})
+	base := "http://" + httpAddr
+
+	doc = `{"cubes": [
+	  {"name": "sales", "gen": 200, "seed": 1, "default": true},
+	  {"name": "extra", "gen": 150, "seed": 2}
+	]}`
+	if err := os.WriteFile(cat, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Coarse mtime granularity can hide a same-instant rewrite from the
+	// poller's stat check; push the timestamp firmly forward.
+	future := time.Now().Add(10 * time.Second)
+	if err := os.Chtimes(cat, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/cubes/extra/groupby?keep=product")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hot-reloaded cube never appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	sigterm(t)
+	waitStopped(t, done, "catalog cubed")
+}
+
 // TestRunErrors covers startup failures surfacing as errors, not hangs.
 func TestRunErrors(t *testing.T) {
 	if err := run(config{}); err == nil || !strings.Contains(err.Error(), "-csv") {

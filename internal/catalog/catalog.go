@@ -24,6 +24,8 @@ import (
 	"sync/atomic"
 
 	"viewcube"
+	"viewcube/internal/obs"
+	"viewcube/internal/rescache"
 )
 
 // Sentinel errors the serving tier maps onto HTTP statuses.
@@ -157,15 +159,19 @@ type entry struct {
 	views      map[string]*View
 	viewOrder  []string
 	viewSpecs  map[string]ViewSpec
+	// rcache is the entry's answer cache (nil unless EnableResultCache).
+	// Lifecycle transitions invalidate it; leases read through it.
+	rcache *answerCache
 }
 
 // Registry is a concurrency-safe catalog of named cubes and their views.
 type Registry struct {
-	mu    sync.Mutex
-	cubes map[string]*entry
-	order []string
-	def   string
-	met   *viewcube.Metrics
+	mu     sync.Mutex
+	cubes  map[string]*entry
+	order  []string
+	def    string
+	met    *viewcube.Metrics
+	rcOpts *rescache.Options // non-nil once EnableResultCache was called
 }
 
 // NewRegistry returns an empty catalog. The registry owns a root metrics
@@ -187,6 +193,50 @@ func (r *Registry) Metrics() *viewcube.Metrics { return r.met }
 // series labelled {cube="name"}.
 func (r *Registry) CubeMetrics(name string) *viewcube.Metrics {
 	return r.met.Sub("cube", name)
+}
+
+// EnableResultCache turns on per-entry answer caching: every registered
+// cube (current and future) gets its own epoch-invalidated, size-bounded
+// result cache with the given bounds, instrumented per cube in the shared
+// exposition. Leases acquired afterwards serve reads through it via the
+// Serve* methods; lifecycle transitions (Load/Unload/Rebuild) invalidate
+// the affected entry's cache.
+func (r *Registry) EnableResultCache(opt rescache.Options) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rcOpts = &opt
+	for _, name := range r.order {
+		if e := r.cubes[name]; e.rcache == nil {
+			e.rcache = r.newEntryCacheLocked(name)
+		}
+	}
+}
+
+// newEntryCacheLocked builds one entry's answer cache with cube-labelled
+// instruments. Caller holds r.mu and has checked r.rcOpts is set.
+func (r *Registry) newEntryCacheLocked(name string) *answerCache {
+	c := newAnswerCache(*r.rcOpts)
+	c.SetMetrics(obs.NewResultCacheMetrics(r.met.Sub("cube", name).Registry()))
+	return c
+}
+
+// InvalidateResults drops the named cube's cached answers (""= default),
+// bumping its result-cache epoch. It exists for callers that mutate cube
+// state out of band of the engine's own invalidation hooks — the catalog
+// hot-reloader and the coordinator's explicit invalidation endpoint. No-op
+// for entries without a cache.
+func (r *Registry) InvalidateResults(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" {
+		name = r.def
+	}
+	e, ok := r.cubes[name]
+	if !ok {
+		return fmt.Errorf("cube %q: %w", name, ErrUnknownCube)
+	}
+	e.rcache.Invalidate()
+	return nil
 }
 
 // Register builds the handle now and adds it under the given name. The
@@ -217,6 +267,9 @@ func (r *Registry) Register(name string, build Builder) error {
 		viewSpecs: make(map[string]ViewSpec),
 	}
 	e.cond = sync.NewCond(&r.mu)
+	if r.rcOpts != nil {
+		e.rcache = r.newEntryCacheLocked(name)
+	}
 	r.cubes[name] = e
 	r.order = append(r.order, name)
 	if r.def == "" {
@@ -259,6 +312,72 @@ func (r *Registry) RegisterView(spec ViewSpec) error {
 	return nil
 }
 
+// Has reports whether an entry with the given name exists, in any state.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.cubes[name]
+	return ok
+}
+
+// SetBuilder replaces the named cube's builder without touching its serving
+// handle: the next Load or Rebuild constructs from the new source. This is
+// how a catalog hot-reload re-points a cube at changed spec before
+// rebuilding it.
+func (r *Registry) SetBuilder(name string, build Builder) error {
+	if build == nil {
+		return fmt.Errorf("catalog: cube %q needs a builder", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cubes[name]
+	if !ok {
+		return fmt.Errorf("cube %q: %w", name, ErrUnknownCube)
+	}
+	e.build = build
+	return nil
+}
+
+// ReplaceViews swaps the named cube's whole view set atomically: every spec
+// compiles against the current schema first, so a bad view leaves the
+// existing set serving. On an unloaded entry the specs are stored and
+// compile at the next Load.
+func (r *Registry) ReplaceViews(cube string, specs []ViewSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cubes[cube]
+	if !ok {
+		return fmt.Errorf("cube %q: %w", cube, ErrUnknownCube)
+	}
+	order := make([]string, 0, len(specs))
+	specMap := make(map[string]ViewSpec, len(specs))
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return fmt.Errorf("catalog: cube %q: view needs a name", cube)
+		}
+		if _, dup := specMap[spec.Name]; dup {
+			return fmt.Errorf("catalog: cube %q already has view %q", cube, spec.Name)
+		}
+		specMap[spec.Name] = spec
+		order = append(order, spec.Name)
+	}
+	views := make(map[string]*View, len(specs))
+	if e.handle != nil {
+		info := e.handle.Info()
+		for _, name := range order {
+			v, err := compileView(specMap[name], info)
+			if err != nil {
+				return err
+			}
+			views[name] = v
+		}
+	}
+	e.views = views
+	e.viewOrder = order
+	e.viewSpecs = specMap
+	return nil
+}
+
 // SetDefault names the cube legacy single-cube routes resolve to.
 func (r *Registry) SetDefault(name string) error {
 	r.mu.Lock()
@@ -289,6 +408,7 @@ type Lease struct {
 
 	reg      *Registry
 	ent      *entry
+	cache    *answerCache // nil unless the registry enabled result caching
 	released atomic.Bool
 }
 
@@ -334,7 +454,7 @@ func (r *Registry) Acquire(cube, view string) (*Lease, error) {
 		return nil, fmt.Errorf("cube %q: %w", name, ErrCubeUnloaded)
 	}
 	e.refs++
-	return &Lease{Cube: name, View: v, Handle: e.handle, Epoch: e.epoch, reg: r, ent: e}, nil
+	return &Lease{Cube: name, View: v, Handle: e.handle, Epoch: e.epoch, reg: r, ent: e, cache: e.rcache}, nil
 }
 
 // Unload drains the named cube and drops its handle: the entry flips to
@@ -359,6 +479,7 @@ func (r *Registry) Unload(name string) error {
 	}
 	e.handle = nil
 	e.state = StateUnloaded
+	e.rcache.Invalidate() // free cached answers with the cube they answer for
 	return nil
 }
 
@@ -397,6 +518,7 @@ func (r *Registry) Load(name string) error {
 	e.handle = h
 	e.epoch++
 	e.state = StateServing
+	e.rcache.Invalidate() // new generation: cached answers are stale
 	return nil
 }
 
@@ -434,6 +556,7 @@ func (r *Registry) Rebuild(name string) error {
 	e.views = views
 	e.handle = h
 	e.epoch++
+	e.rcache.Invalidate() // new generation: cached answers are stale
 	return nil
 }
 

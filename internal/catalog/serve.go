@@ -1,0 +1,220 @@
+package catalog
+
+import (
+	"sort"
+	"strings"
+
+	"viewcube"
+	"viewcube/internal/rescache"
+)
+
+// This file is the catalog's cached read path: Lease.ServeGroupBy /
+// ServeRangeSum / ServeQuery answer through the entry's result cache when
+// the registry has one enabled (EnableResultCache), falling back to the
+// handle directly otherwise. Both serving faces — the HTTP server's
+// handlers and cubectl's catalog shell — route reads through these methods
+// so they share one caching discipline.
+//
+// Keys are formed from the *resolved* query shape (after view aliases
+// rewrite to underlying dimension names), so every view over a cube shares
+// one entry per underlying query; responses are re-rendered per view by the
+// caller, which never mutates the cached value.
+//
+// Invalidation is two-tier, mirroring the plan cache's epoch discipline:
+// the registry's lifecycle operations (Load/Unload/Rebuild, and catalog
+// hot-reload on top of them) invalidate explicitly on generation changes,
+// and every read first syncs the cache against the handle's plan-cache
+// epoch — which Update/Optimize/Reconfigure already bump under the engine's
+// write lock — so in-generation mutations invalidate without the write path
+// knowing this cache exists.
+
+// Answer is the cached result of one read: exactly one field is populated,
+// per the query kind. Cached answers are shared across callers and must be
+// treated as read-only.
+type Answer struct {
+	Groups map[string]float64
+	Sum    float64
+	Result *viewcube.QueryResult
+}
+
+// AnswerSize estimates an Answer's resident footprint in bytes for the
+// cache's byte bound. It intentionally over-counts per-entry map and slice
+// overheads rather than under-counting payloads.
+func AnswerSize(a Answer) int {
+	n := 64
+	for k := range a.Groups {
+		n += len(k) + 48 // key bytes + map bucket + float64
+	}
+	if a.Result != nil {
+		for _, c := range a.Result.Columns {
+			n += len(c) + 16
+		}
+		for _, r := range a.Result.Rows {
+			n += 48
+			for _, k := range r.Key {
+				n += len(k) + 16
+			}
+			n += 8 * len(r.Values)
+		}
+	}
+	return n
+}
+
+// answerCache instantiates the generic cache at the catalog's answer type.
+type answerCache = rescache.Cache[Answer]
+
+// newAnswerCache builds an entry's cache: the caller's bounds plus the
+// Answer sizer.
+func newAnswerCache(opt rescache.Options) *answerCache {
+	opt.Size = func(v any) int { return AnswerSize(v.(Answer)) }
+	return rescache.New[Answer](opt)
+}
+
+// groupByKey is the canonical cache key of a resolved group-by.
+func groupByKey(resolved []string) string {
+	return "groupby\x00" + strings.Join(resolved, ",")
+}
+
+// rangeKey renders resolved ranges canonically (dimensions sorted).
+func rangeKey(resolved map[string]viewcube.ValueRange) string {
+	dims := make([]string, 0, len(resolved))
+	for dim := range resolved {
+		dims = append(dims, dim)
+	}
+	sort.Strings(dims)
+	var b strings.Builder
+	b.WriteString("range")
+	for _, dim := range dims {
+		r := resolved[dim]
+		b.WriteByte(0)
+		b.WriteString(dim)
+		b.WriteByte(0)
+		b.WriteString(r.Lo)
+		b.WriteByte(0)
+		b.WriteString(r.Hi)
+	}
+	return b.String()
+}
+
+// sync aligns the cache's epoch with the handle's plan-cache epoch, so any
+// in-generation mutation (update, optimize, reconfigure) that already
+// invalidated plans invalidates answers too.
+func (l *Lease) sync() {
+	l.cache.SyncUpstream(l.Handle.PlanCacheStats().Epoch)
+}
+
+// Cached reports whether this lease serves through a result cache.
+func (l *Lease) Cached() bool { return l.cache != nil }
+
+// ResultCacheStats snapshots the entry's result-cache counters (zero value
+// when no cache is enabled).
+func (l *Lease) ResultCacheStats() rescache.Stats { return l.cache.Stats() }
+
+// ServeGroupBy answers a group-by over the resolved (underlying-name) keep
+// list through the result cache. hit is nil when no cache is enabled,
+// otherwise whether the underlying query was skipped. When traced, the
+// returned trace is the real execution tree on a computing miss (labelled
+// result_cache=miss), or a zero-op CacheHitTrace on a hit or coalesced
+// wait. The returned map is shared with the cache: read-only.
+func (l *Lease) ServeGroupBy(traced bool, resolved ...string) (map[string]float64, *viewcube.QueryTrace, *bool, error) {
+	if l.cache == nil {
+		if traced {
+			g, tr, err := l.Handle.TraceGroupBy(resolved...)
+			return g, tr, nil, err
+		}
+		g, err := l.Handle.GroupBy(resolved...)
+		return g, nil, nil, err
+	}
+	l.sync()
+	var tr *viewcube.QueryTrace
+	ans, hit, err := l.cache.GetOrCompute(groupByKey(resolved), func() (Answer, error) {
+		if traced {
+			g, t, err := l.Handle.TraceGroupBy(resolved...)
+			tr = t // captured out-of-band: traces are per-request, never cached
+			return Answer{Groups: g}, err
+		}
+		g, err := l.Handle.GroupBy(resolved...)
+		return Answer{Groups: g}, err
+	})
+	if err != nil {
+		return nil, nil, &hit, err
+	}
+	if traced {
+		tr = l.finishTrace(tr, hit, "groupby "+strings.Join(resolved, ","))
+	}
+	return ans.Groups, tr, &hit, nil
+}
+
+// ServeRangeSum answers a range-SUM over resolved ranges through the result
+// cache; semantics as ServeGroupBy.
+func (l *Lease) ServeRangeSum(traced bool, resolved map[string]viewcube.ValueRange) (float64, *viewcube.QueryTrace, *bool, error) {
+	if l.cache == nil {
+		if traced {
+			sum, tr, err := l.Handle.TraceRangeSum(resolved)
+			return sum, tr, nil, err
+		}
+		sum, err := l.Handle.RangeSum(resolved)
+		return sum, nil, nil, err
+	}
+	l.sync()
+	var tr *viewcube.QueryTrace
+	ans, hit, err := l.cache.GetOrCompute(rangeKey(resolved), func() (Answer, error) {
+		if traced {
+			sum, t, err := l.Handle.TraceRangeSum(resolved)
+			tr = t
+			return Answer{Sum: sum}, err
+		}
+		sum, err := l.Handle.RangeSum(resolved)
+		return Answer{Sum: sum}, err
+	})
+	if err != nil {
+		return 0, nil, &hit, err
+	}
+	if traced {
+		tr = l.finishTrace(tr, hit, "range")
+	}
+	return ans.Sum, tr, &hit, nil
+}
+
+// ServeQuery answers a rewritten (underlying-name) SQL statement through
+// the result cache; semantics as ServeGroupBy. The returned result is
+// shared with the cache: read-only.
+func (l *Lease) ServeQuery(traced bool, sql string) (*viewcube.QueryResult, *viewcube.QueryTrace, *bool, error) {
+	if l.cache == nil {
+		if traced {
+			res, tr, err := l.Handle.TraceQuery(sql)
+			return res, tr, nil, err
+		}
+		res, err := l.Handle.Query(sql)
+		return res, nil, nil, err
+	}
+	l.sync()
+	var tr *viewcube.QueryTrace
+	ans, hit, err := l.cache.GetOrCompute("query\x00"+sql, func() (Answer, error) {
+		if traced {
+			res, t, err := l.Handle.TraceQuery(sql)
+			tr = t
+			return Answer{Result: res}, err
+		}
+		res, err := l.Handle.Query(sql)
+		return Answer{Result: res}, err
+	})
+	if err != nil {
+		return nil, nil, &hit, err
+	}
+	if traced {
+		tr = l.finishTrace(tr, hit, "query")
+	}
+	return ans.Result, tr, &hit, nil
+}
+
+// finishTrace labels a computing miss's real trace, or substitutes the
+// zero-op hit trace when the query was served from cache (or coalesced onto
+// another caller's flight, whose trace belongs to that caller).
+func (l *Lease) finishTrace(tr *viewcube.QueryTrace, hit bool, name string) *viewcube.QueryTrace {
+	if hit || tr == nil {
+		return viewcube.CacheHitTrace(name)
+	}
+	tr.SetLabel("result_cache", "miss")
+	return tr
+}

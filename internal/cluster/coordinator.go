@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,13 +12,29 @@ import (
 
 	"viewcube"
 	"viewcube/internal/obs"
+	"viewcube/internal/rescache"
 )
 
+// ErrOverloaded is returned when admission control sheds a query: every
+// in-flight slot stayed busy for the whole queue wait. Callers should back
+// off; the HTTP face maps it to 429.
+var ErrOverloaded = errors.New("cluster: overloaded")
+
+// ErrUnavailable is returned when no shard at all answered — the whole
+// tier is unreachable, not just degraded. The HTTP face maps it to 503.
+var ErrUnavailable = errors.New("cluster: unavailable")
+
 // Shard is one member of the serving tier: a name (stable across restarts,
-// used in errors, metrics and PartialResult) and a transport to reach it.
+// used in errors, metrics and PartialResult), a transport to reach it, and
+// optionally more transports to replicas holding the same partition.
+// Requests balance across the copies by least-outstanding count, and the
+// retry and hedge paths deliberately go to a *different* copy than the one
+// that is slow or failing, so a speculative duplicate races a real second
+// machine instead of re-queueing behind the same straggler.
 type Shard struct {
-	Name   string
-	Client ShardClient
+	Name     string
+	Client   ShardClient
+	Replicas []ShardClient
 }
 
 // Options tunes the coordinator's failure handling.
@@ -59,6 +76,21 @@ type Options struct {
 	// QueryLog, when non-nil, receives one entry per coordinator query
 	// (shape, duration, per-shard costs, trace ID when sampled).
 	QueryLog *obs.QueryLog
+	// MaxInFlight bounds concurrently admitted queries; queries beyond the
+	// bound queue for up to QueueTimeout and are then shed with
+	// ErrOverloaded. 0 disables admission control.
+	MaxInFlight int
+	// QueueTimeout bounds how long an over-limit query waits for a slot
+	// before being shed. 0 defaults to 100ms.
+	QueueTimeout time.Duration
+	// Cache, when non-nil, enables the coordinator result cache: complete
+	// merged answers are cached under the epoch-invalidation discipline of
+	// internal/rescache and identical concurrent queries coalesce onto one
+	// scatter. The Size field is ignored (the coordinator installs its own
+	// answer sizer). Degraded partial answers are never stored, and traced
+	// queries bypass the cache. Invalidation is explicit via
+	// InvalidateResults — a coordinator cannot observe shard-side updates.
+	Cache *rescache.Options
 }
 
 // PartialResult names the shards that contributed nothing to a degraded
@@ -85,12 +117,15 @@ func (p *PartialResult) Complete() bool { return p == nil || len(p.Missing) == 0
 // A Coordinator is safe for concurrent use.
 type Coordinator struct {
 	shards  []Shard
+	reps    []*replicaSet
 	opts    Options
 	met     *obs.ClusterMetrics
 	reg     *obs.Registry
 	lat     []*latRing
 	sampler *obs.Sampler
 	qlog    *obs.QueryLog
+	lim     *limiter
+	cache   *rescache.Cache[cachedAnswer]
 
 	rmu sync.Mutex
 	rng *rand.Rand
@@ -116,6 +151,11 @@ func NewCoordinator(shards []Shard, opts Options) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
 		}
 		seen[s.Name] = true
+		for i, r := range s.Replicas {
+			if r == nil {
+				return nil, fmt.Errorf("cluster: shard %s replica %d has no client", s.Name, i)
+			}
+		}
 	}
 	if opts.Timeout == 0 {
 		opts.Timeout = 2 * time.Second
@@ -147,16 +187,27 @@ func NewCoordinator(shards []Shard, opts Options) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		shards:  shards,
+		reps:    make([]*replicaSet, len(shards)),
 		opts:    opts,
 		met:     obs.NewClusterMetrics(reg),
 		reg:     reg,
 		lat:     make([]*latRing, len(shards)),
 		sampler: obs.NewSampler(opts.TraceSampleRate),
 		qlog:    opts.QueryLog,
+		lim:     newLimiter(opts.MaxInFlight, opts.QueueTimeout, obs.NewAdmissionMetrics(reg)),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 	for i := range c.lat {
 		c.lat[i] = &latRing{}
+	}
+	for i := range shards {
+		c.reps[i] = newReplicaSet(shards[i])
+	}
+	if opts.Cache != nil {
+		copt := *opts.Cache
+		copt.Size = answerSize
+		c.cache = rescache.New[cachedAnswer](copt)
+		c.cache.SetMetrics(obs.NewResultCacheMetrics(reg))
 	}
 	c.met.ShardsKnown.Set(int64(len(shards)))
 	return c, nil
@@ -175,16 +226,29 @@ func (c *Coordinator) ShardNames() []string {
 	return names
 }
 
-// Close closes every shard client.
+// Close closes every shard client, replicas included.
 func (c *Coordinator) Close() error {
 	var first error
-	for _, s := range c.shards {
-		if err := s.Client.Close(); err != nil && first == nil {
+	for _, rs := range c.reps {
+		if err := rs.closeAll(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
+
+// Cached reports whether the coordinator result cache is enabled.
+func (c *Coordinator) Cached() bool { return c.cache != nil }
+
+// InvalidateResults drops every cached merged answer and bumps the cache
+// epoch, so answers computed before the call can never be served after it.
+// Call it after mutating the shard tier (updates, reloads, reshards).
+// Returns the new epoch; no-op (returning 0) without a cache.
+func (c *Coordinator) InvalidateResults() uint64 { return c.cache.Invalidate() }
+
+// ResultCacheStats snapshots the coordinator result cache counters (zero
+// without a cache).
+func (c *Coordinator) ResultCacheStats() rescache.Stats { return c.cache.Stats() }
 
 // --- exact-mode Querier surface ---
 
@@ -271,36 +335,142 @@ func rangeRequest(ranges map[string]viewcube.ValueRange) *Request {
 }
 
 func (c *Coordinator) groupBy(ctx context.Context, allowPartial bool, tr *obs.Trace, keep []string) (map[string]float64, *PartialResult, error) {
-	resps, part, err := c.scatter(ctx, allowPartial, tr, &Request{Kind: KindGroupBy, Keep: keep})
+	req := &Request{Kind: KindGroupBy, Keep: keep}
+	if c.cache != nil && tr == nil {
+		a, part, err := c.cached(ctx, allowPartial, req)
+		return a.groups, part, err
+	}
+	resps, part, err := c.scatter(ctx, allowPartial, tr, req, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	out := make(map[string]float64)
-	for _, r := range resps {
-		if r == nil {
-			continue
-		}
-		for k, v := range r.Groups {
-			out[k] += v
-		}
-	}
-	return out, part, nil
+	return mergeAnswer(req.Kind, resps, part).groups, part, nil
 }
 
 func (c *Coordinator) sumQuery(ctx context.Context, allowPartial bool, tr *obs.Trace, req *Request) (float64, *PartialResult, error) {
-	resps, part, err := c.scatter(ctx, allowPartial, tr, req)
+	if c.cache != nil && tr == nil {
+		a, part, err := c.cached(ctx, allowPartial, req)
+		return a.sum, part, err
+	}
+	resps, part, err := c.scatter(ctx, allowPartial, tr, req, nil)
 	if err != nil {
 		return 0, nil, err
 	}
-	sum := 0.0
-	for _, r := range resps {
-		if r == nil {
-			continue
-		}
-		sum += r.Sum
-	}
-	return sum, part, nil
+	return mergeAnswer(req.Kind, resps, part).sum, part, nil
 }
+
+// --- coordinator result cache ---
+
+// cachedAnswer is one fully merged answer. Cached answers are shared
+// read-only across every caller that hits them; the groups map must not be
+// mutated (the HTTP face copies during rendering).
+type cachedAnswer struct {
+	groups map[string]float64
+	sum    float64
+	part   *PartialResult // non-nil answers are degraded and never stored
+}
+
+// answerSize estimates a merged answer's footprint for the cache's byte
+// bound, and marks degraded answers uncacheable (negative size): a partial
+// answer served from cache would hide shard recovery.
+func answerSize(v any) int {
+	a := v.(cachedAnswer)
+	if a.part != nil {
+		return -1
+	}
+	n := 64
+	for k := range a.groups {
+		n += len(k) + 16
+	}
+	return n
+}
+
+// cacheKey is the normalized query identity: the kind plus the canonical
+// request shape (sorted ranges, the kept-dimension list), split on the
+// partial-mode flag so an exact-mode caller can never coalesce onto a
+// flight that is allowed to return a degraded answer.
+func cacheKey(req *Request, allowPartial bool) string {
+	mode := "exact"
+	if allowPartial {
+		mode = "partial"
+	}
+	return req.Kind.String() + "\x00" + mode + "\x00" + requestShape(req)
+}
+
+// cached serves req through the result cache: a hit returns the stored
+// merged answer without touching the shard tier — and without holding an
+// admission slot, which is what lets a saturated coordinator keep
+// absorbing repeat traffic. A miss scatters once; identical concurrent
+// queries coalesce onto that single flight (singleflight). Only complete
+// answers are stored: a degraded answer reaches its caller and any
+// coalesced waiters but the next query re-tries the dead shards.
+func (c *Coordinator) cached(ctx context.Context, allowPartial bool, req *Request) (cachedAnswer, *PartialResult, error) {
+	start := time.Now()
+	a, hit, err := c.cache.GetOrCompute(cacheKey(req, allowPartial), func() (cachedAnswer, error) {
+		resps, part, err := c.scatter(ctx, allowPartial, nil, req, boolPtr(false))
+		if err != nil {
+			return cachedAnswer{}, err
+		}
+		return mergeAnswer(req.Kind, resps, part), nil
+	})
+	if err != nil {
+		return cachedAnswer{}, nil, err
+	}
+	if hit {
+		// The miss path logged and metered inside scatter; a hit still
+		// counts as a query and still feeds the latency histogram and the
+		// query log — with no shard legs, because no shard was asked.
+		dur := time.Since(start)
+		c.met.Queries.Inc()
+		c.met.ObserveQuery(req.Kind.String(), dur.Seconds())
+		c.logCacheHit(req, dur)
+	}
+	return a, a.part, nil
+}
+
+// mergeAnswer folds per-shard responses into one answer in fixed shard
+// order (the distributivity merge that reproduces the single-machine
+// result bit for bit).
+func mergeAnswer(kind Kind, resps []*Response, part *PartialResult) cachedAnswer {
+	a := cachedAnswer{part: part}
+	switch kind {
+	case KindGroupBy:
+		a.groups = make(map[string]float64)
+		for _, r := range resps {
+			if r == nil {
+				continue
+			}
+			for k, v := range r.Groups {
+				a.groups[k] += v
+			}
+		}
+	default:
+		for _, r := range resps {
+			if r == nil {
+				continue
+			}
+			a.sum += r.Sum
+		}
+	}
+	return a
+}
+
+// logCacheHit records a result-cache hit into the query log: same shape
+// fields as a scattered query, ResultCacheHit true, zero ops and no shard
+// legs — by construction a hit costs one map lookup.
+func (c *Coordinator) logCacheHit(req *Request, dur time.Duration) {
+	if c.qlog == nil {
+		return
+	}
+	c.qlog.Record(obs.QueryEntry{
+		Kind:           req.Kind.String(),
+		Shape:          requestShape(req),
+		DurationUS:     dur.Microseconds(),
+		ResultCacheHit: boolPtr(true),
+	})
+}
+
+func boolPtr(b bool) *bool { return &b }
 
 // outcome is one shard's final state after retries and hedging.
 type outcome struct {
@@ -337,9 +507,15 @@ func requestShape(req *Request) string {
 // part is non-nil iff the answer is degraded. Every query — explicit
 // trace, sampled, or plain — feeds the query-latency histogram and the
 // query log.
-func (c *Coordinator) scatter(ctx context.Context, allowPartial bool, tr *obs.Trace, req *Request) ([]*Response, *PartialResult, error) {
+func (c *Coordinator) scatter(ctx context.Context, allowPartial bool, tr *obs.Trace, req *Request, rcHit *bool) ([]*Response, *PartialResult, error) {
 	c.met.Queries.Inc()
 	start := time.Now()
+	if err := c.lim.acquire(ctx); err != nil {
+		// Shed before any fan-out: the fast 429 is the backpressure signal.
+		c.logQuery(req, nil, false, nil, nil, err, time.Since(start), rcHit)
+		return nil, nil, err
+	}
+	defer c.lim.release()
 	sampled := false
 	if tr == nil && c.sampler.Sample() {
 		tr = obs.NewTrace("cluster " + req.Kind.String() + " " + requestShape(req))
@@ -389,7 +565,7 @@ func (c *Coordinator) scatter(ctx context.Context, allowPartial bool, tr *obs.Tr
 	resps, part, err := c.gather(allowPartial, outs)
 	dur := time.Since(start)
 	c.met.ObserveQuery(req.Kind.String(), dur.Seconds())
-	c.logQuery(req, tr, sampled, outs, part, err, dur)
+	c.logQuery(req, tr, sampled, outs, part, err, dur, rcHit)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -417,8 +593,8 @@ func (c *Coordinator) gather(allowPartial bool, outs []outcome) ([]*Response, *P
 	}
 	c.met.ShardsLive.Set(int64(live))
 	if live == 0 {
-		return nil, nil, fmt.Errorf("cluster: all %d shards unreachable; %s: %s",
-			len(c.shards), part.Missing[0], part.Errs[part.Missing[0]])
+		return nil, nil, fmt.Errorf("%w: all %d shards unreachable; %s: %s",
+			ErrUnavailable, len(c.shards), part.Missing[0], part.Errs[part.Missing[0]])
 	}
 	if part != nil {
 		if !allowPartial {
@@ -439,15 +615,16 @@ func (c *Coordinator) gather(allowPartial bool, outs []outcome) ([]*Response, *P
 // one). Sampled traces embed their full stitched tree — the raw feed for
 // workload-adaptive view selection; explicit traces record only their ID
 // (the caller already holds the tree).
-func (c *Coordinator) logQuery(req *Request, tr *obs.Trace, sampled bool, outs []outcome, part *PartialResult, qerr error, dur time.Duration) {
+func (c *Coordinator) logQuery(req *Request, tr *obs.Trace, sampled bool, outs []outcome, part *PartialResult, qerr error, dur time.Duration, rcHit *bool) {
 	if c.qlog == nil {
 		return
 	}
 	e := obs.QueryEntry{
-		Kind:       req.Kind.String(),
-		Shape:      requestShape(req),
-		DurationUS: dur.Microseconds(),
-		Sampled:    sampled,
+		Kind:           req.Kind.String(),
+		Shape:          requestShape(req),
+		DurationUS:     dur.Microseconds(),
+		Sampled:        sampled,
+		ResultCacheHit: rcHit,
 	}
 	if tr != nil {
 		e.TraceID = obs.FormatTraceID(tr.ID())
@@ -488,10 +665,12 @@ func boolAttr(b bool) int64 {
 }
 
 // askShard drives one shard to a final outcome: up to 1+Retries attempts,
-// each with its own deadline and optional hedge.
+// each with its own deadline and optional hedge. Each retry is steered to
+// a different replica than the one that just failed, when one exists.
 func (c *Coordinator) askShard(ctx context.Context, i int, req *Request) outcome {
 	var o outcome
 	var lastErr error
+	lastRep := -1
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
 			c.met.Retries.Inc()
@@ -503,7 +682,8 @@ func (c *Coordinator) askShard(ctx context.Context, i int, req *Request) outcome
 				return o
 			}
 		}
-		resp, hedged, err := c.attempt(ctx, i, req)
+		resp, hedged, used, err := c.attempt(ctx, i, req, lastRep)
+		lastRep = used
 		o.hedged = o.hedged || hedged
 		if err == nil {
 			if resp.Err != "" {
@@ -529,8 +709,13 @@ func (c *Coordinator) askShard(ctx context.Context, i int, req *Request) outcome
 // attempt performs one deadline-bounded exchange with shard i, hedging a
 // speculative duplicate if the primary outlives the hedge delay. The first
 // successful response wins; the loser is cancelled and its connection
-// discarded, so its late answer cannot leak into a later exchange.
-func (c *Coordinator) attempt(parent context.Context, i int, req *Request) (resp *Response, hedged bool, err error) {
+// discarded, so its late answer cannot leak into a later exchange. The
+// primary leg goes to the least-outstanding replica (skipping `avoid`, the
+// replica a previous attempt just failed on); the hedge goes to a replica
+// other than the primary, so the speculative duplicate races a genuinely
+// different copy of the data. Returns the primary's replica index so the
+// caller can steer its next retry elsewhere.
+func (c *Coordinator) attempt(parent context.Context, i int, req *Request, avoid int) (resp *Response, hedged bool, primary int, err error) {
 	ctx, cancel := context.WithTimeout(parent, c.opts.Timeout)
 	defer cancel()
 
@@ -539,16 +724,18 @@ func (c *Coordinator) attempt(parent context.Context, i int, req *Request) (resp
 		err  error
 		idx  int
 	}
+	rs := c.reps[i]
 	ch := make(chan result, 2) // buffered: the losing attempt must not leak
-	send := func(idx int) {
+	send := func(idx, rep int) {
 		c.met.ShardCalls.Inc()
 		sent := time.Now()
-		r, err := c.shards[i].Client.Do(ctx, req)
+		r, err := rs.do(ctx, rep, req)
 		c.met.RPCDuration.Observe(time.Since(sent).Seconds())
 		ch <- result{r, err, idx}
 	}
 	start := time.Now()
-	go send(0)
+	primary = rs.pick(avoid)
+	go send(0, primary)
 	outstanding := 1
 
 	var hedgeC <-chan time.Time
@@ -568,7 +755,7 @@ func (c *Coordinator) attempt(parent context.Context, i int, req *Request) (resp
 				if r.idx == 1 {
 					c.met.HedgeWins.Inc()
 				}
-				return r.resp, hedged, nil
+				return r.resp, hedged, primary, nil
 			}
 			c.met.ShardErrors.Inc()
 			if firstErr == nil {
@@ -577,14 +764,14 @@ func (c *Coordinator) attempt(parent context.Context, i int, req *Request) (resp
 			if outstanding == 0 {
 				// Both (or the only) attempts failed; don't wait for a
 				// hedge timer that can no longer help.
-				return nil, hedged, firstErr
+				return nil, hedged, primary, firstErr
 			}
 		case <-hedgeC:
 			hedgeC = nil
 			hedged = true
 			c.met.Hedges.Inc()
 			outstanding++
-			go send(1)
+			go send(1, rs.pick(primary))
 		}
 	}
 }

@@ -116,6 +116,49 @@ func NewPlanMetrics(r *Registry) *PlanMetrics {
 	}
 }
 
+// ResultCacheMetrics instruments an epoch-invalidated answer cache
+// (internal/rescache): hits skip planning, execution and scatter-gather
+// entirely; invalidations count epochs (updates, reconfigures, rebuilds,
+// catalog reloads).
+type ResultCacheMetrics struct {
+	Hits          *Counter
+	Misses        *Counter
+	Evictions     *Counter
+	Invalidations *Counter
+	Bytes         *Gauge
+	Entries       *Gauge
+}
+
+// NewResultCacheMetrics registers the result-cache instrument set.
+func NewResultCacheMetrics(r *Registry) *ResultCacheMetrics {
+	return &ResultCacheMetrics{
+		Hits:          r.Counter("viewcube_result_cache_hits_total", "Result-cache lookups served without executing the query (cached or coalesced)."),
+		Misses:        r.Counter("viewcube_result_cache_misses_total", "Result-cache lookups that executed the underlying query."),
+		Evictions:     r.Counter("viewcube_result_cache_evictions_total", "Result-cache entries evicted to stay within the size bounds."),
+		Invalidations: r.Counter("viewcube_result_cache_invalidations_total", "Result-cache epoch bumps (cube state changed)."),
+		Bytes:         r.Gauge("viewcube_result_cache_bytes", "Estimated bytes of answers currently cached."),
+		Entries:       r.Gauge("viewcube_result_cache_entries", "Answers currently cached."),
+	}
+}
+
+// AdmissionMetrics instruments the coordinator's bounded-concurrency
+// admission gate: queued counts slow-path waits for a slot, rejected counts
+// queries shed with an overloaded error.
+type AdmissionMetrics struct {
+	Queued   *Counter
+	Rejected *Counter
+	InFlight *Gauge
+}
+
+// NewAdmissionMetrics registers the admission-control instrument set.
+func NewAdmissionMetrics(r *Registry) *AdmissionMetrics {
+	return &AdmissionMetrics{
+		Queued:   r.Counter("viewcube_admission_queued_total", "Queries that waited for an admission slot instead of starting immediately."),
+		Rejected: r.Counter("viewcube_admission_rejected_total", "Queries shed with an overloaded error after the queue timeout."),
+		InFlight: r.Gauge("viewcube_admission_in_flight", "Queries currently holding an admission slot."),
+	}
+}
+
 // ClusterMetrics instruments the networked serving tier: the coordinator's
 // scatter-gather behaviour (retries, hedges, degraded answers) and the
 // shard server's request handling. Coordinator and shard processes each

@@ -24,8 +24,11 @@ type QueryEntry struct {
 	DurationUS   int64  `json:"duration_us"`
 	Epoch        uint64 `json:"epoch,omitempty"`
 	PlanCacheHit *bool  `json:"plan_cache_hit,omitempty"`
-	Ops          int64  `json:"ops,omitempty"`
-	Cells        int64  `json:"cells,omitempty"`
+	// ResultCacheHit is set (either way) only when the serving path had a
+	// result cache wired; a hit's Ops/Cells are zero by construction.
+	ResultCacheHit *bool `json:"result_cache_hit,omitempty"`
+	Ops            int64 `json:"ops,omitempty"`
+	Cells          int64 `json:"cells,omitempty"`
 	// Agg and MeasureWidth identify the aggregate function and the
 	// measure-vector component width of the serving engine, so log mining
 	// can distinguish SUM queries from AVG/VAR queries over a vector cube.

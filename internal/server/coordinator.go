@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -67,6 +68,7 @@ func NewCoordinator(coord *cluster.Coordinator, opts ...CoordinatorOption) *Coor
 	s.mux.HandleFunc("GET /range", s.handleRange)
 	s.mux.HandleFunc("GET /total", s.handleTotal)
 	s.mux.HandleFunc("GET /shards", s.handleShards)
+	s.mux.HandleFunc("POST /invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /querylog", s.handleQueryLog)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -101,11 +103,17 @@ func (s *CoordinatorServer) writeErr(w http.ResponseWriter, status int, err erro
 
 func wantPartial(r *http.Request) bool { return r.URL.Query().Get("partial") == "1" }
 
-// queryStatus maps a coordinator error to an HTTP status: shard-side query
-// errors (bad dimension, malformed range) are the client's fault, while
-// unreachable shards are a gateway problem.
+// queryStatus maps a coordinator error to an HTTP status: admission shed
+// is 429 (retry later, the tier is saturated), a fully unreachable tier is
+// 503, some shards unreachable in exact mode is 502, and shard-side query
+// errors (bad dimension, malformed range) are the client's fault.
 func queryStatus(err error) int {
-	if strings.Contains(err.Error(), "unreachable") {
+	switch {
+	case errors.Is(err, cluster.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, cluster.ErrUnavailable):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "unreachable"):
 		return http.StatusBadGateway
 	}
 	return http.StatusBadRequest
@@ -218,7 +226,19 @@ func (s *CoordinatorServer) handleTotal(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *CoordinatorServer) handleShards(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"shards": s.coord.ShardNames()})
+	body := map[string]any{"shards": s.coord.ShardNames()}
+	if s.coord.Cached() {
+		body["result_cache"] = s.coord.ResultCacheStats()
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleInvalidate drops every cached merged answer. The coordinator
+// cannot observe shard-side updates, so whoever mutates the shard tier
+// (a loader, a resharder, an operator) POSTs here afterwards.
+func (s *CoordinatorServer) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	epoch := s.coord.InvalidateResults()
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch})
 }
 
 func (s *CoordinatorServer) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,108 @@
+package server
+
+// Result-cache behaviour through the HTTP face: hits answer identically,
+// the query log records ResultCacheHit, and a hit's logged cost is zero-op.
+
+import (
+	"testing"
+
+	"viewcube/internal/obs"
+	"viewcube/internal/rescache"
+)
+
+func TestServerResultCacheHitsAndQueryLog(t *testing.T) {
+	qlog, err := obs.NewQueryLog(obs.QueryLogOptions{RingSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newCatalogTS(t, WithQueryLog(qlog), WithTraceSampling(1), WithResultCache(rescache.Options{}))
+
+	var cold, warm map[string]float64
+	if resp := getJSON(t, ts.URL+"/groupby?keep=product", &cold); resp.StatusCode != 200 {
+		t.Fatalf("cold status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/groupby?keep=product", &warm); resp.StatusCode != 200 {
+		t.Fatalf("warm status %d", resp.StatusCode)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("cold %v vs warm %v", cold, warm)
+	}
+	for k, v := range cold {
+		if warm[k] != v {
+			t.Fatalf("group %q: cold %v warm %v", k, v, warm[k])
+		}
+	}
+	// The view-routed read resolves to the same underlying shape, so it
+	// shares the raw cube's cache entry — and re-renders per view.
+	var viewed map[string]float64
+	if resp := getJSON(t, ts.URL+"/cubes/sales/views/aliased/groupby?keep=item", &viewed); resp.StatusCode != 200 {
+		t.Fatalf("view status %d", resp.StatusCode)
+	}
+	if viewed["ale"] != cold["ale"] {
+		t.Fatalf("view read %v vs raw %v", viewed, cold)
+	}
+
+	entries := qlog.Recent(0)
+	if len(entries) != 3 {
+		t.Fatalf("%d querylog entries, want 3", len(entries))
+	}
+	// Newest first: viewed (hit), warm (hit), cold (miss).
+	viewedE, warmE, coldE := entries[0], entries[1], entries[2]
+	if coldE.ResultCacheHit == nil || *coldE.ResultCacheHit {
+		t.Fatalf("cold entry %+v", coldE)
+	}
+	if coldE.Ops <= 0 {
+		t.Fatalf("cold entry should carry real execution cost: %+v", coldE)
+	}
+	for _, e := range []obs.QueryEntry{warmE, viewedE} {
+		if e.ResultCacheHit == nil || !*e.ResultCacheHit {
+			t.Fatalf("hit entry %+v", e)
+		}
+		// The satellite guarantee: a hit's logged cost is zero-op.
+		if e.Ops != 0 || e.Cells != 0 {
+			t.Fatalf("hit entry cost ops=%d cells=%d, want zero: %+v", e.Ops, e.Cells, e)
+		}
+		if e.Trace == nil || e.Trace.Labels["result_cache"] != "hit" {
+			t.Fatalf("hit entry trace %+v", e.Trace)
+		}
+	}
+	if coldE.Trace == nil || coldE.Trace.Labels["result_cache"] != "miss" {
+		t.Fatalf("cold entry trace %+v", coldE.Trace)
+	}
+
+	// Cube label still stamped on cached-hit traces.
+	if warmE.Trace.Labels["cube"] != "sales" {
+		t.Fatalf("hit trace labels %+v", warmE.Trace.Labels)
+	}
+
+	// /stats exposes the per-cube result-cache counters.
+	var st struct {
+		ResultCache *rescache.Stats `json:"result_cache"`
+	}
+	if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != 200 {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.ResultCache == nil || st.ResultCache.Hits < 2 || st.ResultCache.Entries == 0 {
+		t.Fatalf("stats result_cache %+v", st.ResultCache)
+	}
+
+	// An update through the API invalidates: the next read is a miss with
+	// the new value.
+	if resp, _ := postJSON(t, ts.URL+"/update", map[string]any{
+		"delta":  3,
+		"values": map[string]string{"product": "ale", "region": "east", "day": "d1"},
+	}); resp.StatusCode != 200 {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	var fresh map[string]float64
+	if resp := getJSON(t, ts.URL+"/groupby?keep=product", &fresh); resp.StatusCode != 200 {
+		t.Fatalf("fresh status %d", resp.StatusCode)
+	}
+	if fresh["ale"] != cold["ale"]+3 {
+		t.Fatalf("post-update ale %v, want %v", fresh["ale"], cold["ale"]+3)
+	}
+	e := qlog.Recent(1)[0]
+	if e.ResultCacheHit == nil || *e.ResultCacheHit {
+		t.Fatalf("post-update entry should be a miss: %+v", e)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"viewcube/internal/catalog"
 	"viewcube/internal/obs"
 	"viewcube/internal/query"
+	"viewcube/internal/rescache"
 )
 
 // aggLabel derives the aggregate label recorded in the query log. SQL
@@ -110,6 +111,16 @@ func WithLogger(l *slog.Logger) Option {
 // costs), served back through GET /querylog.
 func WithQueryLog(l *obs.QueryLog) Option {
 	return func(s *Server) { s.qlog = l }
+}
+
+// WithResultCache enables per-cube answer caching in the catalog: repeated
+// identical reads (group-bys, ranges, SQL) are served from an
+// epoch-invalidated, size-bounded cache with singleflight dedup, and
+// invalidate exactly when the plan cache does (updates, optimizes,
+// reconfigures) or when the cube's generation changes (load, rebuild,
+// catalog reload). Zero Options take the rescache defaults.
+func WithResultCache(opt rescache.Options) Option {
+	return func(s *Server) { s.reg.EnableResultCache(opt) }
 }
 
 // WithTraceSampling traces approximately the given fraction of queries
@@ -334,19 +345,20 @@ func labelTrace(tr *viewcube.QueryTrace, lease *catalog.Lease) {
 // query ran traced — the costs mined from the span tree, plus the full tree
 // for sampled queries. Shape is the client-facing form: view aliases are
 // logged as the client wrote them.
-func (s *Server) logQuery(lease *catalog.Lease, kind, shape string, start time.Time, qt *viewcube.QueryTrace, sampled bool, qerr error) {
+func (s *Server) logQuery(lease *catalog.Lease, kind, shape string, start time.Time, qt *viewcube.QueryTrace, sampled bool, rcHit *bool, qerr error) {
 	if s.qlog == nil {
 		return
 	}
 	e := obs.QueryEntry{
-		Kind:       kind,
-		Cube:       lease.Cube,
-		View:       lease.View.Name(),
-		Shape:      shape,
-		DurationUS: time.Since(start).Microseconds(),
-		Epoch:      lease.Handle.PlanCacheStats().Epoch,
-		Sampled:    sampled,
-		Agg:        aggLabel(kind, shape),
+		Kind:           kind,
+		Cube:           lease.Cube,
+		View:           lease.View.Name(),
+		Shape:          shape,
+		DurationUS:     time.Since(start).Microseconds(),
+		Epoch:          lease.Handle.PlanCacheStats().Epoch,
+		Sampled:        sampled,
+		Agg:            aggLabel(kind, shape),
+		ResultCacheHit: rcHit,
 	}
 	if qt != nil {
 		tree := qt.Tree()
@@ -434,20 +446,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, lease *cata
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	var (
-		res *viewcube.QueryResult
-		tr  *viewcube.QueryTrace
-	)
 	explicit := wantTrace(r)
 	sampled := s.sample(explicit)
 	start := time.Now()
-	if explicit || sampled {
-		res, tr, err = lease.Handle.TraceQuery(sql)
-	} else {
-		res, err = lease.Handle.Query(sql)
-	}
+	res, tr, rcHit, err := lease.ServeQuery(explicit || sampled, sql)
 	labelTrace(tr, lease)
-	s.logQuery(lease, "query", req.SQL, start, tr, sampled, err)
+	s.logQuery(lease, "query", req.SQL, start, tr, sampled, rcHit, err)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -524,20 +528,12 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request, lease *ca
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	var (
-		groups map[string]float64
-		tr     *viewcube.QueryTrace
-	)
 	explicit := wantTrace(r)
 	sampled := s.sample(explicit)
 	start := time.Now()
-	if explicit || sampled {
-		groups, tr, err = lease.Handle.TraceGroupBy(resolved...)
-	} else {
-		groups, err = lease.Handle.GroupBy(resolved...)
-	}
+	groups, tr, rcHit, err := lease.ServeGroupBy(explicit || sampled, resolved...)
 	labelTrace(tr, lease)
-	s.logQuery(lease, "groupby", strings.Join(keep, ","), start, tr, sampled, err)
+	s.logQuery(lease, "groupby", strings.Join(keep, ","), start, tr, sampled, rcHit, err)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -586,20 +582,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, lease *cata
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	var (
-		sum float64
-		tr  *viewcube.QueryTrace
-	)
 	explicit := wantTrace(r)
 	sampled := s.sample(explicit)
 	start := time.Now()
-	if explicit || sampled {
-		sum, tr, err = lease.Handle.TraceRangeSum(resolved)
-	} else {
-		sum, err = lease.Handle.RangeSum(resolved)
-	}
+	sum, tr, rcHit, err := lease.ServeRangeSum(explicit || sampled, resolved)
 	labelTrace(tr, lease)
-	s.logQuery(lease, "range", rangeShape(ranges), start, tr, sampled, err)
+	s.logQuery(lease, "range", rangeShape(ranges), start, tr, sampled, rcHit, err)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -639,16 +627,22 @@ type fullStats struct {
 	Store                viewcube.StoreStats `json:"store"`
 	MaterializedElements int                 `json:"materialized_elements"`
 	StorageCellsNow      int                 `json:"storage_cells"`
+	ResultCache          *rescache.Stats     `json:"result_cache,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
 	st := lease.Handle.Stats()
-	s.writeJSON(w, http.StatusOK, fullStats{
+	out := fullStats{
 		Stats:                st.Engine,
 		Store:                st.Store,
 		MaterializedElements: st.MaterializedElements,
 		StorageCellsNow:      st.StorageCells,
-	})
+	}
+	if lease.Cached() {
+		rc := lease.ResultCacheStats()
+		out.ResultCache = &rc
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {

@@ -65,4 +65,40 @@ func TestTracedQueryOverheadGate(t *testing.T) {
 	if limit := leased + leased/100; routed > limit {
 		t.Errorf("routed path %v/op exceeds 101%% of leased baseline %v/op (%+.2f%%)", routed, leased, routing)
 	}
+
+	// With the result cache disabled, Serve* must be a transparent shim over
+	// the handle query: one nil check, under 1% of the work it wraps.
+	uncached := measure(benchCacheDisabledGroupBy)
+	cacheTax := 100 * (float64(uncached)/float64(leased) - 1)
+	t.Logf("leased baseline %v/op, cache-disabled serve %v/op (%+.2f%% overhead)", leased, uncached, cacheTax)
+	if limit := leased + leased/100; uncached > limit {
+		t.Errorf("cache-disabled serve path %v/op exceeds 101%% of leased baseline %v/op (%+.2f%%)", uncached, leased, cacheTax)
+	}
+
+	// And the cache earns its keep: a hit must be at least 10x faster than
+	// executing the same query through the cached plan.
+	hit := measure(BenchmarkResultCacheHit)
+	t.Logf("cached-plan execute %v/op, result-cache hit %v/op (%.1fx)", leased, hit, float64(leased)/float64(hit))
+	if hit*10 > leased {
+		t.Errorf("result-cache hit %v/op is not 10x faster than the execute path %v/op", hit, leased)
+	}
+}
+
+// benchCacheDisabledGroupBy serves the overhead fixture's query through the
+// catalog's Serve path with no result cache enabled: the same handle query
+// as BenchmarkLeasedGroupBy plus only the cache-off fallback check.
+func benchCacheDisabledGroupBy(b *testing.B) {
+	reg := registryOverheadFixture(b)
+	lease, err := reg.Acquire("bench", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lease.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := lease.ServeGroupBy(false, "product"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

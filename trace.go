@@ -63,6 +63,18 @@ func (qt *QueryTrace) Ops() int64 { return qt.Tree().SumAttr("ops") }
 // CellsRead totals the stored-element cells fetched during execution.
 func (qt *QueryTrace) CellsRead() int64 { return qt.Tree().SumAttr("cells") }
 
+// CacheHitTrace builds the minimal trace of a query answered from the
+// serving tier's result cache: one already-finished root span labelled
+// result_cache=hit, with no ops, cells or plan spans — the logged cost of a
+// hit is genuinely zero work. Serving layers return it when an explicitly
+// traced (or sampled) query is satisfied without executing.
+func CacheHitTrace(name string) *QueryTrace {
+	t := obs.NewTrace(name)
+	t.Root().SetLabel("result_cache", "hit")
+	t.Finish()
+	return &QueryTrace{t: t}
+}
+
 // withTrace runs fn with a fresh per-query execution context and returns
 // the finished trace. Nothing is attached to the engine: the context is
 // threaded explicitly through the read path, so concurrent queries (traced
