@@ -368,6 +368,51 @@ func (a *AggEngine) Update(measure float64, idx ...int) error {
 	return nil
 }
 
+// AggDelta is one accumulated component-vector delta for the batched write
+// path: Vals carries [Σv, Σv², Σn] summed over the tuples coalesced at the
+// cell (a single observation v is [v, v², 1]).
+type AggDelta struct {
+	Idx  []int
+	Vals []float64
+}
+
+// ObservationDelta builds the component-vector delta of one new tuple with
+// the given measure value.
+func (a *AggEngine) ObservationDelta(measure float64) []float64 {
+	delta := make([]float64, a.spec.Width)
+	delta[a.spec.Sum] = measure
+	delta[a.spec.SumSq] = measure * measure
+	delta[a.spec.Count] = 1
+	return delta
+}
+
+// ApplyDeltaBatch folds accumulated component-vector deltas into the vector
+// cube with ONE cache invalidation for the whole batch — the batched-ingest
+// analogue of calling Update per tuple (which invalidates every plan and
+// element cache each time). Exact by the same linearity argument as scalar
+// maintenance, applied per component. The caller serialises it against
+// queries exactly like Update.
+func (a *AggEngine) ApplyDeltaBatch(batch []AggDelta) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	for _, d := range batch {
+		if len(d.Vals) != a.spec.Width {
+			return fmt.Errorf("viewcube: delta width %d, want %d", len(d.Vals), a.spec.Width)
+		}
+		if err := assembly.UpdateCellMulti(a.cube.space, a.mst, d.Vals, d.Idx); err != nil {
+			return err
+		}
+		a.mdata.AddVec(d.Vals, d.Idx...)
+		a.sum.met.updates.Inc()
+		if a.cnt.met != a.sum.met {
+			a.cnt.met.updates.Inc()
+		}
+	}
+	a.invalidate()
+	return nil
+}
+
 // UpdateValue is Update addressed by dimension values: one new tuple with
 // the given measure, located through the dictionaries.
 func (a *AggEngine) UpdateValue(measure float64, values map[string]string) error {

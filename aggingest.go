@@ -1,0 +1,272 @@
+package viewcube
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewcube/internal/assembly"
+	"viewcube/internal/ingest"
+)
+
+// AggIngest is the batched streaming write path for a measure-vector
+// AggEngine: observations append to a WAL-backed coalescing buffer (vector
+// deltas [v, v², 1] sum component-wise per cell — linearity again) and a
+// background merger folds whole batches under the owner's lock with ONE
+// cache invalidation per batch.
+//
+// Unlike the scalar SafeEngine's full MVCC path, AggIngest does not give
+// readers pinned snapshots — the vector engine's readers still take the
+// injected lock — but it removes the per-update lock and invalidation storm:
+// a saturating observation stream costs readers one short lock hold and one
+// invalidation per merge interval instead of one per tuple. The Snapshot
+// counter in PlanCacheStats is the batches-applied count, so result caches
+// invalidate from ingest merges exactly like the scalar path.
+type AggIngest struct {
+	agg  *AggEngine
+	lk   sync.Locker
+	opts IngestOptions
+
+	buf *ingest.Buffer
+	wal *ingest.WAL
+
+	appendMu sync.Mutex
+	seqNoWAL uint64
+	appended atomic.Uint64
+	closed   atomic.Bool
+
+	pubMu     sync.Mutex
+	pubCond   *sync.Cond
+	published uint64
+	stopped   bool
+
+	flushCh chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+
+	batches     atomic.Uint64 // merge batches applied: the snapshot epoch analogue
+	mergedCells atomic.Uint64
+	replayed    uint64
+}
+
+// NewAggIngest starts the batched write path over agg. lk is the lock the
+// owner's readers hold (e.g. the catalog handle's mutex); the merger takes
+// it only while applying a drained batch. When opts.WALPath is set the
+// segment is replayed into the engine first (one batch, one invalidation).
+func NewAggIngest(agg *AggEngine, lk sync.Locker, opts IngestOptions) (*AggIngest, error) {
+	if opts.MaxPending == 0 {
+		opts.MaxPending = 1 << 16
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 25 * time.Millisecond
+	}
+	ai := &AggIngest{
+		agg:     agg,
+		lk:      lk,
+		opts:    opts,
+		buf:     ingest.NewBuffer(opts.MaxPending),
+		flushCh: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	ai.pubCond = sync.NewCond(&ai.pubMu)
+
+	if opts.WALPath != "" {
+		var batch []AggDelta
+		wal, err := ingest.OpenWAL(opts.WALPath, ingest.WALOptions{Fsync: opts.Fsync}, func(d ingest.Delta) error {
+			if len(d.Vals) != agg.spec.Width {
+				return fmt.Errorf("delta width %d on a width-%d vector cube", len(d.Vals), agg.spec.Width)
+			}
+			batch = append(batch, AggDelta{Idx: d.Idx, Vals: d.Vals})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) > 0 {
+			lk.Lock()
+			err = agg.ApplyDeltaBatch(batch)
+			lk.Unlock()
+			if err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("viewcube: replaying agg WAL: %w", err)
+			}
+			ai.replayed = uint64(len(batch))
+			ai.batches.Add(1)
+		}
+		ai.wal = wal
+		ai.appended.Store(wal.LastSeq())
+		ai.published = wal.LastSeq()
+		agg.sum.met.ingest.WALReplayed.Add(ai.replayed)
+	}
+
+	go ai.loop()
+	return ai, nil
+}
+
+// Ingest acknowledges one new observation with the given measure at the
+// cell; visibility comes at the next merge (Flush waits for it).
+func (ai *AggIngest) Ingest(measure float64, idx ...int) error {
+	// Zero-delta validation against the space: touches no store, needs no
+	// lock (an observation always has Count 1, so there is no zero fast
+	// path beyond validation).
+	if err := assembly.UpdateCell(ai.agg.cube.space, ai.agg.sum.st, 0, idx); err != nil {
+		return err
+	}
+	d := ingest.Delta{Idx: idx, Vals: ai.agg.ObservationDelta(measure)}
+	ai.appendMu.Lock()
+	if ai.closed.Load() {
+		ai.appendMu.Unlock()
+		return ingest.ErrClosed
+	}
+	if ai.wal != nil {
+		seq, err := ai.wal.Append(d)
+		if err != nil {
+			ai.appendMu.Unlock()
+			return err
+		}
+		d.Seq = seq
+	} else {
+		ai.seqNoWAL++
+		d.Seq = ai.seqNoWAL
+	}
+	ai.appended.Store(d.Seq)
+	err := ai.buf.Add(d)
+	ai.appendMu.Unlock()
+	if err != nil {
+		return err
+	}
+	ai.agg.sum.met.ingest.Appended.Inc()
+	return nil
+}
+
+// IngestValue is Ingest addressed by dimension values.
+func (ai *AggIngest) IngestValue(measure float64, values map[string]string) error {
+	idx, err := ai.agg.sum.resolveUpdateIndex(values)
+	if err != nil {
+		return err
+	}
+	return ai.Ingest(measure, idx...)
+}
+
+// Flush blocks until every observation acknowledged before the call has
+// been folded into the engine.
+func (ai *AggIngest) Flush() error {
+	target := ai.appended.Load()
+	ai.pubMu.Lock()
+	for ai.published < target && !ai.stopped {
+		select {
+		case ai.flushCh <- struct{}{}:
+		default:
+		}
+		ai.pubCond.Wait()
+	}
+	ai.pubMu.Unlock()
+	return nil
+}
+
+// Batches returns the number of merge batches applied — the monotone
+// data-version counter the result-cache layer sums into its sync value.
+func (ai *AggIngest) Batches() uint64 { return ai.batches.Load() }
+
+// Stats snapshots the batched write path's counters.
+func (ai *AggIngest) Stats() IngestStats {
+	bs := ai.buf.Stats()
+	st := IngestStats{
+		Appended:      ai.appended.Load(),
+		Coalesced:     bs.Coalesced,
+		Blocked:       bs.Blocked,
+		PendingCells:  bs.Pending,
+		WALReplayed:   ai.replayed,
+		Merges:        ai.batches.Load(),
+		MergedCells:   ai.mergedCells.Load(),
+		SnapshotEpoch: ai.batches.Load(),
+	}
+	if ai.wal != nil {
+		st.WALBytes = ai.wal.Bytes()
+	}
+	ai.pubMu.Lock()
+	pub := ai.published
+	ai.pubMu.Unlock()
+	if app := st.Appended; app > pub {
+		st.LagSeqs = app - pub
+	}
+	return st
+}
+
+// Close flushes pending observations into a final batch, stops the merger
+// and closes the WAL. In-flight Ingest calls racing the shutdown fail with
+// a closed error.
+func (ai *AggIngest) Close() error {
+	ai.closed.Store(true)
+	ai.buf.Close()
+	close(ai.stop)
+	<-ai.done
+	if ai.wal != nil {
+		return ai.wal.Close()
+	}
+	return nil
+}
+
+func (ai *AggIngest) loop() {
+	defer close(ai.done)
+	defer func() {
+		ai.pubMu.Lock()
+		ai.stopped = true
+		ai.pubCond.Broadcast()
+		ai.pubMu.Unlock()
+	}()
+	for {
+		select {
+		case <-ai.stop:
+			ai.mergeOnce()
+			return
+		case <-ai.flushCh:
+			ai.mergeOnce()
+		case <-ai.buf.Dirty():
+			t := time.NewTimer(ai.opts.Interval)
+			select {
+			case <-t.C:
+				ai.mergeOnce()
+			case <-ai.flushCh:
+				t.Stop()
+				ai.mergeOnce()
+			case <-ai.stop:
+				t.Stop()
+				ai.mergeOnce()
+				return
+			}
+		}
+	}
+}
+
+func (ai *AggIngest) mergeOnce() {
+	met := ai.agg.sum.met.ingest
+	start := time.Now()
+	batch := ai.buf.Drain()
+	if len(batch.Deltas) > 0 {
+		deltas := make([]AggDelta, len(batch.Deltas))
+		for i, d := range batch.Deltas {
+			deltas[i] = AggDelta{Idx: d.Idx, Vals: d.Vals}
+		}
+		ai.lk.Lock()
+		err := ai.agg.ApplyDeltaBatch(deltas)
+		ai.lk.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("viewcube: agg ingest merge applying validated delta: %v", err))
+		}
+		ai.batches.Add(1)
+		ai.mergedCells.Add(uint64(len(deltas)))
+		met.Merges.Inc()
+		met.MergedCells.Add(uint64(len(deltas)))
+		met.MergeSeconds.Observe(time.Since(start).Seconds())
+	}
+	ai.pubMu.Lock()
+	if batch.Watermark > ai.published {
+		ai.published = batch.Watermark
+	}
+	ai.pubCond.Broadcast()
+	ai.pubMu.Unlock()
+	met.PendingCells.Set(int64(ai.buf.Pending()))
+}

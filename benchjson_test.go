@@ -72,6 +72,8 @@ func TestBenchJSON(t *testing.T) {
 		{"ResultCacheHit", BenchmarkResultCacheHit},
 		{"ResultCacheHitParallel", BenchmarkResultCacheHitParallel},
 		{"ResultCacheMiss", BenchmarkResultCacheMiss},
+		{"IngestThroughput", BenchmarkIngestThroughput},
+		{"QueryUnderIngest", BenchmarkQueryUnderIngest},
 		{"TracedQueryOverheadOff", benchTracedOff},
 		{"TracedQueryOverheadSampled", benchTracedSampled},
 		{"TracedQueryOverheadTraced", benchTracedFull},

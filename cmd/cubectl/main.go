@@ -45,6 +45,12 @@
 // Repeated -hot flags declare anticipated hot views (comma-separated kept
 // dimensions); the engine materialises the optimal element set for them
 // before answering.
+//
+// Against a running cubed, -server enables the ingest command: batch rows
+// into the daemon's streaming write path over HTTP (see ingest.go):
+//
+//	cubectl -server http://localhost:8080 ingest 'product=ale,region=east:5'
+//	cat rows.jsonl | cubectl -server http://localhost:8080 -cube sales ingest -
 package main
 
 import (
@@ -89,14 +95,25 @@ func run() error {
 	coordinator := flag.String("coordinator", "", "comma-separated shard addresses; query a cluster instead of loading a cube")
 	partial := flag.Bool("partial", false, "with -coordinator: tolerate unreachable shards and report them")
 	catalogPath := flag.String("catalog", "", "JSON catalog file; build every declared cube and scope commands with -cube/-view")
-	cubeName := flag.String("cube", "", "with -catalog: cube to query (default: the catalog's default cube)")
+	cubeName := flag.String("cube", "", "with -catalog: cube to query (default: the catalog's default cube); with -server: cube to address")
 	viewName := flag.String("view", "", "with -catalog: query through this named view")
+	serverURL := flag.String("server", "", "base URL of a running cubed (e.g. http://localhost:8080); enables the ingest command")
+	noFlush := flag.Bool("noflush", false, "with -server ingest: acknowledge rows without waiting for them to become queryable")
 	flag.Var(&hot, "hot", "anticipated hot view: comma-separated kept dimensions (repeatable)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims> | trace <query> | cubes | views")
+		return fmt.Errorf("missing command: info | groupby <dims> | total | range <dim=lo:hi>... | query <sql> | topk <dim> <k> | explain <dims> | trace <query> | cubes | views | ingest <rows>")
 	}
 
+	if *serverURL != "" {
+		if flag.Arg(0) != "ingest" {
+			return fmt.Errorf("-server only supports the ingest command, got %q", flag.Arg(0))
+		}
+		return runServerIngest(*serverURL, *cubeName, !*noFlush, flag.Args()[1:])
+	}
+	if flag.Arg(0) == "ingest" {
+		return fmt.Errorf("ingest needs -server <url> naming a running cubed")
+	}
 	if *coordinator != "" {
 		return runCluster(*coordinator, *partial, flag.Arg(0), flag.Args()[1:])
 	}

@@ -36,6 +36,13 @@
 //
 //	cubed -catalog catalog.json -rescache 64 -catalogreload 5s
 //	cubed -coordinator 'h1:9001|h2:9001,h3:9002' -rescache 64 -maxinflight 256
+//
+// Streaming ingest (single-cube mode, see DESIGN.md §16): -ingest switches
+// writes onto a WAL-buffered batch path merged in the background, so reads
+// never block on writes; -wal makes acknowledged writes crash-durable:
+//
+//	cubed -gen 50000 -ingest -wal /var/lib/cubed/ingest.wal
+//	curl -s -X POST localhost:8080/ingest -d '{"rows":[{"delta":5,"values":{"region":"east",...}}],"flush":true}'
 package main
 
 import (
@@ -92,6 +99,12 @@ type config struct {
 	queryLogMax int64   // rotate the query-log file past this many bytes
 	traceSample float64 // fraction of queries traced by sampling (0 = off)
 
+	ingest         bool          // enable the streaming ingest path (single-cube mode)
+	walPath        string        // WAL segment path ("" = acknowledged-only durability)
+	walFsync       bool          // fsync the WAL after every append
+	ingestInterval time.Duration // background merge interval
+	ingestPending  int           // max buffered cells before appends block (<0 = unbounded)
+
 	ready func(httpAddr, shardAddr string) // called once listeners are bound
 	logW  *os.File                         // log destination (default stderr)
 }
@@ -120,6 +133,11 @@ func main() {
 	flag.StringVar(&cfg.queryLog, "querylog", "", "append query analytics as JSON lines to this file (served at /querylog either way)")
 	flag.Int64Var(&cfg.queryLogMax, "querylogmax", 8<<20, "rotate the -querylog file once it exceeds this many bytes")
 	flag.Float64Var(&cfg.traceSample, "tracesample", 0, "fraction of queries to trace by sampling into the query log (0 = off, 1 = all)")
+	flag.BoolVar(&cfg.ingest, "ingest", false, "enable the streaming ingest path: updates buffer and merge in the background, reads never block on writes")
+	flag.StringVar(&cfg.walPath, "wal", "", "write-ahead-log path for -ingest; replayed on startup (\"\" = no WAL, acknowledged writes may be lost on crash)")
+	flag.BoolVar(&cfg.walFsync, "walfsync", false, "fsync the -wal after every append (durable per-write, slower)")
+	flag.DurationVar(&cfg.ingestInterval, "ingestinterval", 0, "background merge interval for -ingest (0 = 25ms default)")
+	flag.IntVar(&cfg.ingestPending, "ingestpending", 0, "max buffered distinct cells before ingest appends block (0 = 65536 default, negative = unbounded)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -278,6 +296,20 @@ func runNode(cfg config) error {
 		return err
 	}
 	safe := eng.Safe()
+	if cfg.ingest {
+		if err := safe.EnableIngest(viewcube.IngestOptions{
+			WALPath:    cfg.walPath,
+			Fsync:      cfg.walFsync,
+			Interval:   cfg.ingestInterval,
+			MaxPending: cfg.ingestPending,
+		}); err != nil {
+			return fmt.Errorf("enabling ingest: %w", err)
+		}
+		defer safe.DisableIngest()
+		logger.Info("streaming ingest enabled",
+			"wal", cfg.walPath, "fsync", cfg.walFsync,
+			"replayed", safe.IngestStats().WALReplayed)
+	}
 	qlog, err := cfg.openQueryLog()
 	if err != nil {
 		return err

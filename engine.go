@@ -106,6 +106,7 @@ type Engine struct {
 	inner *adaptive.Engine
 	rq    *rangeagg.Querier
 	met   *Metrics
+	opts  EngineOptions // retained so snapshot generations copy the executor config
 }
 
 // Stats re-exports the adaptive engine's counters.
@@ -155,7 +156,7 @@ func newEngineWith(c *Cube, st assembly.Store, opts EngineOptions) (*Engine, err
 	if met == nil {
 		met = NewMetrics()
 	}
-	e := &Engine{cube: c, st: st, inner: inner, met: met}
+	e := &Engine{cube: c, st: st, inner: inner, met: met, opts: opts}
 	e.rq = rangeagg.NewQuerier(c.space, engineElementSource{e})
 	if fs, ok := st.(*store.FileStore); ok {
 		fs.SetMetrics(met.store)
@@ -171,6 +172,39 @@ func newEngineWith(c *Cube, st assembly.Store, opts EngineOptions) (*Engine, err
 // Metrics returns the engine's metrics registry (the one passed in
 // EngineOptions, or the engine's private registry).
 func (e *Engine) Metrics() *Metrics { return e.met }
+
+// forStore derives a read-only sibling engine over st, an immutable
+// snapshot clone of this engine's store. The sibling shares the cube, the
+// metrics, the adaptive workload profile and the (epoch-pinned) plan cache;
+// the store, the assembly executor and the range-element cache are
+// generation-local. It is the payload of one MVCC snapshot: queries against
+// it never touch the base engine's mutable store.
+func (e *Engine) forStore(st assembly.Store) *Engine {
+	g := &Engine{cube: e.cube, st: st, inner: e.inner.ForStore(st), met: e.met, opts: e.opts}
+	g.rq = rangeagg.NewQuerier(e.cube.space, engineElementSource{g})
+	g.inner.Assembler().SetMetrics(e.met.assembly)
+	g.inner.Assembler().SetExecutor(e.opts.ExecWorkers, e.opts.ParallelExecCells)
+	g.rq.SetMetrics(e.met.ranges)
+	return g
+}
+
+// cloneStore deep-copies every materialised element of st into a fresh
+// MemStore — the immutable snapshot the merger publishes. Only MemStore
+// contents are cloneable cheaply; the ingest path enforces MemStore backing
+// at EnableIngest time.
+func cloneStore(st assembly.Store) (*assembly.MemStore, error) {
+	out := assembly.NewMemStore()
+	for _, r := range st.Elements() {
+		a, ok := st.Get(r)
+		if !ok {
+			return nil, fmt.Errorf("viewcube: snapshot element %v vanished mid-clone", r)
+		}
+		if err := out.Put(r, a.Clone()); err != nil {
+			return nil, fmt.Errorf("viewcube: storing snapshot element %v: %w", r, err)
+		}
+	}
+	return out, nil
+}
 
 // engineElementSource feeds the range querier with assembled elements,
 // recording their accesses so adaptation sees range workloads too.
@@ -554,6 +588,11 @@ func (e *Engine) Update(delta float64, idx ...int) error {
 	if err := assembly.UpdateCell(e.cube.space, e.st, delta, idx); err != nil {
 		return err
 	}
+	if delta == 0 {
+		// UpdateCell validated the index and touched nothing: a no-op delta
+		// must not invalidate plans, cached range elements or result caches.
+		return nil
+	}
 	e.cube.data.Add(delta, idx...)
 	e.rq.Reset()
 	e.inner.InvalidatePlans()
@@ -565,25 +604,36 @@ func (e *Engine) Update(delta float64, idx ...int) error {
 // the tuple's cell is located through the dictionaries, then maintained
 // incrementally.
 func (e *Engine) UpdateValue(delta float64, values map[string]string) error {
+	idx, err := e.resolveUpdateIndex(values)
+	if err != nil {
+		return err
+	}
+	return e.Update(delta, idx...)
+}
+
+// resolveUpdateIndex maps a full tuple of dimension values to its cell
+// index through the dictionaries. It only reads immutable encoding state,
+// so it is safe without any lock.
+func (e *Engine) resolveUpdateIndex(values map[string]string) ([]int, error) {
 	if e.cube.enc == nil {
-		return fmt.Errorf("viewcube: UpdateValue needs a dictionary-encoded cube; use Update")
+		return nil, fmt.Errorf("viewcube: UpdateValue needs a dictionary-encoded cube; use Update")
 	}
 	if len(values) != len(e.cube.dims) {
-		return fmt.Errorf("viewcube: need a value for each of the %d dimensions", len(e.cube.dims))
+		return nil, fmt.Errorf("viewcube: need a value for each of the %d dimensions", len(e.cube.dims))
 	}
 	idx := make([]int, len(e.cube.dims))
 	for name, val := range values {
 		m, err := e.cube.DimIndex(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		code, ok := e.cube.enc.Dicts[m].Code(val)
 		if !ok {
-			return fmt.Errorf("viewcube: value %q not in dimension %q", val, name)
+			return nil, fmt.Errorf("viewcube: value %q not in dimension %q", val, name)
 		}
 		idx[m] = code
 	}
-	return e.Update(delta, idx...)
+	return idx, nil
 }
 
 // SaveState writes the engine's observed workload profile (access counts
@@ -624,12 +674,15 @@ func (e *Engine) StoreStats() StoreStats {
 }
 
 // PlanCacheStats reports the plan cache's behaviour: hit/miss counters, the
-// epoch-bump count, and the current epoch.
+// epoch-bump count, and the current epoch. Snapshot is the streaming-ingest
+// snapshot epoch (0 when ingest is not enabled); Epoch+Snapshot together
+// form the monotone data-version counter result caches sync against.
 type PlanCacheStats struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
 	Invalidations uint64 `json:"invalidations"`
 	Epoch         uint64 `json:"epoch"`
+	Snapshot      uint64 `json:"snapshot_epoch,omitempty"`
 	Entries       int    `json:"entries"`
 }
 

@@ -1,0 +1,427 @@
+package viewcube
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewcube/internal/assembly"
+	"viewcube/internal/ingest"
+)
+
+// IngestOptions configures a SafeEngine's streaming write path.
+type IngestOptions struct {
+	// WALPath, when non-empty, makes acknowledged updates durable in an
+	// append-only write-ahead log at that path. On EnableIngest the segment
+	// is replayed into the engine (torn tails are truncated), so the log
+	// must hold the full delta history since the in-memory engine was built
+	// — pairing a WAL with a DiskDir store that already absorbed the deltas
+	// would double-apply and is rejected.
+	WALPath string
+	// Fsync syncs the WAL after every append. Off, a process crash loses
+	// nothing and a machine crash loses only the un-synced tail.
+	Fsync bool
+	// MaxPending bounds the ingest buffer's distinct dirty cells; appends
+	// that would dirty a new cell beyond it block until the merger drains
+	// (coalescing into an already-dirty cell never blocks). 0 defaults to
+	// 65536; negative means unbounded.
+	MaxPending int
+	// Interval is how long the merger accumulates deltas after the first
+	// dirty cell before folding them into a new snapshot — the freshness /
+	// merge-amortisation trade. 0 defaults to 25ms.
+	Interval time.Duration
+}
+
+// IngestStats reports the streaming write path's counters.
+type IngestStats struct {
+	Appended      uint64 `json:"appended"`       // deltas acknowledged
+	Coalesced     uint64 `json:"coalesced"`      // folded into a dirty cell pre-merge
+	Blocked       uint64 `json:"blocked"`        // appends that hit backpressure
+	PendingCells  int    `json:"pending_cells"`  // dirty cells awaiting merge
+	WALBytes      uint64 `json:"wal_bytes"`      // bytes appended to the WAL
+	WALReplayed   uint64 `json:"wal_replayed"`   // deltas replayed at startup
+	Merges        uint64 `json:"merges"`         // merge cycles run
+	MergedCells   uint64 `json:"merged_cells"`   // dirty cells folded across merges
+	SnapshotEpoch uint64 `json:"snapshot_epoch"` // current published snapshot
+	Published     uint64 `json:"published"`      // snapshots published
+	Live          int    `json:"live"`           // snapshots not yet retired
+	Pinned        int    `json:"pinned"`         // readers on the current snapshot
+	Retired       uint64 `json:"retired"`        // snapshots compacted away
+	LagSeqs       uint64 `json:"lag_seqs"`       // acknowledged but not yet visible
+}
+
+// ingestRuntime is the machinery EnableIngest installs on a SafeEngine: the
+// WAL, the coalescing buffer, the background merger, and the snapshot
+// lifecycle readers pin. The base engine (s.eng) stays the mutable truth,
+// touched only under s.mu's write lock; every published snapshot is an
+// immutable clone derived from it.
+type ingestRuntime struct {
+	s    *SafeEngine
+	opts IngestOptions
+
+	buf *ingest.Buffer
+	wal *ingest.WAL // nil without a WALPath
+	lc  *ingest.Lifecycle[*Engine]
+
+	// appendMu serialises sequence assignment with buffer absorption so no
+	// acknowledged sequence at or below a drain's watermark can be missing
+	// from that drain.
+	appendMu sync.Mutex
+	seqNoWAL uint64        // sequence source when running without a WAL
+	appended atomic.Uint64 // last acknowledged sequence
+	closed   atomic.Bool
+
+	// pubMu guards the publish watermark and serial; pubCond wakes Flush
+	// and ForcePublish waiters.
+	pubMu         sync.Mutex
+	pubCond       *sync.Cond
+	published     uint64 // watermark of the last merge (covers all seqs ≤ it)
+	publishSerial uint64 // bumped only when a new snapshot generation publishes
+	stopped       bool   // merger exited; wake any waiters for good
+
+	flushCh chan struct{} // capacity 1: poke the merger to merge now
+	stop    chan struct{}
+	done    chan struct{}
+
+	replayed    uint64
+	merges      atomic.Uint64
+	mergedCells atomic.Uint64
+}
+
+// EnableIngest switches the engine's write path to streaming ingest:
+// Update/UpdateValue append to a WAL-backed coalescing buffer and return,
+// a background merger folds accumulated deltas into immutable snapshots
+// (exact, by linearity of the Haar P/R operators — DESIGN §16), and every
+// query pins the current snapshot instead of taking the read lock, so reads
+// never block on ingest. Requires the in-memory element store; disk-backed
+// stores would double-apply on WAL replay.
+func (s *SafeEngine) EnableIngest(opts IngestOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ing.Load() != nil {
+		return fmt.Errorf("viewcube: ingest already enabled")
+	}
+	if _, ok := s.eng.st.(*assembly.MemStore); !ok {
+		return fmt.Errorf("viewcube: ingest requires the in-memory element store (no DiskDir)")
+	}
+	if opts.MaxPending == 0 {
+		opts.MaxPending = 1 << 16
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 25 * time.Millisecond
+	}
+	rt := &ingestRuntime{
+		s:       s,
+		opts:    opts,
+		buf:     ingest.NewBuffer(opts.MaxPending),
+		flushCh: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	rt.pubCond = sync.NewCond(&rt.pubMu)
+
+	if opts.WALPath != "" {
+		wal, err := ingest.OpenWAL(opts.WALPath, ingest.WALOptions{Fsync: opts.Fsync}, func(d ingest.Delta) error {
+			if len(d.Vals) != 1 {
+				return fmt.Errorf("delta width %d on a scalar cube", len(d.Vals))
+			}
+			rt.replayed++
+			return s.eng.applyDeltaRaw(d.Vals[0], d.Idx)
+		})
+		if err != nil {
+			return err
+		}
+		rt.wal = wal
+		rt.appended.Store(wal.LastSeq())
+		rt.published = wal.LastSeq()
+		if rt.replayed > 0 {
+			s.eng.rq.Reset()
+			s.eng.met.ingest.WALReplayed.Add(rt.replayed)
+		}
+	}
+
+	clone, err := cloneStore(s.eng.st)
+	if err != nil {
+		if rt.wal != nil {
+			rt.wal.Close()
+		}
+		return err
+	}
+	met := s.eng.met.ingest
+	rt.lc = ingest.NewLifecycle(s.eng.forStore(clone), func(uint64) { met.Retired.Inc() })
+	met.Published.Inc()
+	met.SnapshotEpoch.Set(int64(rt.lc.Current()))
+
+	go rt.loop()
+	s.ing.Store(rt)
+	return nil
+}
+
+// DisableIngest flushes every acknowledged delta into a final snapshot,
+// stops the merger, closes the WAL, and returns the engine to the locked
+// write path. In-flight appends racing the shutdown fail with a closed
+// error.
+func (s *SafeEngine) DisableIngest() error {
+	rt := s.ing.Swap(nil)
+	if rt == nil {
+		return nil
+	}
+	rt.closed.Store(true)
+	rt.buf.Close()
+	close(rt.stop)
+	<-rt.done
+	if rt.wal != nil {
+		return rt.wal.Close()
+	}
+	return nil
+}
+
+// IngestEnabled reports whether the streaming write path is active.
+func (s *SafeEngine) IngestEnabled() bool { return s.ing.Load() != nil }
+
+// IngestStats snapshots the streaming write path's counters; the zero value
+// is returned when ingest is not enabled.
+func (s *SafeEngine) IngestStats() IngestStats {
+	rt := s.ing.Load()
+	if rt == nil {
+		return IngestStats{}
+	}
+	bs := rt.buf.Stats()
+	ls := rt.lc.Stats()
+	st := IngestStats{
+		Appended:      rt.appended.Load(),
+		Coalesced:     bs.Coalesced,
+		Blocked:       bs.Blocked,
+		PendingCells:  bs.Pending,
+		WALReplayed:   rt.replayed,
+		Merges:        rt.merges.Load(),
+		MergedCells:   rt.mergedCells.Load(),
+		SnapshotEpoch: ls.Epoch,
+		Published:     ls.Published,
+		Live:          ls.Live,
+		Pinned:        ls.Pinned,
+		Retired:       ls.Retired,
+	}
+	if rt.wal != nil {
+		st.WALBytes = rt.wal.Bytes()
+	}
+	rt.pubMu.Lock()
+	pub := rt.published
+	rt.pubMu.Unlock()
+	if app := st.Appended; app > pub {
+		st.LagSeqs = app - pub
+	}
+	return st
+}
+
+// Flush blocks until every update acknowledged before the call is folded
+// into a published snapshot — the read-your-writes barrier for tests and
+// for clients that need immediate visibility. A no-op when ingest is off
+// (locked writes are immediately visible).
+func (s *SafeEngine) Flush() error {
+	rt := s.ing.Load()
+	if rt == nil {
+		return nil
+	}
+	rt.waitPublished(rt.appended.Load())
+	return nil
+}
+
+// applyDeltaRaw is the merger's per-delta maintenance: incremental update
+// of every materialised element plus the raw cube, with no cache
+// invalidation — the merger invalidates the generation-local caches once
+// per batch, and plan geometry is value-independent so cached plans stay
+// warm across merges.
+func (e *Engine) applyDeltaRaw(delta float64, idx []int) error {
+	if err := assembly.UpdateCell(e.cube.space, e.st, delta, idx); err != nil {
+		return err
+	}
+	if delta == 0 {
+		return nil
+	}
+	e.cube.data.Add(delta, idx...)
+	e.met.updates.Inc()
+	return nil
+}
+
+// ingestAppend is SafeEngine.Update's streaming path: validate lock-free,
+// assign a sequence (through the WAL when configured), absorb into the
+// coalescing buffer, return. Visibility comes later, at the next publish;
+// Flush() waits for it.
+func (rt *ingestRuntime) ingestAppend(delta float64, idx []int) error {
+	s := rt.s
+	// UpdateCell with a zero delta validates the index against the space and
+	// touches nothing, so this needs no lock even while the merger runs.
+	if err := assembly.UpdateCell(s.eng.cube.space, s.eng.st, 0, idx); err != nil {
+		return err
+	}
+	if delta == 0 {
+		return nil
+	}
+	d := ingest.Delta{Idx: idx, Vals: []float64{delta}}
+	rt.appendMu.Lock()
+	if rt.closed.Load() {
+		rt.appendMu.Unlock()
+		return ingest.ErrClosed
+	}
+	if rt.wal != nil {
+		seq, err := rt.wal.Append(d)
+		if err != nil {
+			rt.appendMu.Unlock()
+			return err
+		}
+		d.Seq = seq
+	} else {
+		rt.seqNoWAL++
+		d.Seq = rt.seqNoWAL
+	}
+	rt.appended.Store(d.Seq)
+	err := rt.buf.Add(d)
+	rt.appendMu.Unlock()
+	if err != nil {
+		return err
+	}
+	met := s.eng.met.ingest
+	met.Appended.Inc()
+	if rt.wal != nil {
+		// Bytes is read under appendMu-free Stats; counter set is fine since
+		// WAL appends are appendMu-serialised.
+		met.WALBytes.Add(uint64(len(idx)*4 + 8*3 + 21)) // approximate record size
+	}
+	return nil
+}
+
+// loop is the background merger: wait for dirt, accumulate for Interval
+// (short-circuited by Flush/ForcePublish pokes and shutdown), fold, publish.
+func (rt *ingestRuntime) loop() {
+	defer close(rt.done)
+	defer func() {
+		rt.pubMu.Lock()
+		rt.stopped = true
+		rt.pubCond.Broadcast()
+		rt.pubMu.Unlock()
+	}()
+	for {
+		select {
+		case <-rt.stop:
+			rt.mergeOnce(false)
+			return
+		case <-rt.flushCh:
+			rt.mergeOnce(true)
+		case <-rt.buf.Dirty():
+			t := time.NewTimer(rt.opts.Interval)
+			select {
+			case <-t.C:
+				rt.mergeOnce(false)
+			case <-rt.flushCh:
+				t.Stop()
+				rt.mergeOnce(true)
+			case <-rt.stop:
+				t.Stop()
+				rt.mergeOnce(false)
+				return
+			}
+		}
+	}
+}
+
+// mergeOnce drains the buffer and, under the engine write lock, folds the
+// batch into the base engine, clones the store, and publishes the clone as
+// the next snapshot. Publishing under the write lock serialises snapshots
+// with every other mutation (Optimize, Reconfigure, reselection), so a
+// published generation always reflects a prefix-consistent engine state.
+// With an empty batch it normally just advances the watermark; republish
+// forces a fresh generation anyway (ForcePublish after a reconfigure).
+func (rt *ingestRuntime) mergeOnce(republish bool) {
+	s := rt.s
+	met := s.eng.met.ingest
+	start := time.Now()
+
+	s.mu.Lock()
+	batch := rt.buf.Drain()
+	if len(batch.Deltas) == 0 && !republish {
+		s.mu.Unlock()
+		rt.pubMu.Lock()
+		if batch.Watermark > rt.published {
+			rt.published = batch.Watermark
+		}
+		rt.pubCond.Broadcast()
+		rt.pubMu.Unlock()
+		return
+	}
+	for _, d := range batch.Deltas {
+		// Validated at append time; the only failure mode left is a bug.
+		if err := s.eng.applyDeltaRaw(d.Vals[0], d.Idx); err != nil {
+			panic(fmt.Sprintf("viewcube: ingest merge applying validated delta: %v", err))
+		}
+	}
+	if len(batch.Deltas) > 0 {
+		s.eng.rq.Reset()
+	}
+	clone, err := cloneStore(s.eng.st)
+	if err != nil {
+		// The store vanished an element mid-clone under the write lock: a
+		// bug, not an operational error.
+		s.mu.Unlock()
+		panic(fmt.Sprintf("viewcube: ingest snapshot clone: %v", err))
+	}
+	gen := s.eng.forStore(clone)
+	rt.pubMu.Lock()
+	epoch := rt.lc.Publish(gen)
+	if batch.Watermark > rt.published {
+		rt.published = batch.Watermark
+	}
+	rt.publishSerial++
+	rt.pubCond.Broadcast()
+	rt.pubMu.Unlock()
+	s.mu.Unlock()
+
+	rt.merges.Add(1)
+	rt.mergedCells.Add(uint64(len(batch.Deltas)))
+	met.Merges.Inc()
+	met.MergedCells.Add(uint64(len(batch.Deltas)))
+	met.Published.Inc()
+	met.SnapshotEpoch.Set(int64(epoch))
+	met.PendingCells.Set(int64(rt.buf.Pending()))
+	rt.pubMu.Lock()
+	pub := rt.published
+	rt.pubMu.Unlock()
+	if app := rt.appended.Load(); app > pub {
+		met.LagSeqs.Set(int64(app - pub))
+	} else {
+		met.LagSeqs.Set(0)
+	}
+	met.MergeSeconds.Observe(time.Since(start).Seconds())
+}
+
+// waitPublished blocks until the publish watermark reaches target,
+// repeatedly poking the merger so the wait is bounded by merge time rather
+// than the accumulation interval.
+func (rt *ingestRuntime) waitPublished(target uint64) {
+	rt.pubMu.Lock()
+	for rt.published < target && !rt.stopped {
+		select {
+		case rt.flushCh <- struct{}{}:
+		default:
+		}
+		rt.pubCond.Wait()
+	}
+	rt.pubMu.Unlock()
+}
+
+// forcePublish blocks until a snapshot generation published after the call
+// — the barrier mutators use so readers stop pinning a pre-mutation
+// generation. Call without holding s.mu (the merger needs it to publish).
+func (rt *ingestRuntime) forcePublish() {
+	rt.pubMu.Lock()
+	serial := rt.publishSerial
+	for rt.publishSerial == serial && !rt.stopped {
+		select {
+		case rt.flushCh <- struct{}{}:
+		default:
+		}
+		rt.pubCond.Wait()
+	}
+	rt.pubMu.Unlock()
+}

@@ -84,7 +84,9 @@ type Engine struct {
 	pl    *plan.Planner
 	opts  Options
 
-	rec recorder
+	// rec is a pointer so snapshot generations derived by ForStore share one
+	// workload profile with the base engine.
+	rec *recorder
 
 	met *obs.AdaptiveMetrics
 }
@@ -105,6 +107,7 @@ func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error
 		store: st,
 		inner: assembly.NewEngine(space, st),
 		opts:  opts,
+		rec:   &recorder{},
 		met:   obs.NewAdaptiveMetrics(nil),
 	}
 	e.pl = plan.NewPlanner(e.inner)
@@ -112,6 +115,25 @@ func New(space *velement.Space, st assembly.Store, opts Options) (*Engine, error
 	e.rec.stats.StorageCells = space.SetVolume(els)
 	e.rec.stats.CurrentElements = len(els)
 	return e, nil
+}
+
+// ForStore derives a read-only sibling engine over st — an immutable
+// snapshot clone of this engine's store. The derived engine shares the
+// workload recorder, metrics and (epoch-pinned) planner cache, so queries
+// against a pinned snapshot feed the same adaptive profile and warm the
+// same plans as base queries; only the store and the assembly executor are
+// generation-local. Callers must not Reconfigure the derived engine.
+func (e *Engine) ForStore(st assembly.Store) *Engine {
+	inner := assembly.NewEngine(e.space, st)
+	return &Engine{
+		space: e.space,
+		store: st,
+		inner: inner,
+		pl:    e.pl.ForSource(inner),
+		opts:  e.opts,
+		rec:   e.rec,
+		met:   e.met,
+	}
 }
 
 // Assembler returns the inner assembly engine, so callers can attach
@@ -161,7 +183,7 @@ func (e *Engine) Query(x *obs.ExecCtx, r freq.Rect) (*ndarray.Array, error) {
 
 // observeQuery folds one served query into the recorder.
 func (e *Engine) observeQuery(r freq.Rect, cost int) {
-	rec := &e.rec
+	rec := e.rec
 	rec.mu.Lock()
 	rec.counts[r.Key()]++
 	rec.stats.Queries++

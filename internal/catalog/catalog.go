@@ -112,6 +112,31 @@ type CubeHandle interface {
 	Metrics() *viewcube.Metrics
 }
 
+// Ingester is the optional streaming-write face of a CubeHandle: handles
+// whose engine has a batched ingest path (WAL-buffered deltas folded in by
+// a background merger) implement it. The serving tier type-asserts — a
+// handle without it falls back to the synchronous UpdateValue path.
+type Ingester interface {
+	// IngestEnabled reports whether the streaming path is active; when
+	// false IngestValue degrades to the locked write path.
+	IngestEnabled() bool
+	// IngestValue acknowledges one delta addressed by dimension values;
+	// visibility comes at the next merge.
+	IngestValue(delta float64, values map[string]string) error
+	// FlushIngest blocks until every previously acknowledged delta is
+	// queryable.
+	FlushIngest() error
+	// IngestStats snapshots the streaming path's counters.
+	IngestStats() viewcube.IngestStats
+}
+
+// IngestCloser is the lifecycle hook the registry uses to stop a handle's
+// ingest machinery (merger goroutine, WAL handle) when the handle leaves
+// service via Unload or is replaced by Rebuild.
+type IngestCloser interface {
+	CloseIngest() error
+}
+
 // Builder constructs (or reconstructs) a cube handle. The registry keeps
 // the builder so POST /cubes/{name}/load and /rebuild can re-run it.
 type Builder func() (CubeHandle, error)
@@ -477,6 +502,9 @@ func (r *Registry) Unload(name string) error {
 	for e.refs > 0 {
 		e.cond.Wait()
 	}
+	if c, ok := e.handle.(IngestCloser); ok {
+		c.CloseIngest() // stop the merger and WAL with the cube they feed
+	}
 	e.handle = nil
 	e.state = StateUnloaded
 	e.rcache.Invalidate() // free cached answers with the cube they answer for
@@ -553,10 +581,17 @@ func (r *Registry) Rebuild(name string) error {
 	if verr != nil {
 		return verr
 	}
+	old := e.handle
 	e.views = views
 	e.handle = h
 	e.epoch++
 	e.rcache.Invalidate() // new generation: cached answers are stale
+	if c, ok := old.(IngestCloser); ok {
+		// The old generation keeps serving in-flight leases (its readers
+		// fall back to the locked path once ingest stops), but its merger
+		// and WAL must not outlive the swap.
+		c.CloseIngest()
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package catalog
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"viewcube"
 )
@@ -92,6 +93,32 @@ func (h *safeHandle) PlanCacheStats() viewcube.PlanCacheStats { return h.eng.Pla
 
 func (h *safeHandle) Metrics() *viewcube.Metrics { return h.eng.Metrics() }
 
+// EnableIngest switches the handle's SafeEngine to the streaming write
+// path; see SafeEngine.EnableIngest.
+func (h *safeHandle) EnableIngest(opts viewcube.IngestOptions) error {
+	return h.eng.EnableIngest(opts)
+}
+
+func (h *safeHandle) IngestEnabled() bool { return h.eng.IngestEnabled() }
+
+// IngestValue delegates to UpdateValue, which routes through the ingest
+// buffer whenever the streaming path is enabled and degrades to the locked
+// write otherwise.
+func (h *safeHandle) IngestValue(delta float64, values map[string]string) error {
+	return h.eng.UpdateValue(delta, values)
+}
+
+func (h *safeHandle) FlushIngest() error { return h.eng.Flush() }
+
+func (h *safeHandle) IngestStats() viewcube.IngestStats { return h.eng.IngestStats() }
+
+func (h *safeHandle) CloseIngest() error {
+	if !h.eng.IngestEnabled() {
+		return nil
+	}
+	return h.eng.DisableIngest()
+}
+
 // NewAggHandle wraps a measure-vector AggEngine as a CubeHandle. AggEngine
 // is not internally synchronised, so the handle serialises every call on
 // one mutex — correct first; the scalar SafeEngine path stays the
@@ -103,6 +130,7 @@ func NewAggHandle(eng *viewcube.AggEngine) CubeHandle {
 type aggHandle struct {
 	mu  sync.Mutex
 	eng *viewcube.AggEngine
+	ing atomic.Pointer[viewcube.AggIngest]
 }
 
 func (h *aggHandle) Info() Info {
@@ -155,6 +183,9 @@ func (h *aggHandle) TraceRangeSum(ranges map[string]viewcube.ValueRange) (float6
 }
 
 func (h *aggHandle) UpdateValue(delta float64, values map[string]string) error {
+	if ai := h.ing.Load(); ai != nil {
+		return ai.IngestValue(delta, values)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.eng.UpdateValue(delta, values)
@@ -190,12 +221,61 @@ func (h *aggHandle) Stats() Stats {
 
 func (h *aggHandle) PlanCacheStats() viewcube.PlanCacheStats {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.eng.SumEngine().PlanCacheStats()
+	st := h.eng.SumEngine().PlanCacheStats()
+	h.mu.Unlock()
+	if ai := h.ing.Load(); ai != nil {
+		st.Snapshot = ai.Batches()
+	}
+	return st
 }
 
 func (h *aggHandle) Metrics() *viewcube.Metrics {
 	return h.eng.SumEngine().Metrics()
+}
+
+// EnableIngest starts the batched streaming write path over the vector
+// engine: observations coalesce in a buffer and a background merger folds
+// them in under the handle's own mutex, one invalidation per batch.
+func (h *aggHandle) EnableIngest(opts viewcube.IngestOptions) error {
+	if h.ing.Load() != nil {
+		return fmt.Errorf("catalog: ingest already enabled")
+	}
+	ai, err := viewcube.NewAggIngest(h.eng, &h.mu, opts)
+	if err != nil {
+		return err
+	}
+	if !h.ing.CompareAndSwap(nil, ai) {
+		ai.Close()
+		return fmt.Errorf("catalog: ingest already enabled")
+	}
+	return nil
+}
+
+func (h *aggHandle) IngestEnabled() bool { return h.ing.Load() != nil }
+
+func (h *aggHandle) IngestValue(delta float64, values map[string]string) error {
+	return h.UpdateValue(delta, values)
+}
+
+func (h *aggHandle) FlushIngest() error {
+	if ai := h.ing.Load(); ai != nil {
+		return ai.Flush()
+	}
+	return nil
+}
+
+func (h *aggHandle) IngestStats() viewcube.IngestStats {
+	if ai := h.ing.Load(); ai != nil {
+		return ai.Stats()
+	}
+	return viewcube.IngestStats{}
+}
+
+func (h *aggHandle) CloseIngest() error {
+	if ai := h.ing.Swap(nil); ai != nil {
+		return ai.Close()
+	}
+	return nil
 }
 
 // NewPartitionedHandle wraps a sharded PartitionedEngine as a CubeHandle.

@@ -96,11 +96,15 @@ func rangeKey(resolved map[string]viewcube.ValueRange) string {
 	return b.String()
 }
 
-// sync aligns the cache's epoch with the handle's plan-cache epoch, so any
-// in-generation mutation (update, optimize, reconfigure) that already
-// invalidated plans invalidates answers too.
+// sync aligns the cache's epoch with the handle's combined data version:
+// the plan-cache epoch (bumped by update/optimize/reconfigure under the
+// engine's write lock) plus the ingest snapshot epoch (bumped by every
+// published merge). Both counters are monotone, so their sum is too — any
+// in-generation mutation, locked or streamed, invalidates answers without
+// the write path knowing this cache exists.
 func (l *Lease) sync() {
-	l.cache.SyncUpstream(l.Handle.PlanCacheStats().Epoch)
+	st := l.Handle.PlanCacheStats()
+	l.cache.SyncUpstream(st.Epoch + st.Snapshot)
 }
 
 // Cached reports whether this lease serves through a result cache.

@@ -88,8 +88,11 @@ type Options struct {
 	// internal/rescache and identical concurrent queries coalesce onto one
 	// scatter. The Size field is ignored (the coordinator installs its own
 	// answer sizer). Degraded partial answers are never stored, and traced
-	// queries bypass the cache. Invalidation is explicit via
-	// InvalidateResults — a coordinator cannot observe shard-side updates.
+	// queries bypass the cache. Invalidation is twofold: explicit via
+	// InvalidateResults (reshards, reloads), and automatic via the epoch
+	// piggyback — every complete answer carries each shard's combined
+	// plan-cache + ingest snapshot epoch (wire v3), and a change in the sum
+	// invalidates cached answers on the next query.
 	Cache *rescache.Options
 }
 
@@ -568,6 +571,20 @@ func (c *Coordinator) scatter(ctx context.Context, allowPartial bool, tr *obs.Tr
 	c.logQuery(req, tr, sampled, outs, part, err, dur, rcHit)
 	if err != nil {
 		return nil, nil, err
+	}
+	if part == nil {
+		// Epoch piggyback: a complete answer carries every shard's combined
+		// data version (v3 peers; older peers contribute 0, stably). The sum
+		// is monotone per shard, so feeding it to SyncUpstream invalidates
+		// coordinator-cached answers exactly when some shard's state moved —
+		// including streamed ingest merges the coordinator never sees as
+		// requests. Degraded answers skip the sync: a missing shard's epoch
+		// is unknown and summing without it would oscillate.
+		var epoch uint64
+		for _, r := range resps {
+			epoch += r.Epoch
+		}
+		c.cache.SyncUpstream(epoch)
 	}
 	return resps, part, nil
 }

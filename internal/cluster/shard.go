@@ -125,6 +125,13 @@ func (s *ShardEngine) Execute(req *Request) *Response {
 	if resp.Err != "" {
 		resp.Spans = nil // errors never carry spans on the wire
 		s.met.ServedErrors.Inc()
+	} else {
+		// Piggyback the shard's combined data version: plan-cache epoch
+		// (locked writes, optimize, reconfigure) plus ingest snapshot epoch
+		// (streamed merges). Both are monotone, so the sum is too — the
+		// coordinator folds it into its result cache's upstream version.
+		st := s.eng.PlanCacheStats()
+		resp.Epoch = st.Epoch + st.Snapshot
 	}
 	return resp
 }

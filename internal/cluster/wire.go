@@ -43,14 +43,18 @@ import (
 //
 // Version history. v1 carries plain requests/responses. v2 adds distributed
 // tracing: a flags byte after the request kind (bit 0 = "record and return
-// a trace"), and a serialized span subtree on responses (flags bit 1). The
-// encoder picks the lowest version that can express a message — traceless
-// traffic is byte-identical to v1, so v1 peers interoperate until a traced
-// request actually reaches them (trace fields are simply never sent their
-// way; a v1 coordinator cannot ask for traces, and a v2 coordinator only
-// sends v2 frames for queries that trace).
+// a trace"), and a serialized span subtree on responses (flags bit 1). v3
+// adds epoch piggybacking: a shard's combined data version (plan-cache
+// epoch + ingest snapshot epoch) rides on successful responses (flags bit
+// 2, a trailing uvarint after any spans), so coordinators learn about
+// shard-side streamed writes without a probe round-trip. The encoder picks
+// the lowest version that can express a message — traceless, epochless
+// traffic is byte-identical to v1, so older peers interoperate until a
+// field they don't speak actually reaches them (a v2 decoder never sees an
+// epoch: shards only attach one when the epoch is non-zero, and the flag
+// rejects cleanly on a strict v2 peer rather than corrupting the frame).
 const (
-	Version = 2
+	Version = 3
 
 	// minVersion is the oldest peer version this decoder still accepts.
 	minVersion = 1
@@ -69,10 +73,12 @@ const (
 	// depth (tens of levels at most).
 	maxSpanDepth = 64
 
-	reqFlagTrace   = 1 << 0
-	respFlagErr    = 1 << 0
-	respFlagSpans  = 1 << 1
-	respFlagsKnown = respFlagErr | respFlagSpans
+	reqFlagTrace     = 1 << 0
+	respFlagErr      = 1 << 0
+	respFlagSpans    = 1 << 1
+	respFlagEpoch    = 1 << 2
+	respFlagsKnownV2 = respFlagErr | respFlagSpans
+	respFlagsKnown   = respFlagErr | respFlagSpans | respFlagEpoch
 )
 
 var magic = [2]byte{'v', 'c'}
@@ -142,6 +148,13 @@ type Response struct {
 	// the coordinator grafts under its per-shard span. Responses carrying
 	// spans encode as wire v2; error responses never carry spans.
 	Spans *obs.SpanNode
+	// Epoch is the shard's combined data version (plan-cache epoch plus
+	// ingest snapshot epoch) at serving time. Zero means "not reported";
+	// non-zero epochs encode as wire v3 and error responses never carry
+	// one. Coordinators sum shard epochs into their result cache's
+	// upstream version, so a streamed write on any shard invalidates
+	// coordinator-cached answers at the next fan-out.
+	Epoch uint64
 }
 
 // --- encoding ---
@@ -220,8 +233,9 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 
 // AppendResponse appends the response's frame encoding to dst. Group keys
 // are written in sorted order, so equal responses encode to equal bytes.
-// Span-free responses (and error responses, which never carry spans) encode
-// as wire v1; responses with a span subtree encode as v2.
+// Span-free, epochless responses (and error responses, which carry
+// neither) encode as wire v1; responses with a span subtree encode as v2
+// and responses with a non-zero epoch as v3.
 func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	if !r.Kind.valid() {
 		return nil, fmt.Errorf("cluster: cannot encode response of invalid kind %d", r.Kind)
@@ -241,6 +255,13 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	} else {
 		spans = nil
 	}
+	epoch := r.Epoch
+	if epoch != 0 && r.Err == "" {
+		flags |= respFlagEpoch
+		version = 3
+	} else {
+		epoch = 0
+	}
 	p = append(p, flags)
 	if r.Err != "" {
 		p = appendString(p, r.Err)
@@ -259,6 +280,9 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	}
 	if spans != nil {
 		p = appendSpanNode(p, spans)
+	}
+	if epoch != 0 {
+		p = binary.AppendUvarint(p, epoch)
 	}
 	return appendFrame(dst, version, frameResponse, p)
 }
@@ -508,15 +532,18 @@ func DecodeResponse(b []byte) (*Response, error) {
 		return nil, err
 	}
 	known := byte(respFlagErr)
-	if version >= 2 {
+	switch {
+	case version >= 3:
 		known = respFlagsKnown
+	case version == 2:
+		known = respFlagsKnownV2
 	}
 	if flags&^known != 0 {
 		return nil, fmt.Errorf("cluster: unknown response flags %#x", flags)
 	}
 	if flags&respFlagErr != 0 {
-		if flags&respFlagSpans != 0 {
-			return nil, fmt.Errorf("cluster: error response carrying spans")
+		if flags&(respFlagSpans|respFlagEpoch) != 0 {
+			return nil, fmt.Errorf("cluster: error response carrying spans or epoch")
 		}
 		if r.Err, err = d.string(); err != nil {
 			return nil, err
@@ -554,6 +581,14 @@ func DecodeResponse(b []byte) (*Response, error) {
 		total := 0
 		if r.Spans, err = d.spanNode(&total, 1); err != nil {
 			return nil, err
+		}
+	}
+	if flags&respFlagEpoch != 0 {
+		if r.Epoch, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if r.Epoch == 0 {
+			return nil, fmt.Errorf("cluster: epoch flag set with zero epoch")
 		}
 	}
 	return r, d.finish()

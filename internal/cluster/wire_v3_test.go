@@ -1,0 +1,97 @@
+package cluster
+
+// Wire v3 tests: epoch piggybacking on responses. The version-negotiation
+// contract extends v2's — epochless traffic encodes exactly as before, so
+// older peers interoperate until a non-zero epoch actually reaches them.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"viewcube/internal/obs"
+)
+
+// TestEpochlessTrafficStaysDownlevel pins the interop contract: a response
+// with Epoch zero encodes exactly as it did before v3 existed (v1 plain,
+// v2 with spans), and only a non-zero epoch raises the version.
+func TestEpochlessTrafficStaysDownlevel(t *testing.T) {
+	plain, err := AppendResponse(nil, &Response{ID: 3, Kind: KindTotal, Sum: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[2] != 1 {
+		t.Fatalf("epochless response encoded as version %d, want 1", plain[2])
+	}
+	withEpoch, err := AppendResponse(nil, &Response{ID: 3, Kind: KindTotal, Sum: 7, Epoch: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEpoch[2] != 3 {
+		t.Fatalf("epoch-bearing response encoded as version %d, want 3", withEpoch[2])
+	}
+
+	// An error response never carries an epoch: the field is dropped and
+	// the frame is byte-identical to the same error without one.
+	plainErr, err := AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Err: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochErr, err := AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Err: "boom", Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainErr, epochErr) {
+		t.Fatal("error response with epoch did not encode identically to one without")
+	}
+}
+
+// TestEpochResponseRoundTrip: the epoch survives the codec alone and
+// alongside spans and groups.
+func TestEpochResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{ID: 1, Kind: KindTotal, Sum: 12.5, Epoch: 1},
+		{ID: 2, Kind: KindGroupBy, Groups: map[string]float64{"ale": 3, "ipa": 4}, Epoch: 1<<63 + 17},
+		{ID: 3, Kind: KindRangeSum, Sum: -2,
+			Spans: &obs.SpanNode{Name: "range", DurationUS: 5, Attrs: map[string]int64{"ops": 9}},
+			Epoch: 7},
+	}
+	for _, want := range resps {
+		b, err := AppendResponse(nil, want)
+		if err != nil {
+			t.Fatalf("encoding %+v: %v", want, err)
+		}
+		if b[2] != 3 {
+			t.Fatalf("response with epoch %d encoded as version %d, want 3", want.Epoch, b[2])
+		}
+		got, err := DecodeResponse(b)
+		if err != nil {
+			t.Fatalf("decoding %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// TestEpochDecodeHardening: the strict decoder rejects an epoch flag with a
+// zero epoch, the flag on a v2 frame, and an error frame claiming one.
+func TestEpochDecodeHardening(t *testing.T) {
+	good, err := AppendResponse(nil, &Response{ID: 1, Kind: KindTotal, Sum: 1, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade the version byte: the epoch flag must be unknown to v2.
+	v2 := bytes.Clone(good)
+	v2[2] = 2
+	if _, err := DecodeResponse(v2); err == nil {
+		t.Fatal("v2 frame carrying the epoch flag decoded without error")
+	}
+	// Zero the epoch uvarint (last payload byte is the uvarint 1): a set
+	// flag with epoch zero is a protocol violation, not a default.
+	zeroed := bytes.Clone(good)
+	zeroed[len(zeroed)-1] = 0
+	if _, err := DecodeResponse(zeroed); err == nil {
+		t.Fatal("epoch flag with zero epoch decoded without error")
+	}
+}

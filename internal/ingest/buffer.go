@@ -1,0 +1,158 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Buffer.Add after Close.
+var ErrClosed = errors.New("ingest: buffer closed")
+
+// Buffer is a bounded coalescing accumulator of cell deltas — the in-memory
+// sparse delta cube between the WAL and the merger. Deltas to the same cell
+// coalesce (component-wise vector sum); distinct dirty cells are bounded by
+// maxCells, beyond which Add blocks (backpressure) until a drain makes room.
+// Coalescing into an already-dirty cell never blocks, so a hot-cell stream
+// cannot deadlock against a stalled merger.
+type Buffer struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	cells    map[string]*bufCell
+	order    []string // first-touch order, for deterministic drains
+	maxCells int
+	maxSeq   uint64 // highest seq absorbed (the next drain's watermark)
+	closed   bool
+
+	dirty chan struct{} // signalled (cap 1) on empty→non-empty
+
+	added     uint64
+	coalesced uint64
+	blocked   uint64
+}
+
+type bufCell struct {
+	idx  []int
+	vals []float64
+}
+
+// Batch is one drain: the coalesced deltas in first-touch order, plus the
+// watermark — the highest sequence number absorbed. Because a drain takes
+// everything, a snapshot built from this batch (on top of all earlier
+// batches) reflects every acknowledged write with Seq ≤ Watermark.
+type Batch struct {
+	Deltas    []Delta
+	Watermark uint64
+}
+
+// BufferStats is a point-in-time counter snapshot.
+type BufferStats struct {
+	Added     uint64 // deltas absorbed
+	Coalesced uint64 // absorbed into an already-dirty cell
+	Blocked   uint64 // Add calls that hit backpressure
+	Pending   int    // dirty cells right now
+}
+
+// NewBuffer returns a buffer bounded at maxCells distinct dirty cells
+// (values ≤ 0 mean unbounded).
+func NewBuffer(maxCells int) *Buffer {
+	b := &Buffer{
+		cells:    make(map[string]*bufCell),
+		maxCells: maxCells,
+		dirty:    make(chan struct{}, 1),
+	}
+	b.notFull = sync.NewCond(&b.mu)
+	return b
+}
+
+// Add absorbs one delta, coalescing by cell. It blocks only when the delta
+// dirties a new cell and the buffer is at capacity. The caller's slices are
+// not retained.
+func (b *Buffer) Add(d Delta) error {
+	key := cellKey(d.Idx)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return ErrClosed
+		}
+		c, ok := b.cells[key]
+		if ok {
+			for i, v := range d.Vals {
+				c.vals[i] += v
+			}
+			b.coalesced++
+			b.absorbed(d.Seq)
+			return nil
+		}
+		if b.maxCells <= 0 || len(b.cells) < b.maxCells {
+			d = d.clone()
+			b.cells[key] = &bufCell{idx: d.Idx, vals: d.Vals}
+			b.order = append(b.order, key)
+			b.absorbed(d.Seq)
+			return nil
+		}
+		b.blocked++
+		b.notFull.Wait()
+	}
+}
+
+// absorbed updates counters and pokes the dirty channel. Caller holds mu.
+func (b *Buffer) absorbed(seq uint64) {
+	b.added++
+	if seq > b.maxSeq {
+		b.maxSeq = seq
+	}
+	select {
+	case b.dirty <- struct{}{}:
+	default:
+	}
+}
+
+// Drain removes and returns everything: all coalesced deltas in first-touch
+// order and the watermark. Taking the whole buffer is what makes the
+// watermark sound — no acknowledged seq at or below it can still be pending.
+func (b *Buffer) Drain() Batch {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	batch := Batch{Watermark: b.maxSeq}
+	if len(b.order) == 0 {
+		return batch
+	}
+	batch.Deltas = make([]Delta, 0, len(b.order))
+	for _, key := range b.order {
+		c := b.cells[key]
+		batch.Deltas = append(batch.Deltas, Delta{Idx: c.idx, Vals: c.vals})
+	}
+	b.cells = make(map[string]*bufCell)
+	b.order = nil
+	b.notFull.Broadcast()
+	return batch
+}
+
+// Dirty returns a channel that receives one token when the buffer goes from
+// empty to non-empty (and at most one token is ever buffered) — the merge
+// loop's wakeup.
+func (b *Buffer) Dirty() <-chan struct{} { return b.dirty }
+
+// Pending reports the number of dirty cells.
+func (b *Buffer) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cells)
+}
+
+// Stats snapshots the buffer counters.
+func (b *Buffer) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BufferStats{Added: b.added, Coalesced: b.coalesced, Blocked: b.blocked, Pending: len(b.cells)}
+}
+
+// Close fails all current and future Adds with ErrClosed. Pending cells stay
+// drainable so shutdown can flush.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+}

@@ -234,6 +234,46 @@ func (m *ClusterMetrics) ObserveQuery(kind string, seconds float64) {
 	m.QueryDuration[kind].Observe(seconds)
 }
 
+// IngestMetrics instruments the streaming-ingest write path: WAL appends,
+// delta coalescing, background merges and the snapshot lifecycle. LagSeqs
+// (appended minus published watermark) is the end-to-end freshness signal:
+// a reader pinning the current snapshot sees every write except the lagging
+// tail.
+type IngestMetrics struct {
+	Appended      *Counter // deltas acknowledged into the WAL/buffer
+	Coalesced     *Counter // deltas folded into an already-dirty cell
+	Backpressure  *Counter // appends that blocked on the dirty-cell bound
+	WALBytes      *Counter // bytes appended to the write-ahead log
+	WALReplayed   *Counter // deltas re-applied from the WAL at startup
+	Merges        *Counter // background merge cycles run
+	MergedCells   *Counter // distinct dirty cells folded across merges
+	Published     *Counter // snapshots published
+	Retired       *Counter // snapshots fully retired (memory reclaimed)
+	PendingCells  *Gauge   // dirty cells awaiting the next merge
+	SnapshotEpoch *Gauge   // epoch of the current published snapshot
+	LagSeqs       *Gauge   // acknowledged deltas not yet visible to readers
+	MergeSeconds  *Histogram
+}
+
+// NewIngestMetrics registers the ingest instrument set.
+func NewIngestMetrics(r *Registry) *IngestMetrics {
+	return &IngestMetrics{
+		Appended:      r.Counter("viewcube_ingest_appended_total", "Deltas acknowledged into the ingest WAL and buffer."),
+		Coalesced:     r.Counter("viewcube_ingest_coalesced_total", "Deltas coalesced into an already-dirty cell before merging."),
+		Backpressure:  r.Counter("viewcube_ingest_backpressure_total", "Ingest appends that blocked on the dirty-cell bound."),
+		WALBytes:      r.Counter("viewcube_ingest_wal_bytes_total", "Bytes appended to the ingest write-ahead log."),
+		WALReplayed:   r.Counter("viewcube_ingest_wal_replayed_total", "Deltas re-applied from the WAL during crash recovery."),
+		Merges:        r.Counter("viewcube_ingest_merges_total", "Background merge cycles that folded deltas into a snapshot."),
+		MergedCells:   r.Counter("viewcube_ingest_merged_cells_total", "Distinct dirty cells folded into snapshots across merges."),
+		Published:     r.Counter("viewcube_ingest_snapshots_published_total", "Immutable snapshots published by the merger."),
+		Retired:       r.Counter("viewcube_ingest_snapshots_retired_total", "Snapshots retired after their last reader released them."),
+		PendingCells:  r.Gauge("viewcube_ingest_pending_cells", "Dirty cells in the ingest buffer awaiting the next merge."),
+		SnapshotEpoch: r.Gauge("viewcube_ingest_snapshot_epoch", "Epoch of the currently published snapshot."),
+		LagSeqs:       r.Gauge("viewcube_ingest_lag_seqs", "Acknowledged deltas not yet visible to readers (appended minus published watermark)."),
+		MergeSeconds:  r.Histogram("viewcube_ingest_merge_seconds", "Wall-clock duration of background merge cycles, in seconds.", nil),
+	}
+}
+
 // RangeMetrics instruments §6 range aggregation.
 type RangeMetrics struct {
 	RangeQueries *Counter

@@ -18,12 +18,16 @@ type QueryEntry struct {
 	// Cube and View name the catalog entry (and, when the query came in
 	// through a declarative view, the view) that served the query. Both are
 	// empty for engines served outside a catalog.
-	Cube         string `json:"cube,omitempty"`
-	View         string `json:"view,omitempty"`
-	Shape        string `json:"shape"`
-	DurationUS   int64  `json:"duration_us"`
-	Epoch        uint64 `json:"epoch,omitempty"`
-	PlanCacheHit *bool  `json:"plan_cache_hit,omitempty"`
+	Cube       string `json:"cube,omitempty"`
+	View       string `json:"view,omitempty"`
+	Shape      string `json:"shape"`
+	DurationUS int64  `json:"duration_us"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+	// SnapshotEpoch is the ingest snapshot generation the query read from
+	// (zero when the cube has no streaming ingest path): queries racing a
+	// merge can be told apart by this field moving.
+	SnapshotEpoch uint64 `json:"snapshot_epoch,omitempty"`
+	PlanCacheHit  *bool  `json:"plan_cache_hit,omitempty"`
 	// ResultCacheHit is set (either way) only when the serving path had a
 	// result cache wired; a hit's Ops/Cells are zero by construction.
 	ResultCacheHit *bool `json:"result_cache_hit,omitempty"`

@@ -130,8 +130,16 @@ func (c *Cache[V]) GetOrCompute(key freq.Key, compute func() (V, error)) (val V,
 // layout} key, so one cache can hold plans (or elements) for several
 // measure widths without collision.
 func (c *Cache[V]) GetOrComputeMeasure(elem freq.Key, measure uint32, compute func() (V, error)) (val V, hit bool, err error) {
+	return c.GetOrComputeMeasureAt(c.epoch.Load(), elem, measure, compute)
+}
+
+// GetOrComputeMeasureAt is GetOrComputeMeasure pinned to a caller-supplied
+// epoch: the lookup, the singleflight key and the stored entry's tag all use
+// epoch rather than the cache's current one. Snapshot-pinned planners pass
+// the epoch they observed at pin time, so a generation draining across an
+// invalidation can neither serve nor insert entries under the new epoch.
+func (c *Cache[V]) GetOrComputeMeasureAt(epoch uint64, elem freq.Key, measure uint32, compute func() (V, error)) (val V, hit bool, err error) {
 	key := cacheKey{elem: elem, measure: measure}
-	epoch := c.epoch.Load()
 	if v, ok := c.get(epoch, key); ok {
 		c.met.Hits.Inc()
 		return v, true, nil
@@ -152,8 +160,11 @@ func (c *Cache[V]) GetOrComputeMeasure(elem freq.Key, measure uint32, compute fu
 	if f.err == nil {
 		c.mu.Lock()
 		// Tag with the compute-time epoch: if an invalidation raced us the
-		// entry is already stale and get() will never serve it.
-		c.entries[key] = entry[V]{epoch: epoch, val: f.val}
+		// entry is already stale and get() will never serve it. Never evict
+		// an entry a newer epoch already stored.
+		if e, ok := c.entries[key]; !ok || e.epoch <= epoch {
+			c.entries[key] = entry[V]{epoch: epoch, val: f.val}
+		}
 		c.mu.Unlock()
 	}
 	close(f.done)

@@ -22,6 +22,15 @@ type Planner struct {
 	src   PlanSource
 	spec  MeasureSpec
 	cache *Cache[*assembly.Plan]
+
+	// pinned is set on planners derived by ForSource: the cache epoch
+	// observed when the snapshot generation was published. While the cache
+	// is still at that epoch the derived planner reads and warms the shared
+	// cache as usual; once the epoch moves (a reconfigure invalidated plan
+	// geometry) the draining generation compiles uncached, so it can never
+	// serve or insert stale-geometry plans under the new epoch.
+	pinned    uint64
+	hasPinned bool
 }
 
 // PlanSource compiles a Procedure 3 assembly plan for one view element.
@@ -44,6 +53,16 @@ func NewPlanner(eng *assembly.Engine) *Planner {
 // cache without collision.
 func NewPlannerFor(src PlanSource, spec MeasureSpec) *Planner {
 	return &Planner{src: src, spec: spec, cache: NewCache[*assembly.Plan]()}
+}
+
+// ForSource derives a planner that compiles misses against src (typically
+// an assembly engine over an immutable snapshot store) while sharing this
+// planner's cache and measure layout, pinned to the cache's current epoch.
+// Plan geometry depends only on the materialised rectangle set — not on
+// stored values — so snapshot generations share warm plans across value
+// merges and only fall off the cache when geometry actually changes.
+func (p *Planner) ForSource(src PlanSource) *Planner {
+	return &Planner{src: src, spec: p.spec, cache: p.cache, pinned: p.cache.Epoch(), hasPinned: true}
 }
 
 // Measure returns the measure layout the planner compiles for.
@@ -74,9 +93,19 @@ func (p *Planner) Element(x *obs.ExecCtx, r freq.Rect) (*Physical, error) {
 	sp := x.Start("plan " + r.String())
 	defer sp.End()
 	epoch := p.cache.Epoch()
-	pl, hit, err := p.cache.GetOrComputeMeasure(r.Key(), p.spec.Key(), func() (*assembly.Plan, error) {
-		return p.src.ComputePlan(r)
-	})
+	var pl *assembly.Plan
+	var hit bool
+	var err error
+	if p.hasPinned && epoch != p.pinned {
+		// A draining snapshot generation after a geometry change: bypass the
+		// cache entirely rather than pollute the new epoch.
+		epoch = p.pinned
+		pl, err = p.src.ComputePlan(r)
+	} else {
+		pl, hit, err = p.cache.GetOrComputeMeasureAt(epoch, r.Key(), p.spec.Key(), func() (*assembly.Plan, error) {
+			return p.src.ComputePlan(r)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

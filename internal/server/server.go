@@ -7,6 +7,7 @@
 //
 //	POST /query    {"sql": "SELECT SUM(sales) GROUP BY product"}   (?trace=1 adds a span tree)
 //	POST /update   {"delta": 5, "values": {"product": "ale", ...}}
+//	POST /ingest   {"rows": [{"delta": 5, "values": {...}}, ...], "flush": true}
 //	GET  /groupby?keep=product,region                              (?trace=1 adds a span tree)
 //	GET  /range?dim=lo:hi&dim2=lo:hi                               (?trace=1 adds a span tree)
 //	GET  /explain?keep=product
@@ -174,6 +175,7 @@ func newCatalogServer(reg *catalog.Registry, met *viewcube.Metrics, opts ...Opti
 	// success responses are byte-identical to the pre-catalog server.
 	s.mux.HandleFunc("POST /query", s.routed(s.handleQuery))
 	s.mux.HandleFunc("POST /update", s.routed(s.handleUpdate))
+	s.mux.HandleFunc("POST /ingest", s.routed(s.handleIngest))
 	s.mux.HandleFunc("POST /optimize", s.routed(s.handleOptimize))
 	s.mux.HandleFunc("GET /groupby", s.routed(s.handleGroupBy))
 	s.mux.HandleFunc("GET /range", s.routed(s.handleRange))
@@ -186,6 +188,7 @@ func newCatalogServer(reg *catalog.Registry, met *viewcube.Metrics, opts ...Opti
 	s.mux.HandleFunc("GET /cubes/{cube}/views", s.handleViewList)
 	s.mux.HandleFunc("POST /cubes/{cube}/query", s.routed(s.handleQuery))
 	s.mux.HandleFunc("POST /cubes/{cube}/update", s.routed(s.handleUpdate))
+	s.mux.HandleFunc("POST /cubes/{cube}/ingest", s.routed(s.handleIngest))
 	s.mux.HandleFunc("POST /cubes/{cube}/optimize", s.routed(s.handleOptimize))
 	s.mux.HandleFunc("GET /cubes/{cube}/groupby", s.routed(s.handleGroupBy))
 	s.mux.HandleFunc("GET /cubes/{cube}/range", s.routed(s.handleRange))
@@ -338,6 +341,9 @@ func labelTrace(tr *viewcube.QueryTrace, lease *catalog.Lease) {
 	if lease.View != nil {
 		tr.SetLabel("view", lease.View.Name())
 	}
+	if snap := lease.Handle.PlanCacheStats().Snapshot; snap != 0 {
+		tr.SetLabel("snapshot_epoch", strconv.FormatUint(snap, 10))
+	}
 }
 
 // logQuery records one finished query into the query log (no-op without
@@ -349,13 +355,15 @@ func (s *Server) logQuery(lease *catalog.Lease, kind, shape string, start time.T
 	if s.qlog == nil {
 		return
 	}
+	pcs := lease.Handle.PlanCacheStats()
 	e := obs.QueryEntry{
 		Kind:           kind,
 		Cube:           lease.Cube,
 		View:           lease.View.Name(),
 		Shape:          shape,
 		DurationUS:     time.Since(start).Microseconds(),
-		Epoch:          lease.Handle.PlanCacheStats().Epoch,
+		Epoch:          pcs.Epoch,
+		SnapshotEpoch:  pcs.Snapshot,
 		Sampled:        sampled,
 		Agg:            aggLabel(kind, shape),
 		ResultCacheHit: rcHit,
@@ -488,6 +496,69 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, lease *cat
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ingestRequest carries a batch of deltas for the streaming write path.
+// With flush set, the response is delayed until every row in the batch is
+// queryable; without it, rows are only acknowledged (durable when the
+// engine runs a WAL) and become visible at the next background merge.
+type ingestRequest struct {
+	Rows  []updateRequest `json:"rows"`
+	Flush bool            `json:"flush,omitempty"`
+}
+
+type ingestResponse struct {
+	Status string `json:"status"`
+	Rows   int    `json:"rows"`
+	// Streamed reports whether the batch went through the ingest buffer
+	// (false: the handle has no streaming path and rows applied through the
+	// synchronous locked write, which implies flushed semantics).
+	Streamed bool                  `json:"streamed"`
+	Ingest   *viewcube.IngestStats `json:"ingest,omitempty"`
+}
+
+// handleIngest is the batch write endpoint. A handle with the streaming
+// path enabled acknowledges rows through its WAL-backed buffer; any other
+// handle falls back to per-row synchronous updates, so the endpoint is
+// usable against every cube with only the durability/latency contract
+// changing. Rows apply in order until the first failure; the error reports
+// how many were accepted.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, lease *catalog.Lease) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("ingest batch has no rows"))
+		return
+	}
+	ing, streamed := lease.Handle.(catalog.Ingester)
+	streamed = streamed && ing.IngestEnabled()
+	for i, row := range req.Rows {
+		var err error
+		if streamed {
+			err = ing.IngestValue(row.Delta, row.Values)
+		} else {
+			err = lease.Handle.UpdateValue(row.Delta, row.Values)
+		}
+		if err != nil {
+			s.writeErr(w, statusFor(err), fmt.Errorf("row %d (after %d accepted): %w", i, i, err))
+			return
+		}
+	}
+	if streamed && req.Flush {
+		if err := ing.FlushIngest(); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, fmt.Errorf("flushing ingest: %w", err))
+			return
+		}
+	}
+	resp := ingestResponse{Status: "ok", Rows: len(req.Rows), Streamed: streamed}
+	if streamed {
+		st := ing.IngestStats()
+		resp.Ingest = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type optimizeRequest struct {

@@ -30,6 +30,7 @@ type Metrics struct {
 	adaptive *obs.AdaptiveMetrics
 	ranges   *obs.RangeMetrics
 	plans    *obs.PlanMetrics
+	ingest   *obs.IngestMetrics
 }
 
 // NewMetrics returns a fresh metrics registry with every engine instrument
@@ -54,6 +55,7 @@ func NewMetrics() *Metrics {
 	m.adaptive = obs.NewAdaptiveMetrics(reg)
 	m.ranges = obs.NewRangeMetrics(reg)
 	m.plans = obs.NewPlanMetrics(reg)
+	m.ingest = obs.NewIngestMetrics(reg)
 	return m
 }
 
@@ -81,6 +83,7 @@ func (m *Metrics) Sub(labels ...string) *Metrics {
 	sub.adaptive = obs.NewAdaptiveMetrics(reg)
 	sub.ranges = obs.NewRangeMetrics(reg)
 	sub.plans = obs.NewPlanMetrics(reg)
+	sub.ingest = obs.NewIngestMetrics(reg)
 	return sub
 }
 

@@ -3,6 +3,7 @@ package viewcube
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // SafeEngine shares an Engine across goroutines with a read/write split:
@@ -17,37 +18,66 @@ import (
 // past its reselection threshold, the due flag is drained afterwards under
 // the write lock (see reselectIfDue). Traced queries carry their own
 // execution context, so concurrent traces never observe each other.
+//
+// With streaming ingest enabled (EnableIngest), the locking regime changes:
+// reads pin the current immutable snapshot for their whole duration instead
+// of taking the read lock, so they never block on (or are blocked by) the
+// write path; Update/UpdateValue append to the ingest buffer and return,
+// and the background merger is the only mutator of the base engine.
 type SafeEngine struct {
 	mu  sync.RWMutex
 	eng *Engine
+	ing atomic.Pointer[ingestRuntime]
 }
 
 // Safe wraps the engine for concurrent use. The wrapped engine must not be
 // used directly afterwards.
 func (e *Engine) Safe() *SafeEngine { return &SafeEngine{eng: e} }
 
+// reader returns the engine a query should run against plus its release.
+// With ingest enabled it pins the current snapshot (no lock, never blocks);
+// otherwise it read-locks the base engine. Every read path goes through it,
+// which is the non-blocking-readers guarantee in one place.
+func (s *SafeEngine) reader() (*Engine, func()) {
+	if rt := s.ing.Load(); rt != nil {
+		snap := rt.lc.Acquire()
+		return snap.Payload(), snap.Release
+	}
+	s.mu.RLock()
+	return s.eng, s.mu.RUnlock
+}
+
 // reselectIfDue performs a pending automatic reselection under the write
 // lock. The unlocked fast path keeps the query path lock-free when nothing
 // is due; the double-check under the lock makes racing drainers idempotent
-// (Reconfigure clears the flag before reselecting).
+// (Reconfigure clears the flag before reselecting). Under ingest, the
+// reconfigured materialised set becomes visible to readers at the forced
+// republish that follows.
 func (s *SafeEngine) reselectIfDue() error {
 	if !s.eng.inner.ReselectDue() {
 		return nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !s.eng.inner.ReselectDue() {
+		s.mu.Unlock()
 		return nil
 	}
 	_, err := s.eng.inner.AutoReconfigure(nil)
+	s.mu.Unlock()
+	if err == nil {
+		if rt := s.ing.Load(); rt != nil {
+			rt.forcePublish()
+		}
+	}
 	return err
 }
 
-// GroupBy is Engine.GroupBy under the read lock.
+// GroupBy is Engine.GroupBy against the pinned snapshot (or under the read
+// lock when ingest is off).
 func (s *SafeEngine) GroupBy(keep ...string) (*View, error) {
-	s.mu.RLock()
-	v, err := s.eng.groupByObserved(nil, keep...)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	v, err := eng.groupByObserved(nil, keep...)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -57,11 +87,11 @@ func (s *SafeEngine) GroupBy(keep ...string) (*View, error) {
 	return v, nil
 }
 
-// GroupByWhere is Engine.GroupByWhere under the read lock.
+// GroupByWhere is Engine.GroupByWhere on the read path.
 func (s *SafeEngine) GroupByWhere(keep []string, ranges map[string]ValueRange) (*View, error) {
-	s.mu.RLock()
-	v, err := s.eng.groupByWhereObserved(nil, keep, ranges)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	v, err := eng.groupByWhereObserved(nil, keep, ranges)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -71,11 +101,11 @@ func (s *SafeEngine) GroupByWhere(keep []string, ranges map[string]ValueRange) (
 	return v, nil
 }
 
-// View is Engine.View under the read lock.
+// View is Engine.View on the read path.
 func (s *SafeEngine) View(el Element) (*View, error) {
-	s.mu.RLock()
-	v, err := s.eng.viewObserved(nil, el)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	v, err := eng.viewObserved(nil, el)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -85,55 +115,55 @@ func (s *SafeEngine) View(el Element) (*View, error) {
 	return v, nil
 }
 
-// Total is Engine.Total under the read lock.
+// Total is Engine.Total on the read path.
 func (s *SafeEngine) Total() (float64, error) {
-	s.mu.RLock()
-	total, err := s.eng.totalObserved(nil)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	total, err := eng.totalObserved(nil)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
 	return total, err
 }
 
-// RangeSum is Engine.RangeSum under the read lock.
+// RangeSum is Engine.RangeSum on the read path.
 func (s *SafeEngine) RangeSum(ranges map[string]ValueRange) (float64, error) {
-	s.mu.RLock()
-	sum, err := s.eng.rangeSumObserved(nil, ranges)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	sum, err := eng.rangeSumObserved(nil, ranges)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
 	return sum, err
 }
 
-// RangeSumWithin is Engine.RangeSumWithin under the read lock.
+// RangeSumWithin is Engine.RangeSumWithin on the read path.
 func (s *SafeEngine) RangeSumWithin(ranges map[string]ValueRange) (float64, bool, error) {
-	s.mu.RLock()
-	sum, ok, err := s.eng.rangeSumWithinObserved(nil, ranges)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	sum, ok, err := eng.rangeSumWithinObserved(nil, ranges)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
 	return sum, ok, err
 }
 
-// RangeSumIndex is Engine.RangeSumIndex under the read lock.
+// RangeSumIndex is Engine.RangeSumIndex on the read path.
 func (s *SafeEngine) RangeSumIndex(lo, ext []int) (float64, error) {
-	s.mu.RLock()
-	sum, err := s.eng.rangeSumIndexObserved(nil, lo, ext)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	sum, err := eng.rangeSumIndexObserved(nil, lo, ext)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
 	return sum, err
 }
 
-// Query is Engine.Query under the read lock.
+// Query is Engine.Query on the read path.
 func (s *SafeEngine) Query(sql string) (*QueryResult, error) {
-	s.mu.RLock()
-	res, err := s.eng.queryObserved(nil, sql)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	res, err := eng.queryObserved(nil, sql)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -143,29 +173,64 @@ func (s *SafeEngine) Query(sql string) (*QueryResult, error) {
 	return res, nil
 }
 
-// Optimize is Engine.Optimize under the write lock.
+// Optimize is Engine.Optimize under the write lock. Under ingest, the new
+// materialised set reaches readers at the forced republish.
 func (s *SafeEngine) Optimize(w *Workload) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Optimize(w)
+	err := s.eng.Optimize(w)
+	s.mu.Unlock()
+	if err == nil {
+		if rt := s.ing.Load(); rt != nil {
+			rt.forcePublish()
+		}
+	}
+	return err
 }
 
-// Reconfigure is Engine.Reconfigure under the write lock.
+// Reconfigure is Engine.Reconfigure under the write lock. Under ingest, the
+// new materialised set reaches readers at the forced republish.
 func (s *SafeEngine) Reconfigure() (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Reconfigure()
+	changed, err := s.eng.Reconfigure()
+	s.mu.Unlock()
+	if err == nil && changed {
+		if rt := s.ing.Load(); rt != nil {
+			rt.forcePublish()
+		}
+	}
+	return changed, err
 }
 
-// Update is Engine.Update under the write lock.
+// Update applies a cell delta. With ingest enabled it appends to the WAL
+// and coalescing buffer and returns — visibility comes at the next snapshot
+// publish (Flush waits for it). Otherwise it runs under the write lock.
+// Zero deltas validate and return without locking either way.
 func (s *SafeEngine) Update(delta float64, idx ...int) error {
+	if rt := s.ing.Load(); rt != nil {
+		return rt.ingestAppend(delta, idx)
+	}
+	if delta == 0 {
+		// Engine.Update's zero-delta path validates and touches nothing, so
+		// no lock, no plan-epoch bump, no result-cache invalidation.
+		return s.eng.Update(0, idx...)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.eng.Update(delta, idx...)
 }
 
-// UpdateValue is Engine.UpdateValue under the write lock.
+// UpdateValue is Update addressed by dimension values.
 func (s *SafeEngine) UpdateValue(delta float64, values map[string]string) error {
+	if rt := s.ing.Load(); rt != nil {
+		idx, err := s.eng.resolveUpdateIndex(values)
+		if err != nil {
+			return err
+		}
+		return rt.ingestAppend(delta, idx)
+	}
+	if delta == 0 {
+		return s.eng.UpdateValue(0, values)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.eng.UpdateValue(delta, values)
@@ -185,11 +250,28 @@ func (s *SafeEngine) StoreStats() StoreStats {
 	return s.eng.StoreStats()
 }
 
-// PlanCacheStats is Engine.PlanCacheStats under the read lock.
+// PlanCacheStats is Engine.PlanCacheStats under the read lock, with the
+// streaming snapshot epoch folded in when ingest is enabled. Epoch+Snapshot
+// is the monotone data-version counter result caches sync against: locked
+// writes bump Epoch, ingest publishes bump Snapshot, and the sum never
+// repeats a value.
 func (s *SafeEngine) PlanCacheStats() PlanCacheStats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.PlanCacheStats()
+	st := s.eng.PlanCacheStats()
+	s.mu.RUnlock()
+	if rt := s.ing.Load(); rt != nil {
+		st.Snapshot = rt.lc.Current()
+	}
+	return st
+}
+
+// SnapshotEpoch returns the current published snapshot epoch, 0 when ingest
+// is not enabled.
+func (s *SafeEngine) SnapshotEpoch() uint64 {
+	if rt := s.ing.Load(); rt != nil {
+		return rt.lc.Current()
+	}
+	return 0
 }
 
 // Explain is Engine.Explain under the read lock: planning is a pure read of
@@ -228,13 +310,12 @@ func (s *SafeEngine) Metrics() *Metrics {
 	return s.eng.Metrics()
 }
 
-// TraceQuery is Engine.TraceQuery under the read lock: each traced query
-// owns its execution context, so traced and untraced queries overlap
-// freely.
+// TraceQuery is Engine.TraceQuery on the read path: each traced query owns
+// its execution context, so traced and untraced queries overlap freely.
 func (s *SafeEngine) TraceQuery(sql string) (*QueryResult, *QueryTrace, error) {
-	s.mu.RLock()
-	res, tr, err := s.eng.traceQuery(sql)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	res, tr, err := eng.traceQuery(sql)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -244,11 +325,11 @@ func (s *SafeEngine) TraceQuery(sql string) (*QueryResult, *QueryTrace, error) {
 	return res, tr, nil
 }
 
-// TraceGroupBy is Engine.TraceGroupBy under the read lock.
+// TraceGroupBy is Engine.TraceGroupBy on the read path.
 func (s *SafeEngine) TraceGroupBy(keep ...string) (*View, *QueryTrace, error) {
-	s.mu.RLock()
-	v, tr, err := s.eng.traceGroupBy(keep...)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	v, tr, err := eng.traceGroupBy(keep...)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -258,11 +339,11 @@ func (s *SafeEngine) TraceGroupBy(keep ...string) (*View, *QueryTrace, error) {
 	return v, tr, nil
 }
 
-// TraceRangeSum is Engine.TraceRangeSum under the read lock.
+// TraceRangeSum is Engine.TraceRangeSum on the read path.
 func (s *SafeEngine) TraceRangeSum(ranges map[string]ValueRange) (float64, *QueryTrace, error) {
-	s.mu.RLock()
-	sum, tr, err := s.eng.traceRangeSum(ranges)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	sum, tr, err := eng.traceRangeSum(ranges)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -272,11 +353,11 @@ func (s *SafeEngine) TraceRangeSum(ranges map[string]ValueRange) (float64, *Quer
 	return sum, tr, nil
 }
 
-// TraceTotal is Engine.TraceTotal under the read lock.
+// TraceTotal is Engine.TraceTotal on the read path.
 func (s *SafeEngine) TraceTotal() (float64, *QueryTrace, error) {
-	s.mu.RLock()
-	total, tr, err := s.eng.traceTotal()
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	total, tr, err := eng.traceTotal()
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
@@ -286,11 +367,11 @@ func (s *SafeEngine) TraceTotal() (float64, *QueryTrace, error) {
 	return total, tr, nil
 }
 
-// TraceRangeSumWithin is Engine.TraceRangeSumWithin under the read lock.
+// TraceRangeSumWithin is Engine.TraceRangeSumWithin on the read path.
 func (s *SafeEngine) TraceRangeSumWithin(ranges map[string]ValueRange) (float64, bool, *QueryTrace, error) {
-	s.mu.RLock()
-	sum, ok, tr, err := s.eng.traceRangeSumWithin(ranges)
-	s.mu.RUnlock()
+	eng, release := s.reader()
+	sum, ok, tr, err := eng.traceRangeSumWithin(ranges)
+	release()
 	if err == nil {
 		err = s.reselectIfDue()
 	}
